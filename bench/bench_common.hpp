@@ -1,0 +1,59 @@
+// bench_common.hpp -- shared workload helpers for the figure benches.
+//
+// Every binary in bench/ regenerates one figure or table from the paper's
+// evaluation (section 6).  Absolute numbers come from our simulator, not the
+// authors' testbed, so the point of comparison is the *shape*: who wins, by
+// what rough factor, where the curves bend.  Each bench prints the series it
+// measured plus the paper's reported reference values where applicable.
+//
+// Scale: the paper simulates up to millions of intradomain hosts and ~30k
+// interdomain IDs.  Default scales here finish in seconds; set
+// ROFL_BENCH_FULL=1 for runs closer to the paper's (minutes).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/as_topology.hpp"
+#include "graph/isp_topology.hpp"
+#include "util/rng.hpp"
+
+namespace rofl::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("ROFL_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline constexpr std::uint64_t kSeed = 20060911;  // SIGCOMM'06 started Sep 11
+
+/// The paper's interdomain topology stand-in (Routeviews-like, DESIGN.md):
+/// ~1500 ASes by default, ~3000 at full scale.
+inline graph::AsTopology make_inter_topology(Rng& rng) {
+  graph::AsGenParams p;
+  if (full_scale()) {
+    p.tier1_count = 10;
+    p.tier2_count = 120;
+    p.tier3_count = 500;
+    p.stub_count = 2400;
+  } else {
+    p.tier1_count = 8;
+    p.tier2_count = 60;
+    p.tier3_count = 250;
+    p.stub_count = 1200;
+  }
+  p.total_hosts = 10'000'000;
+  return graph::AsTopology::make_internet_like(p, rng);
+}
+
+inline void print_scale_note(std::ostream& os) {
+  os << (full_scale()
+             ? "[scale: FULL (ROFL_BENCH_FULL=1); closer to the paper's run "
+               "sizes]\n"
+             : "[scale: default (seconds); set ROFL_BENCH_FULL=1 for "
+               "paper-scale runs]\n");
+  os << "[seed: " << kSeed << "]\n";
+}
+
+}  // namespace rofl::bench

@@ -1,0 +1,129 @@
+// fig5_join_overhead -- regenerates Figure 5 (intradomain joining).
+//
+//   5a: cumulative join overhead (packets) vs number of IDs joined, for the
+//       four Rocketfuel-like ISPs, plus the CMU-ETHERNET baseline on the
+//       same topologies (the paper reports CMU-ETHERNET needs 37-181x more
+//       messages).
+//   5b: CDF of per-host join overhead (packets).
+//   5c: CDF of join latency (ms) -- "typically on the order of the network
+//       diameter", under 40 ms in the paper.
+#include <iostream>
+
+#include "baselines/cmu_ethernet.hpp"
+#include "bench_common.hpp"
+#include "rofl/network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+struct IspRun {
+  std::string name;
+  std::vector<std::pair<std::size_t, std::uint64_t>> cumulative;  // n, packets
+  std::vector<std::pair<std::size_t, std::uint64_t>> cumulative_cmu;
+  SampleSet per_join;
+  SampleSet latency_ms;
+  double cmu_ratio = 0.0;
+  std::uint32_t diameter = 0;
+};
+
+IspRun run_isp(graph::RocketfuelAs which, std::size_t max_ids) {
+  Rng trng(bench::kSeed);
+  const graph::IspTopology topo = graph::make_rocketfuel_like(which, trng);
+  intra::Network net(&topo, intra::Config{}, bench::kSeed + 1);
+  baselines::CmuEthernet cmu(&topo);
+
+  IspRun run;
+  run.name = topo.name;
+  run.diameter = topo.graph.diameter_hops(64);
+
+  std::uint64_t total = 0;
+  std::uint64_t total_cmu = 0;
+  std::size_t next_report = 1;
+  for (std::size_t n = 1; n <= max_ids; ++n) {
+    const auto gw =
+        static_cast<graph::NodeIndex>(net.rng().index(net.router_count()));
+    const Identity ident = Identity::generate(net.rng());
+    const intra::JoinStats js = net.join_host(ident, gw);
+    if (!js.ok) continue;
+    total += js.messages;
+    run.per_join.add(static_cast<double>(js.messages));
+    run.latency_ms.add(js.latency_ms);
+    const auto cj = cmu.join_host(Identity::generate(net.rng()).id(), gw);
+    total_cmu += cj.messages;
+    if (n == next_report || n == max_ids) {
+      run.cumulative.emplace_back(n, total);
+      run.cumulative_cmu.emplace_back(n, total_cmu);
+      next_report *= 10;
+    }
+  }
+  run.cmu_ratio =
+      total > 0 ? static_cast<double>(total_cmu) / static_cast<double>(total)
+                : 0.0;
+  return run;
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t max_ids = bench::full_scale() ? 30'000 : 5'000;
+
+  std::vector<IspRun> runs;
+  for (const auto which : graph::all_rocketfuel_ases()) {
+    runs.push_back(run_isp(which, max_ids));
+  }
+
+  print_banner(std::cout, "Figure 5a: cumulative join overhead vs IDs joined");
+  {
+    Table t({"ISP", "IDs", "ROFL packets", "CMU-ETHERNET packets"});
+    for (const auto& run : runs) {
+      for (std::size_t i = 0; i < run.cumulative.size(); ++i) {
+        t.add_row({run.name,
+                   static_cast<std::int64_t>(run.cumulative[i].first),
+                   static_cast<std::int64_t>(run.cumulative[i].second),
+                   static_cast<std::int64_t>(run.cumulative_cmu[i].second)});
+      }
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nPaper reference: both scale linearly in IDs; CMU-ETHERNET "
+               "needs 37-181x more messages.\nMeasured ratios:";
+  for (const auto& run : runs) {
+    std::cout << "  " << run.name << "=" << static_cast<int>(run.cmu_ratio)
+              << "x";
+  }
+  std::cout << "\n";
+
+  print_banner(std::cout, "Figure 5b: CDF of per-join overhead [packets]");
+  {
+    Table t({"ISP", "p10", "p50", "p90", "p99", "mean", "4*diameter"});
+    for (const auto& run : runs) {
+      t.add_row({run.name, run.per_join.percentile(0.10),
+                 run.per_join.percentile(0.50), run.per_join.percentile(0.90),
+                 run.per_join.percentile(0.99), run.per_join.mean(),
+                 static_cast<std::int64_t>(4 * run.diameter)});
+    }
+    t.print(std::cout);
+    std::cout << "Paper reference: join overhead is roughly four messages "
+                 "times the network diameter; <45 packets per join.\n";
+  }
+
+  print_banner(std::cout, "Figure 5c: CDF of join latency [ms]");
+  {
+    Table t({"ISP", "p10", "p50", "p90", "p99", "mean"});
+    for (const auto& run : runs) {
+      t.add_row({run.name, run.latency_ms.percentile(0.10),
+                 run.latency_ms.percentile(0.50),
+                 run.latency_ms.percentile(0.90),
+                 run.latency_ms.percentile(0.99), run.latency_ms.mean()});
+    }
+    t.print(std::cout);
+    std::cout << "Paper reference: joins typically complete in <40 ms, on "
+                 "the order of the network diameter.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// fig6_stretch_cache -- regenerates Figure 6a: intradomain stretch as a
+// function of pointer-cache size (entries per router), for the four
+// Rocketfuel-like ISPs.
+//
+// Paper reference: with small caches stretch can be high; with roughly
+// 70,000 entries (a 9 Mbit TCAM of 128-bit IDs) it drops to about 2, and the
+// summary table reports 1.2-2 with 9 Mbit of cache.  The knee sits where the
+// cache holds a large fraction of the live IDs, which is the shape this
+// bench reproduces at its own scale.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "rofl/network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+double measure_stretch(graph::RocketfuelAs which, std::size_t cache_entries,
+                       std::size_t ids, std::size_t packets) {
+  Rng trng(bench::kSeed);
+  const graph::IspTopology topo = graph::make_rocketfuel_like(which, trng);
+  intra::Config cfg;
+  cfg.cache_capacity = cache_entries;
+  intra::Network net(&topo, cfg, bench::kSeed + 2);
+
+  std::vector<NodeId> joined;
+  joined.reserve(ids);
+  for (std::size_t i = 0; i < ids; ++i) {
+    const auto gw =
+        static_cast<graph::NodeIndex>(net.rng().index(net.router_count()));
+    const Identity ident = Identity::generate(net.rng());
+    if (net.join_host(ident, gw).ok) joined.push_back(ident.id());
+  }
+
+  SampleSet stretch;
+  for (std::size_t i = 0; i < packets; ++i) {
+    const NodeId dest = joined[net.rng().index(joined.size())];
+    const auto src =
+        static_cast<graph::NodeIndex>(net.rng().index(net.router_count()));
+    const intra::RouteStats rs = net.route(src, dest);
+    if (rs.delivered && rs.shortest_hops > 0) stretch.add(rs.stretch());
+  }
+  return stretch.empty() ? 0.0 : stretch.mean();
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t ids = bench::full_scale() ? 20'000 : 4'000;
+  const std::size_t packets = bench::full_scale() ? 5'000 : 1'500;
+  const std::vector<std::size_t> cache_sizes =
+      bench::full_scale()
+          ? std::vector<std::size_t>{1, 10, 100, 1'000, 10'000, 70'000}
+          : std::vector<std::size_t>{1, 10, 100, 1'000, 4'000, 70'000};
+
+  print_banner(std::cout,
+               "Figure 6a: stretch vs pointer-cache size [entries/router]");
+  Table t({"cache entries", "AS1221", "AS1239", "AS3257", "AS3967"});
+  for (const std::size_t cap : cache_sizes) {
+    std::vector<Table::Cell> row{static_cast<std::int64_t>(cap)};
+    for (const auto which : graph::all_rocketfuel_ases()) {
+      row.push_back(measure_stretch(which, cap, ids, packets));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference: stretch falls monotonically with cache "
+               "size; ~2 at 70k entries (9 Mbit), 1.2-2 across the four "
+               "ISPs at that operating point.  (The knee tracks the ratio "
+               "of cache size to live IDs: " << ids << " IDs here.)\n";
+  return 0;
+}

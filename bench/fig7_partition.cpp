@@ -1,0 +1,108 @@
+// fig7_partition -- regenerates Figure 7: overhead to recover from a
+// partition, as a function of the number of IDs per PoP.
+//
+// Method as in the paper: join hosts so each PoP carries the target ID
+// count, pick a random PoP, cut all of its external links (partitioning the
+// ring), then reconnect, measuring the total repair traffic.  The paper
+// found repair "did not trigger any massive spikes in overhead, which was
+// roughly on the same order of magnitude of rejoining all the hosts in the
+// PoP", and that every run reconverged to a correct ring -- both properties
+// are checked here.
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "rofl/network.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+struct PartitionResult {
+  std::uint64_t repair_messages = 0;
+  std::uint64_t rejoin_equivalent = 0;  // cost of freshly rejoining the PoP
+  bool reconverged = false;
+};
+
+PartitionResult run_partition(graph::RocketfuelAs which,
+                              std::size_t ids_per_pop) {
+  Rng trng(bench::kSeed);
+  const graph::IspTopology topo = graph::make_rocketfuel_like(which, trng);
+  intra::Network net(&topo, intra::Config{}, bench::kSeed + 5);
+
+  // Populate every PoP to the target count (hosts pick gateways inside
+  // their PoP).
+  double mean_join_cost = 0.0;
+  std::size_t joins = 0;
+  for (std::size_t p = 0; p < topo.pop_count(); ++p) {
+    for (std::size_t i = 0; i < ids_per_pop; ++i) {
+      const auto& members = topo.pops[p];
+      const auto gw = members[net.rng().index(members.size())];
+      const Identity ident = Identity::generate(net.rng());
+      const auto js = net.join_host(ident, gw);
+      if (js.ok) {
+        mean_join_cost += static_cast<double>(js.messages);
+        ++joins;
+      }
+    }
+  }
+  if (joins > 0) mean_join_cost /= static_cast<double>(joins);
+
+  // Cut a mid-list PoP off the network.
+  const std::size_t victim = topo.pop_count() / 2;
+  const std::set<graph::NodeIndex> pop_set(topo.pops[victim].begin(),
+                                           topo.pops[victim].end());
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> cut;
+  for (const graph::NodeIndex r : topo.pops[victim]) {
+    for (const auto& e : topo.graph.neighbors(r)) {
+      if (!pop_set.contains(e.to)) cut.emplace_back(r, e.to);
+    }
+  }
+
+  PartitionResult res;
+  for (const auto& [u, v] : cut) net.map().fail_link(u, v);
+  const intra::RepairStats split = net.repair_partitions();
+  for (const auto& [u, v] : cut) net.map().restore_link(u, v);
+  const intra::RepairStats heal = net.repair_partitions();
+
+  res.repair_messages = split.messages + heal.messages;
+  res.rejoin_equivalent = static_cast<std::uint64_t>(
+      mean_join_cost * static_cast<double>(ids_per_pop));
+  res.reconverged = net.verify_rings();
+  return res;
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::vector<std::size_t> per_pop =
+      bench::full_scale() ? std::vector<std::size_t>{1, 10, 100, 1'000}
+                          : std::vector<std::size_t>{1, 10, 100, 300};
+
+  print_banner(std::cout,
+               "Figure 7: partition repair overhead vs IDs per PoP");
+  Table t({"ISP", "IDs/PoP", "repair packets", "~rejoin-PoP packets",
+           "reconverged"});
+  bool all_ok = true;
+  for (const auto which : graph::all_rocketfuel_ases()) {
+    for (const std::size_t n : per_pop) {
+      const PartitionResult r = run_partition(which, n);
+      all_ok &= r.reconverged;
+      t.add_row({graph::rocketfuel_params(which).name,
+                 static_cast<std::int64_t>(n),
+                 static_cast<std::int64_t>(r.repair_messages),
+                 static_cast<std::int64_t>(r.rejoin_equivalent),
+                 std::string(r.reconverged ? "yes" : "NO")});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nall runs reconverged: " << (all_ok ? "yes" : "NO") << "\n";
+  std::cout << "Paper reference: repair overhead grows with IDs per PoP and "
+               "stays on the same order of magnitude as rejoining the PoP's "
+               "hosts; every run (10M partitions there) reconverged "
+               "correctly.\n";
+  return all_ok ? 0 : 1;
+}

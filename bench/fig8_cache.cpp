@@ -1,0 +1,145 @@
+// fig8_cache -- regenerates Figure 8c: interdomain stretch as a function of
+// per-AS pointer-cache size, plus the bloom-peering data point.
+//
+// Paper reference: caching at border routers cuts stretch from ~2 to 1.33
+// at an average of 20M entries per AS (the x-axis is cache memory per AS);
+// the bloom-filter peering option lands at stretch 3.29 with 18 Mbit
+// filters, improvable to ~2.5 with bigger filters or more fingers.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "interdomain/inter_network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+struct CacheResult {
+  double stretch = 0.0;
+  double cache_mbits_per_as = 0.0;
+  double bloom_mbits_per_as = 0.0;
+};
+
+CacheResult run_cache(const graph::AsTopology& topo,
+                      std::size_t cache_entries_per_as,
+                      inter::PeeringMode mode, std::size_t ids,
+                      std::size_t packets,
+                      std::size_t bloom_bits = 1u << 18) {
+  inter::InterConfig cfg;
+  cfg.cache_capacity_per_as = cache_entries_per_as;
+  cfg.peering_mode = mode;
+  cfg.bloom_bits = bloom_bits;
+  cfg.fingers_per_id = 16;  // modest finger table, as the caching runs use
+  inter::InterNetwork net(&topo, cfg, bench::kSeed + 17);
+  for (std::size_t i = 0; i < ids; ++i) {
+    (void)net.join_random_host(inter::JoinStrategy::kRecursiveMultihomed);
+  }
+  std::vector<NodeId> joined;
+  for (const auto& [id, home] : net.directory()) joined.push_back(id);
+
+  // Zipf-skewed destination popularity: caches shine on reference locality
+  // (section 4.1, "Exploiting reference locality").
+  const ZipfSampler popularity(joined.size(), 0.9);
+  // Warm pass fills the caches; measured pass reports stretch.
+  SampleSet stretch;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < packets; ++i) {
+      const NodeId dest = joined[popularity.sample(net.rng())];
+      const NodeId src_id = joined[net.rng().index(joined.size())];
+      const auto src = net.home_of(src_id);
+      if (!src.has_value() || net.home_of(dest) == *src) continue;
+      const auto rs = net.route(*src, dest);
+      if (pass == 1 && rs.delivered && rs.bgp_hops > 0) {
+        stretch.add(rs.stretch());
+      }
+    }
+  }
+  CacheResult res;
+  res.stretch = stretch.empty() ? 0.0 : stretch.mean();
+  // 160 bits per cache entry (ID + AS), matching mean_state accounting.
+  res.cache_mbits_per_as =
+      static_cast<double>(cache_entries_per_as) * 160.0 / 1e6;
+  res.bloom_mbits_per_as = net.mean_bloom_bits_per_as() / 1e6;
+  return res;
+}
+
+double measure_backtracks(const graph::AsTopology& topo, std::size_t bloom_bits,
+                          std::size_t ids, std::size_t packets, double* stretch,
+                          double* mbits) {
+  inter::InterConfig cfg;
+  cfg.peering_mode = inter::PeeringMode::kBloom;
+  cfg.bloom_bits = bloom_bits;
+  inter::InterNetwork net(&topo, cfg, bench::kSeed + 41);
+  for (std::size_t i = 0; i < ids; ++i) {
+    (void)net.join_random_host(inter::JoinStrategy::kRecursiveMultihomed);
+  }
+  std::vector<NodeId> joined;
+  for (const auto& [id, home] : net.directory()) joined.push_back(id);
+  SampleSet st;
+  std::uint64_t backtracks = 0;
+  std::size_t routed = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    const NodeId dest = joined[net.rng().index(joined.size())];
+    const auto src = net.home_of(joined[net.rng().index(joined.size())]);
+    if (!src.has_value() || net.home_of(dest) == *src) continue;
+    const auto rs = net.route(*src, dest);
+    if (!rs.delivered) continue;
+    ++routed;
+    backtracks += rs.backtracks;
+    if (rs.bgp_hops > 0) st.add(rs.stretch());
+  }
+  *stretch = st.empty() ? 0.0 : st.mean();
+  *mbits = net.mean_bloom_bits_per_as() / 1e6;
+  return routed > 0 ? static_cast<double>(backtracks) /
+                          static_cast<double>(routed)
+                    : 0.0;
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t ids = bench::full_scale() ? 6'000 : 1'500;
+  const std::size_t packets = bench::full_scale() ? 4'000 : 1'200;
+
+  Rng trng(bench::kSeed);
+  const graph::AsTopology topo = bench::make_inter_topology(trng);
+
+  print_banner(std::cout,
+               "Figure 8c: stretch vs per-AS pointer-cache size");
+  Table t({"cache entries/AS", "cache Mbit/AS", "mean stretch"});
+  for (const std::size_t cap : {0u, 16u, 128u, 1024u, 8192u}) {
+    const CacheResult r = run_cache(topo, cap, inter::PeeringMode::kVirtualAs,
+                                    ids, packets);
+    t.add_row({static_cast<std::int64_t>(cap), r.cache_mbits_per_as,
+               r.stretch});
+  }
+  t.print(std::cout);
+
+  print_banner(std::cout,
+               "Bloom-filter peering: filter size vs stretch (false "
+               "positives force backtracking)");
+  {
+    Table b({"bloom bits/filter", "bloom Mbit/AS", "backtracks/pkt",
+             "mean stretch"});
+    for (const std::size_t bits : {1u << 18, 1u << 12, 1u << 9, 1u << 7}) {
+      double stretch = 0.0;
+      double mbits = 0.0;
+      const double bt = measure_backtracks(topo, bits, ids, packets / 2,
+                                           &stretch, &mbits);
+      b.add_row({static_cast<std::int64_t>(bits), mbits, bt, stretch});
+    }
+    b.print(std::cout);
+  }
+  std::cout << "\nPaper reference: pointer caches cut stretch from ~2 toward "
+               "1.33 as per-AS cache memory grows; bloom peering trades "
+               "stretch for join cost -- 3.29 at 18 Mbit/AS filters "
+               "(600M hosts, i.e. a meaningful false-positive rate), "
+               "improving with larger filters or more fingers.  The "
+               "backtracks column shows the same mechanism here: shrinking "
+               "the filters raises false positives and stretch.\n";
+  return 0;
+}

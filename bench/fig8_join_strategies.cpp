@@ -1,0 +1,104 @@
+// fig8_join_strategies -- regenerates Figure 8a: interdomain join overhead
+// vs the number of IDs in the system, for the four joining strategies:
+// ephemeral, single-homed, recursively multihomed, and peering (joins across
+// peering links too).  A second pass runs the bloom-filter optimization,
+// which the paper reports reduces the peering join's cost to that of the
+// multihomed join.
+//
+// Paper reference (extrapolated to 600M IDs): ephemeral ~14 messages,
+// single-homed ~75-80, multihomed ~100, peering ~300 (reduced to multihomed
+// cost with blooms).  The orderings and the moving-average-vs-scale shape
+// are the reproducible content at simulation scale.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "interdomain/inter_network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+using inter::InterNetwork;
+using inter::JoinStrategy;
+
+std::vector<std::pair<std::size_t, double>> run_strategy(
+    const graph::AsTopology& topo, JoinStrategy strategy,
+    inter::PeeringMode mode, std::size_t max_ids) {
+  inter::InterConfig cfg;
+  cfg.peering_mode = mode;
+  InterNetwork net(&topo, cfg, bench::kSeed + 7);
+  MovingAverage avg(200);  // the paper's moving-average window
+  std::vector<std::pair<std::size_t, double>> series;
+  std::size_t next_report = 10;
+  for (std::size_t n = 1; n <= max_ids; ++n) {
+    const auto js = net.join_random_host(strategy);
+    if (!js.ok) continue;
+    avg.add(static_cast<double>(js.messages));
+    if (n == next_report || n == max_ids) {
+      series.emplace_back(n, avg.value());
+      next_report *= (next_report < 1000 ? 10 : 3);
+    }
+  }
+  return series;
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t max_ids = bench::full_scale() ? 20'000 : 4'000;
+
+  Rng trng(bench::kSeed);
+  const graph::AsTopology topo = bench::make_inter_topology(trng);
+  std::cout << "AS topology: " << topo.as_count() << " ASes\n";
+
+  const std::vector<std::pair<std::string, inter::JoinStrategy>> strategies = {
+      {"ephemeral", inter::JoinStrategy::kEphemeral},
+      {"single-homed", inter::JoinStrategy::kSingleHomed},
+      {"rec. multihomed", inter::JoinStrategy::kRecursiveMultihomed},
+      {"peering", inter::JoinStrategy::kPeering},
+  };
+
+  print_banner(std::cout,
+               "Figure 8a: join overhead [packets], 200-join moving average "
+               "(virtual-AS peering)");
+  {
+    Table t({"strategy", "IDs", "join overhead [packets]"});
+    std::vector<double> finals;
+    for (const auto& [name, strategy] : strategies) {
+      const auto series = run_strategy(topo, strategy,
+                                       inter::PeeringMode::kVirtualAs, max_ids);
+      for (const auto& [n, v] : series) {
+        t.add_row({name, static_cast<std::int64_t>(n), v});
+      }
+      finals.push_back(series.empty() ? 0.0 : series.back().second);
+    }
+    t.print(std::cout);
+    std::cout << "\nfinal moving averages: ephemeral=" << finals[0]
+              << " single=" << finals[1] << " multihomed=" << finals[2]
+              << " peering=" << finals[3] << "\n";
+  }
+
+  print_banner(std::cout,
+               "Figure 8a (bloom optimization): peering join cost collapses "
+               "to the multihomed join");
+  {
+    Table t({"strategy", "final moving avg [packets]"});
+    for (const auto& [name, strategy] :
+         {strategies[2], strategies[3]}) {
+      const auto series =
+          run_strategy(topo, strategy, inter::PeeringMode::kBloom, max_ids / 2);
+      t.add_row({name, series.empty() ? 0.0 : series.back().second});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nPaper reference: ephemeral < single-homed < multihomed < "
+               "peering; multihomed is only slightly costlier than "
+               "single-homed (few unique successors across the 75-100 "
+               "up-hierarchy ASes); blooms cut peering to multihomed cost.  "
+               "Extrapolated to 600M IDs: ~14 / ~80 / ~100 / ~300 packets.\n";
+  return 0;
+}

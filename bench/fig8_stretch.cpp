@@ -1,0 +1,109 @@
+// fig8_stretch -- regenerates Figure 8b: CDF of interdomain data-packet
+// stretch (vs the BGP-policy path) for single-homed joins with 60 / 160 /
+// 280 proximity fingers, alongside today's BGP-policy stretch (policy path
+// over unconstrained shortest path) measured on the same topology.
+//
+// Paper reference: average stretch 2.8 with 60 fingers, 2.3 with 160;
+// stretch decreases as fingers grow and (slightly) as the system grows; the
+// isolation property held in every experiment.
+#include <iostream>
+
+#include "baselines/bgp_baseline.hpp"
+#include "bench_common.hpp"
+#include "interdomain/inter_network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+struct SeriesResult {
+  SampleSet stretch;
+  std::uint64_t isolation_violations = 0;
+};
+
+SeriesResult run_fingers(const graph::AsTopology& topo, std::size_t fingers,
+                         std::size_t ids, std::size_t packets) {
+  inter::InterConfig cfg;
+  cfg.fingers_per_id = fingers;
+  inter::InterNetwork net(&topo, cfg, bench::kSeed + 11);
+  std::vector<NodeId> joined;
+  for (std::size_t i = 0; i < ids; ++i) {
+    // Figure 8b uses single-homed joins.
+    const auto before = net.directory().size();
+    (void)net.join_random_host(inter::JoinStrategy::kSingleHomed);
+    if (net.directory().size() > before) {
+      joined.push_back(net.directory().rbegin()->first);
+    }
+  }
+  // Re-collect all ids (directory order is by ID, not join order).
+  joined.clear();
+  for (const auto& [id, home] : net.directory()) joined.push_back(id);
+
+  SeriesResult res;
+  for (std::size_t i = 0; i < packets; ++i) {
+    const NodeId dest = joined[net.rng().index(joined.size())];
+    const NodeId src_id = joined[net.rng().index(joined.size())];
+    const auto src = net.home_of(src_id);
+    if (!src.has_value() || net.home_of(dest) == *src) continue;
+    const auto rs = net.route(*src, dest);
+    if (!rs.delivered) continue;
+    if (!rs.isolation_held) ++res.isolation_violations;
+    if (rs.bgp_hops > 0) res.stretch.add(rs.stretch());
+  }
+  return res;
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t ids = bench::full_scale() ? 8'000 : 2'000;
+  const std::size_t packets = bench::full_scale() ? 4'000 : 1'500;
+
+  Rng trng(bench::kSeed);
+  const graph::AsTopology topo = bench::make_inter_topology(trng);
+
+  print_banner(std::cout,
+               "Figure 8b: CDF of data-packet stretch vs BGP-policy path");
+  Table t({"series", "p25", "p50", "p75", "p90", "mean"});
+  for (const std::size_t fingers : {0u, 60u, 160u, 280u}) {
+    const SeriesResult r = run_fingers(topo, fingers, ids, packets);
+    const std::string name =
+        fingers == 0 ? "ROFL no fingers" :
+        "ROFL " + std::to_string(fingers) + " fingers";
+    t.add_row({name, r.stretch.percentile(0.25), r.stretch.percentile(0.50),
+               r.stretch.percentile(0.75), r.stretch.percentile(0.90),
+               r.stretch.mean()});
+    if (r.isolation_violations > 0) {
+      std::cout << "(" << name << ": " << r.isolation_violations
+                << " isolation violations -- expected ~0)\n";
+    }
+  }
+
+  // BGP-policy series: the stretch BGP's policy paths impose over the
+  // unconstrained shortest paths, on the same pair sample.
+  {
+    Rng rng(bench::kSeed + 13);
+    SampleSet bgp;
+    for (std::size_t i = 0; i < packets; ++i) {
+      const auto a = static_cast<graph::AsIndex>(rng.index(topo.as_count()));
+      const auto b = static_cast<graph::AsIndex>(rng.index(topo.as_count()));
+      if (a == b) continue;
+      const auto st = baselines::bgp_policy_stretch(topo, a, b);
+      if (st.has_value()) bgp.add(*st);
+    }
+    t.add_row({std::string("BGP-policy (vs shortest)"), bgp.percentile(0.25),
+               bgp.percentile(0.50), bgp.percentile(0.75),
+               bgp.percentile(0.90), bgp.mean()});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference: stretch decreases with the number of "
+               "fingers (2.8 avg at 60 fingers, 2.3 at 160); BGP-policy "
+               "itself sits close to 1; isolation was never violated.  "
+               "Extrapolated: 128 fingers -> ~2.9, 340 fingers -> ~2.5 at "
+               "600M IDs.\n";
+  return 0;
+}

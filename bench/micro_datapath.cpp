@@ -1,0 +1,145 @@
+// micro_datapath -- google-benchmark microbenchmarks for the hot paths that
+// gate a software ROFL forwarder: ring arithmetic, SHA-256 identity
+// derivation, bloom probes, pointer-cache and virtual-node best-match
+// lookups (the per-packet operations of Algorithm 2), and end-to-end greedy
+// forwarding on a warm intradomain network.
+#include <benchmark/benchmark.h>
+
+#include "graph/isp_topology.hpp"
+#include "rofl/network.hpp"
+#include "util/bloom.hpp"
+#include "util/identity.hpp"
+#include "util/sha256.hpp"
+
+namespace rofl {
+namespace {
+
+void BM_NodeIdDistance(benchmark::State& state) {
+  Rng rng(1);
+  const NodeId a(rng.next_u64(), rng.next_u64());
+  const NodeId b(rng.next_u64(), rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NodeId::distance_cw(a, b));
+  }
+}
+BENCHMARK(BM_NodeIdDistance);
+
+void BM_NodeIdInterval(benchmark::State& state) {
+  Rng rng(2);
+  const NodeId a(rng.next_u64(), rng.next_u64());
+  const NodeId x(rng.next_u64(), rng.next_u64());
+  const NodeId b(rng.next_u64(), rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NodeId::in_interval_oc(a, x, b));
+  }
+}
+BENCHMARK(BM_NodeIdInterval);
+
+void BM_Sha256Identity(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Identity::generate(rng));
+  }
+}
+BENCHMARK(BM_Sha256Identity);
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1500)->Arg(65536);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bf(static_cast<std::size_t>(state.range(0)), 4);
+  Rng rng(4);
+  for (int i = 0; i < state.range(0) / 16; ++i) {
+    bf.insert(NodeId(rng.next_u64(), rng.next_u64()));
+  }
+  const NodeId probe(rng.next_u64(), rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.may_contain(probe));
+  }
+}
+BENCHMARK(BM_BloomProbe)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_PointerCacheBestMatch(benchmark::State& state) {
+  intra::PointerCache pc(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    pc.insert(NodeId(rng.next_u64(), rng.next_u64()), 1, {0, 1});
+  }
+  const NodeId dest(rng.next_u64(), rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc.best_match(dest));
+  }
+}
+BENCHMARK(BM_PointerCacheBestMatch)->Arg(1024)->Arg(65536);
+
+struct WarmNetwork {
+  graph::IspTopology topo;
+  std::unique_ptr<intra::Network> net;
+  std::vector<NodeId> ids;
+
+  WarmNetwork() {
+    Rng trng(6);
+    topo = graph::make_rocketfuel_like(graph::RocketfuelAs::kAs3967, trng);
+    intra::Config cfg;
+    cfg.cache_capacity = 4096;
+    net = std::make_unique<intra::Network>(&topo, cfg, 7);
+    for (int i = 0; i < 2000; ++i) {
+      const Identity ident = Identity::generate(net->rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          net->rng().index(net->router_count()));
+      if (net->join_host(ident, gw).ok) ids.push_back(ident.id());
+    }
+  }
+};
+
+WarmNetwork& warm() {
+  static WarmNetwork w;
+  return w;
+}
+
+void BM_VnBestMatch(benchmark::State& state) {
+  WarmNetwork& w = warm();
+  Rng rng(8);
+  const NodeId dest(rng.next_u64(), rng.next_u64());
+  const auto& router = w.net->router(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.vn_best_match(dest));
+  }
+}
+BENCHMARK(BM_VnBestMatch);
+
+void BM_IntraGreedyRoute(benchmark::State& state) {
+  WarmNetwork& w = warm();
+  Rng rng(9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeId dest = w.ids[i++ % w.ids.size()];
+    const auto src =
+        static_cast<graph::NodeIndex>(rng.index(w.net->router_count()));
+    benchmark::DoNotOptimize(w.net->route(src, dest));
+  }
+}
+BENCHMARK(BM_IntraGreedyRoute);
+
+void BM_IntraJoin(benchmark::State& state) {
+  WarmNetwork& w = warm();
+  for (auto _ : state) {
+    const Identity ident = Identity::generate(w.net->rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        w.net->rng().index(w.net->router_count()));
+    benchmark::DoNotOptimize(w.net->join_host(ident, gw));
+  }
+}
+BENCHMARK(BM_IntraJoin);
+
+}  // namespace
+}  // namespace rofl
+
+BENCHMARK_MAIN();

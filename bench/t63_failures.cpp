@@ -1,0 +1,107 @@
+// t63_failures -- regenerates the "Failures" experiment of section 6.3:
+// fail randomly selected stub ASes and measure (a) the fraction of Internet
+// paths affected and (b) the repair traffic relative to the number of IDs
+// the failed stub hosted.
+//
+// Paper reference: on average 99.998% of paths were unaffected by a stub
+// failure, and repair took ~4950 messages, "roughly the number of
+// identifiers hosted in the failed stub AS".
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "interdomain/inter_network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  const std::size_t ids = bench::full_scale() ? 6'000 : 2'000;
+  const std::size_t path_sample = bench::full_scale() ? 3'000 : 1'200;
+  const std::size_t failures = bench::full_scale() ? 30 : 12;
+
+  Rng trng(bench::kSeed);
+  const graph::AsTopology topo = bench::make_inter_topology(trng);
+  inter::InterNetwork net(&topo, inter::InterConfig{}, bench::kSeed + 19);
+  for (std::size_t i = 0; i < ids; ++i) {
+    (void)net.join_random_host(inter::JoinStrategy::kRecursiveMultihomed);
+  }
+  std::vector<NodeId> joined;
+  for (const auto& [id, home] : net.directory()) joined.push_back(id);
+
+  // Pre-compute a sample of live paths (traces) between random pairs.
+  struct PathSample {
+    graph::AsIndex src;
+    NodeId dest;
+    std::vector<graph::AsIndex> trace;
+  };
+  std::vector<PathSample> paths;
+  while (paths.size() < path_sample) {
+    const NodeId dest = joined[net.rng().index(joined.size())];
+    const NodeId src_id = joined[net.rng().index(joined.size())];
+    const auto src = net.home_of(src_id);
+    if (!src.has_value()) continue;
+    PathSample ps;
+    ps.src = *src;
+    ps.dest = dest;
+    const auto rs = net.route(*src, dest, &ps.trace);
+    if (rs.delivered) paths.push_back(std::move(ps));
+  }
+
+  // Candidate victims: stub ASes that host at least one ID.
+  std::vector<graph::AsIndex> stubs;
+  for (graph::AsIndex a = 0; a < topo.as_count(); ++a) {
+    if (net.base_topology().is_stub(a) && net.base_topology().host_count(a) > 0) {
+      stubs.push_back(a);
+    }
+  }
+  net.rng().shuffle(stubs);
+
+  print_banner(std::cout, "Section 6.3 failures: random stub-AS failures");
+  Table t({"failed AS", "IDs lost", "repair msgs", "msgs/ID",
+           "paths affected [%]"});
+  SampleSet unaffected_pct;
+  SampleSet msgs_per_id;
+  std::size_t done = 0;
+  for (const graph::AsIndex victim : stubs) {
+    if (done >= failures) break;
+    // Count pre-failure paths that traversed the victim.
+    std::size_t affected = 0;
+    for (const auto& ps : paths) {
+      if (ps.src == victim) continue;
+      if (std::find(ps.trace.begin(), ps.trace.end(), victim) !=
+          ps.trace.end()) {
+        ++affected;
+      }
+    }
+    const auto rs = net.fail_as(victim);
+    if (rs.ids_lost == 0) {
+      (void)net.restore_as(victim);
+      continue;
+    }
+    ++done;
+    const double affected_pct =
+        100.0 * static_cast<double>(affected) /
+        static_cast<double>(paths.size());
+    unaffected_pct.add(100.0 - affected_pct);
+    const double per_id = static_cast<double>(rs.messages) /
+                          static_cast<double>(rs.ids_lost);
+    msgs_per_id.add(per_id);
+    t.add_row({static_cast<std::int64_t>(victim),
+               static_cast<std::int64_t>(rs.ids_lost),
+               static_cast<std::int64_t>(rs.messages), per_id, affected_pct});
+    (void)net.restore_as(victim);
+  }
+  t.print(std::cout);
+  std::cout << "\nmean unaffected paths: " << unaffected_pct.mean()
+            << "% (paper: 99.998%)\n";
+  std::cout << "mean repair messages per hosted ID: " << msgs_per_id.mean()
+            << " (paper: repair ~= number of identifiers hosted, i.e. ~a few "
+               "messages per ID across its levels)\n";
+  std::string err;
+  const bool ok = net.verify_rings(&err);
+  std::cout << "rings consistent after all fail/restore cycles: "
+            << (ok ? "yes" : ("NO: " + err)) << "\n";
+  return ok ? 0 : 1;
+}

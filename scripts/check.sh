@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification: release build + tests, sanitizer build + tests, benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cmake -B build-asan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Extract the CSV mirrors from bench output into per-table files.
+
+Run the benches with ROFL_BENCH_CSV=1, pipe (or tee) the output here:
+
+    ROFL_BENCH_CSV=1 ./build/bench/fig6_stretch_cache | \
+        python3 scripts/extract_csv.py out/
+
+Each "== banner ==" section's CSV blocks are written to
+out/<slugified-banner>-<n>.csv.
+"""
+import pathlib
+import re
+import sys
+
+
+def slug(text: str) -> str:
+    text = re.sub(r"[^a-zA-Z0-9]+", "-", text.strip().lower())
+    return text.strip("-")[:60] or "table"
+
+
+def main() -> int:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_csv")
+    outdir.mkdir(parents=True, exist_ok=True)
+    banner = "output"
+    counts: dict[str, int] = {}
+    csv_lines: list[str] | None = None
+    written = 0
+    for line in sys.stdin:
+        line = line.rstrip("\n")
+        m = re.match(r"^== (.*) ==$", line)
+        if m:
+            banner = slug(m.group(1))
+            continue
+        if line == "--- csv ---":
+            csv_lines = []
+            continue
+        if line == "--- end csv ---" and csv_lines is not None:
+            counts[banner] = counts.get(banner, 0) + 1
+            path = outdir / f"{banner}-{counts[banner]}.csv"
+            path.write_text("\n".join(csv_lines) + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+            written += 1
+            csv_lines = None
+            continue
+        if csv_lines is not None:
+            csv_lines.append(line)
+        else:
+            print(line)  # pass the human-readable output through
+    print(f"[{written} csv file(s) in {outdir}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

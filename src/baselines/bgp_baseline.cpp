@@ -1,0 +1,43 @@
+#include "baselines/bgp_baseline.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace rofl::baselines {
+
+std::optional<std::uint32_t> shortest_as_hops(const graph::AsTopology& topo,
+                                              graph::AsIndex src,
+                                              graph::AsIndex dst) {
+  if (src == dst) return 0;
+  if (!topo.as_up(src) || !topo.as_up(dst)) return std::nullopt;
+  std::unordered_map<graph::AsIndex, std::uint32_t> dist;
+  dist[src] = 0;
+  std::deque<graph::AsIndex> frontier{src};
+  while (!frontier.empty()) {
+    const graph::AsIndex cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& adj : topo.adjacencies(cur)) {
+      if (!topo.as_up(adj.neighbor) || !topo.link_up(cur, adj.neighbor)) {
+        continue;
+      }
+      if (dist.contains(adj.neighbor)) continue;
+      dist[adj.neighbor] = dist[cur] + 1;
+      if (adj.neighbor == dst) return dist[adj.neighbor];
+      frontier.push_back(adj.neighbor);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> bgp_policy_stretch(const graph::AsTopology& topo,
+                                         graph::AsIndex src,
+                                         graph::AsIndex dst) {
+  const auto policy = bgp_policy_hops(topo, src, dst);
+  const auto shortest = shortest_as_hops(topo, src, dst);
+  if (!policy.has_value() || !shortest.has_value() || *shortest == 0) {
+    return std::nullopt;
+  }
+  return static_cast<double>(*policy) / static_cast<double>(*shortest);
+}
+
+}  // namespace rofl::baselines

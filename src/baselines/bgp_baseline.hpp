@@ -1,0 +1,34 @@
+// bgp_baseline.hpp -- BGP-policy baseline for the interdomain evaluation.
+//
+// Figure 8b plots "the stretch incurred today by BGP policies": the ratio of
+// the shortest valley-free (Gao-Rexford) policy path to the shortest
+// unconstrained AS path.  ROFL's own stretch is measured against the policy
+// path (section 6.1, "we consider stretch to be the ratio of the traversed
+// path to the path BGP would select"); this module supplies both quantities.
+#pragma once
+
+#include <optional>
+
+#include "graph/as_topology.hpp"
+#include "interdomain/policy.hpp"
+
+namespace rofl::baselines {
+
+/// Shortest unconstrained (policy-free) AS-hop distance, or nullopt if the
+/// graph is partitioned.
+[[nodiscard]] std::optional<std::uint32_t> shortest_as_hops(
+    const graph::AsTopology& topo, graph::AsIndex src, graph::AsIndex dst);
+
+/// BGP-policy path length (re-exported from the policy engine).
+[[nodiscard]] inline std::optional<std::uint32_t> bgp_policy_hops(
+    const graph::AsTopology& topo, graph::AsIndex src, graph::AsIndex dst) {
+  return inter::bgp_policy_hops(topo, src, dst);
+}
+
+/// The figure-8b "BGP-policy" series: policy-path length over shortest-path
+/// length for one pair.  nullopt when either is undefined or the pair is
+/// trivial (src == dst).
+[[nodiscard]] std::optional<double> bgp_policy_stretch(
+    const graph::AsTopology& topo, graph::AsIndex src, graph::AsIndex dst);
+
+}  // namespace rofl::baselines

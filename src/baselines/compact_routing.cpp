@@ -1,0 +1,111 @@
+#include "baselines/compact_routing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rofl::baselines {
+namespace {
+
+constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+CompactRouting::CompactRouting(const graph::Graph* g, Rng& rng,
+                               std::size_t landmarks)
+    : graph_(g) {
+  assert(g != nullptr);
+  const std::size_t n = g->node_count();
+  if (landmarks == 0) {
+    landmarks = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n) *
+                            std::log2(std::max<double>(2.0, static_cast<double>(n))))));
+  }
+  landmarks = std::min(landmarks, n);
+
+  // Sample distinct landmarks.
+  std::vector<graph::NodeIndex> order(n);
+  for (graph::NodeIndex i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  landmarks_.assign(order.begin(),
+                    order.begin() + static_cast<long>(landmarks));
+
+  // BFS from every landmark.
+  home_landmark_.assign(n, graph::kInvalidNode);
+  landmark_dist_.assign(n, kUnreached);
+  for (const graph::NodeIndex l : landmarks_) {
+    from_landmark_[l] = g->bfs_hops(l);
+    const auto& d = from_landmark_[l];
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (d[v] < landmark_dist_[v]) {
+        landmark_dist_[v] = d[v];
+        home_landmark_[v] = l;
+      }
+    }
+  }
+
+  // Clusters: v belongs to u's table iff d(u,v) < d(v, home_landmark(v)).
+  // (Computed by BFS from every node; the preprocessing is quadratic, which
+  // is fine at ISP scale and irrelevant to the scheme's *state* bounds.)
+  cluster_.resize(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    if (landmark_dist_[v] == kUnreached) continue;
+    const auto d = g->bfs_hops(v);
+    for (graph::NodeIndex u = 0; u < n; ++u) {
+      if (u == v || d[u] == kUnreached) continue;
+      if (d[u] < landmark_dist_[v]) {
+        cluster_[u].emplace(v, d[u]);
+      }
+    }
+  }
+}
+
+CompactRouting::RouteResult CompactRouting::route(graph::NodeIndex u,
+                                                  graph::NodeIndex v) const {
+  RouteResult res;
+  const auto direct = graph_->bfs_hops(u);  // oracle for the stretch metric
+  if (direct[v] == kUnreached) return res;
+  res.shortest = direct[v];
+  if (u == v) {
+    res.delivered = true;
+    return res;
+  }
+
+  // Direct table hit: v in u's cluster, or v is a landmark.
+  const auto it = cluster_[u].find(v);
+  if (it != cluster_[u].end()) {
+    res.delivered = true;
+    res.hops = it->second;
+    return res;
+  }
+  const auto lm = from_landmark_.find(v);
+  if (lm != from_landmark_.end()) {
+    res.delivered = true;
+    res.hops = lm->second[u];
+    return res;
+  }
+
+  // Otherwise route via v's home landmark (embedded in v's label).
+  const graph::NodeIndex home = home_landmark_[v];
+  if (home == graph::kInvalidNode) return res;
+  const auto& dl = from_landmark_.at(home);
+  if (dl[u] == kUnreached || dl[v] == kUnreached) return res;
+  res.delivered = true;
+  res.via_landmark = true;
+  res.hops = dl[u] + dl[v];
+  return res;
+}
+
+std::size_t CompactRouting::table_size(graph::NodeIndex u) const {
+  return landmarks_.size() + cluster_[u].size();
+}
+
+double CompactRouting::mean_table_size() const {
+  double total = 0.0;
+  for (graph::NodeIndex u = 0; u < graph_->node_count(); ++u) {
+    total += static_cast<double>(table_size(u));
+  }
+  return total / static_cast<double>(graph_->node_count());
+}
+
+}  // namespace rofl::baselines

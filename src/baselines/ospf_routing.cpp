@@ -1,0 +1,33 @@
+#include "baselines/ospf_routing.hpp"
+
+#include <algorithm>
+
+namespace rofl::baselines {
+
+OspfRouting::OspfRouting(const graph::IspTopology* topo)
+    : topo_(topo),
+      map_(const_cast<graph::Graph*>(&topo->graph), nullptr),
+      traversals_(topo->graph.node_count(), 0) {}
+
+void OspfRouting::attach_host(const NodeId& id, graph::NodeIndex gateway) {
+  bindings_[id] = gateway;
+}
+
+OspfRouting::RouteStats OspfRouting::route(graph::NodeIndex src,
+                                           const NodeId& dest) {
+  RouteStats stats;
+  const auto it = bindings_.find(dest);
+  if (it == bindings_.end()) return stats;
+  const auto path = map_.path(src, it->second);
+  if (path.empty()) return stats;
+  for (const graph::NodeIndex r : path) ++traversals_[r];
+  stats.delivered = true;
+  stats.physical_hops = static_cast<std::uint32_t>(path.size() - 1);
+  return stats;
+}
+
+void OspfRouting::reset_traversals() {
+  std::fill(traversals_.begin(), traversals_.end(), 0);
+}
+
+}  // namespace rofl::baselines

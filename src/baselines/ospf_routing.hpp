@@ -1,0 +1,49 @@
+// ospf_routing.hpp -- shortest-path (OSPF) host routing baseline.
+//
+// Figure 6b compares ROFL's per-router load against plain shortest-path
+// routing: "for a particular x value, we plot the load at the i-th most
+// congested router in an OSPF network, and the load under ROFL for that same
+// router."  This baseline forwards host traffic along IGP shortest paths and
+// counts per-router traversals for that comparison; it is also the stretch-1
+// reference used by figure 6a's ratio.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/isp_topology.hpp"
+#include "linkstate/link_state.hpp"
+#include "util/node_id.hpp"
+
+namespace rofl::baselines {
+
+class OspfRouting {
+ public:
+  explicit OspfRouting(const graph::IspTopology* topo);
+
+  /// Attaches a host binding (no protocol cost modeled; OSPF routes to
+  /// routers, host bindings ride on top).
+  void attach_host(const NodeId& id, graph::NodeIndex gateway);
+
+  struct RouteStats {
+    bool delivered = false;
+    std::uint32_t physical_hops = 0;
+  };
+  /// Routes along the shortest path and increments the traversal counter of
+  /// every router on it (including the endpoints).
+  RouteStats route(graph::NodeIndex src, const NodeId& dest);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& traversals() const {
+    return traversals_;
+  }
+  void reset_traversals();
+
+ private:
+  const graph::IspTopology* topo_;
+  linkstate::LinkStateMap map_;
+  std::map<NodeId, graph::NodeIndex> bindings_;
+  std::vector<std::uint64_t> traversals_;
+};
+
+}  // namespace rofl::baselines

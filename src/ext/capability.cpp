@@ -1,0 +1,104 @@
+#include "ext/capability.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rofl::ext {
+namespace {
+
+void feed_id(Sha256& h, const NodeId& id) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<size_t>(i)] =
+        static_cast<std::uint8_t>(id.hi() >> (56 - 8 * i));
+    bytes[static_cast<size_t>(8 + i)] =
+        static_cast<std::uint8_t>(id.lo() >> (56 - 8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+}  // namespace
+
+CapabilityIssuer::CapabilityIssuer(const Identity& host) : host_(host) {}
+
+Sha256::Digest CapabilityIssuer::mint(const NodeId& source,
+                                      double expiry_ms) const {
+  Sha256 h;
+  const PrivateKey& key = host_.private_key();
+  h.update(std::span<const std::uint8_t>(key.data(), key.size()));
+  feed_id(h, source);
+  feed_id(h, host_.id());
+  std::uint64_t expiry_bits = 0;
+  static_assert(sizeof(expiry_bits) == sizeof(expiry_ms));
+  std::memcpy(&expiry_bits, &expiry_ms, sizeof(expiry_bits));
+  std::array<std::uint8_t, 8> eb{};
+  for (int i = 0; i < 8; ++i) {
+    eb[static_cast<size_t>(i)] =
+        static_cast<std::uint8_t>(expiry_bits >> (56 - 8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(eb.data(), eb.size()));
+  return h.finish();
+}
+
+Capability CapabilityIssuer::issue(const NodeId& source, double now_ms,
+                                   double lifetime_ms) const {
+  Capability cap;
+  cap.source = source;
+  cap.destination = host_.id();
+  cap.expiry_ms = now_ms + lifetime_ms;
+  cap.token = mint(source, cap.expiry_ms);
+  return cap;
+}
+
+bool CapabilityIssuer::validate(const Capability& cap, const NodeId& source,
+                                double now_ms) const {
+  if (cap.destination != host_.id()) return false;
+  if (cap.source != source) return false;
+  if (now_ms > cap.expiry_ms) return false;
+  return cap.token == mint(cap.source, cap.expiry_ms);
+}
+
+void DefaultOffFilter::register_host(const NodeId& host) {
+  registered_.insert(host);
+}
+
+void DefaultOffFilter::protect(const NodeId& host,
+                               const CapabilityIssuer* issuer) {
+  issuers_[host] = issuer;
+}
+
+bool DefaultOffFilter::registered(const NodeId& host) const {
+  return registered_.contains(host);
+}
+
+bool DefaultOffFilter::protected_host(const NodeId& host) const {
+  return issuers_.contains(host);
+}
+
+intra::RouteStats DefaultOffFilter::guarded_route(intra::Network& net,
+                                                  graph::NodeIndex src_router,
+                                                  const NodeId& source,
+                                                  const NodeId& dest,
+                                                  const Capability* cap) const {
+  // "We require that hosts explicitly register with their providers and
+  // traffic to a host not registered with its provider be dropped."
+  if (!registered_.contains(dest)) return {};
+  const auto it = issuers_.find(dest);
+  if (it != issuers_.end()) {
+    const double now = net.simulator().now_ms();
+    if (cap == nullptr || !it->second->validate(*cap, source, now)) {
+      return {};  // dropped before consuming data-plane resources
+    }
+  }
+  return net.route(src_router, dest);
+}
+
+bool path_compliant(const PathCapability& cap,
+                    const std::vector<graph::AsIndex>& traversed) {
+  return std::all_of(traversed.begin(), traversed.end(), [&](graph::AsIndex a) {
+    return std::find(cap.allowed_ases.begin(), cap.allowed_ases.end(), a) !=
+           cap.allowed_ases.end();
+  });
+}
+
+}  // namespace rofl::ext

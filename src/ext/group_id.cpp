@@ -1,0 +1,20 @@
+#include "ext/group_id.hpp"
+
+namespace rofl::ext {
+
+GroupId::GroupId(const Identity& group_identity) : identity_(group_identity) {
+  const NodeId gid = group_identity.id();
+  base_ = NodeId::compose(gid, kGroupPrefixBits, 0, 0, /*fill_ones=*/false);
+  high_ = NodeId::compose(gid, kGroupPrefixBits, 0, 0, /*fill_ones=*/true);
+}
+
+NodeId GroupId::with_suffix(std::uint32_t suffix) const {
+  return NodeId::compose(base_, kGroupPrefixBits, suffix,
+                         128 - kGroupPrefixBits, /*fill_ones=*/false);
+}
+
+bool GroupId::contains(const NodeId& id) const {
+  return id.common_prefix_len(base_) >= kGroupPrefixBits;
+}
+
+}  // namespace rofl::ext

@@ -1,0 +1,47 @@
+// group_id.hpp -- (G, x) group identifiers for anycast and multicast
+// (section 5.2).
+//
+// "Servers belonging to group G join with ID (G, x)": the identifier space
+// is split into a group prefix G (derived from the group's shared key, so
+// the group identity stays self-certifying) and a variable suffix x.  Hosts
+// then route to (G, r) for arbitrary r; intermediate routers treat all
+// suffixes of G equally.
+#pragma once
+
+#include <cstdint>
+
+#include "util/identity.hpp"
+#include "util/node_id.hpp"
+
+namespace rofl::ext {
+
+/// Number of ID bits that form the group prefix G; the remaining bits are
+/// the per-member / per-packet suffix x.
+inline constexpr unsigned kGroupPrefixBits = 96;
+
+class GroupId {
+ public:
+  /// Derives the group from its shared identity (all members hold the
+  /// group's key pair, which is how membership is authenticated).
+  explicit GroupId(const Identity& group_identity);
+
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+
+  /// The lowest ID of the group's range: (G, 0).
+  [[nodiscard]] NodeId base() const { return base_; }
+  /// The highest ID of the group's range: (G, 2^32-1).
+  [[nodiscard]] NodeId high() const { return high_; }
+
+  /// The member/packet ID (G, suffix).
+  [[nodiscard]] NodeId with_suffix(std::uint32_t suffix) const;
+
+  /// True iff `id` carries this group's prefix.
+  [[nodiscard]] bool contains(const NodeId& id) const;
+
+ private:
+  Identity identity_;
+  NodeId base_;
+  NodeId high_;
+};
+
+}  // namespace rofl::ext

@@ -1,0 +1,78 @@
+// multicast.hpp -- multicast over ROFL (section 5.2).
+//
+// "A host wishing to join the multicast group G sends an anycast request
+// towards a nearby member of G.  At each hop, the message adds a pointer
+// corresponding to the group pointing back along the reverse path (path
+// painting).  If the message intersects a router that is already part of the
+// group, the packet does not traverse any further.  The end result is a tree
+// composed of bidirectional links."  Senders forward copies out all tree
+// links except the arrival link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ext/anycast.hpp"
+#include "ext/group_id.hpp"
+#include "rofl/network.hpp"
+
+namespace rofl::ext {
+
+class MulticastGroup {
+ public:
+  explicit MulticastGroup(GroupId g) : group_(std::move(g)) {}
+
+  /// Single-source mode (section 5.2): "a more efficient tree can be
+  /// constructed by having nodes route towards the source."  Must be set
+  /// before the first join; the first member is expected at the source.
+  void set_single_source(graph::NodeIndex source_router) {
+    source_ = source_router;
+  }
+
+  struct JoinStats {
+    bool ok = false;
+    std::uint64_t messages = 0;
+    bool intersected_tree = false;  // stopped early at an existing branch
+  };
+
+  /// Joins the host attached at `gateway`: the first member seeds the tree
+  /// (and registers (G, suffix) in the ring so later anycast joins find it);
+  /// later members paint the anycast path toward the nearest branch.
+  JoinStats join(intra::Network& net, graph::NodeIndex gateway,
+                 std::uint32_t suffix);
+
+  /// Leaves: prunes the member flag and any now-dangling leaf branches.
+  void leave(intra::Network& net, graph::NodeIndex gateway);
+
+  struct SendStats {
+    std::uint32_t copies = 0;            // link transmissions on the tree
+    std::uint32_t members_reached = 0;   // member routers receiving the packet
+  };
+
+  /// Multicasts one packet from a member at `from_gateway` along the painted
+  /// tree.
+  SendStats send(intra::Network& net, graph::NodeIndex from_gateway) const;
+
+  [[nodiscard]] const std::set<graph::NodeIndex>& member_routers() const {
+    return members_;
+  }
+  [[nodiscard]] std::size_t tree_router_count() const { return adj_.size(); }
+
+  /// Structural invariant: the painted links form one connected acyclic
+  /// component covering all members.
+  [[nodiscard]] bool verify_tree() const;
+
+ private:
+  void paint(graph::NodeIndex a, graph::NodeIndex b);
+
+  GroupId group_;
+  std::optional<graph::NodeIndex> source_;
+  std::uint32_t seed_suffix_ = 0;
+  // Bidirectional group pointers per router (section 5.2).
+  std::map<graph::NodeIndex, std::set<graph::NodeIndex>> adj_;
+  std::set<graph::NodeIndex> members_;
+};
+
+}  // namespace rofl::ext

@@ -1,0 +1,68 @@
+#include "ext/traffic_control.hpp"
+
+#include <algorithm>
+
+namespace rofl::ext {
+
+std::vector<graph::AsIndex> negotiable_ases(const inter::InterNetwork& net,
+                                            graph::AsIndex src_as,
+                                            graph::AsIndex dst_as) {
+  const auto& topo = net.work_topology();
+  const auto up_s = topo.up_hierarchy(src_as);
+  const auto up_d = topo.up_hierarchy(dst_as);
+  std::vector<graph::AsIndex> common;
+  for (const graph::AsIndex a : up_d.nodes) {  // destination-side ordering
+    if (up_s.contains(a)) common.push_back(a);
+  }
+  std::stable_sort(common.begin(), common.end(),
+                   [&](graph::AsIndex a, graph::AsIndex b) {
+                     return up_d.level.at(a) < up_d.level.at(b);
+                   });
+  return common;
+}
+
+NegotiatedRouteResult route_negotiated(
+    inter::InterNetwork& net, graph::AsIndex src_as, const NodeId& dest,
+    const std::vector<graph::AsIndex>& allowed) {
+  NegotiatedRouteResult result;
+  std::vector<graph::AsIndex> trace;
+  result.stats = net.route(src_as, dest, &trace);
+  if (!result.stats.delivered) return result;
+
+  const auto dst_home = net.home_of(dest);
+  const auto& topo = net.work_topology();
+  // Compliance: every transit AS lies in the negotiated set or in the
+  // customer subtree of one of its members (traffic below an allowed
+  // ancestor is that ancestor's business).
+  result.compliant = std::all_of(
+      trace.begin(), trace.end(), [&](graph::AsIndex t) {
+        if (topo.is_virtual(t)) return true;
+        if (t == src_as || (dst_home.has_value() && t == *dst_home)) return true;
+        return std::any_of(allowed.begin(), allowed.end(),
+                           [&](graph::AsIndex w) {
+                             return w == t || topo.in_subtree(w, t);
+                           });
+      });
+  return result;
+}
+
+TeBinding te_multihomed_join(inter::InterNetwork& net,
+                             const GroupId& host_group, graph::AsIndex home) {
+  TeBinding binding;
+  binding.providers = net.work_topology().providers(home);
+  std::uint32_t suffix = 0;
+  for (const graph::AsIndex provider : binding.providers) {
+    const NodeId id = host_group.with_suffix(suffix++);
+    const auto js = net.join_group_id(id, home, inter::JoinStrategy::kSingleHomed,
+                                      provider);
+    if (js.ok) {
+      binding.ids.push_back(id);
+      binding.join_messages += js.messages;
+    } else {
+      binding.ids.push_back(NodeId{});
+    }
+  }
+  return binding;
+}
+
+}  // namespace rofl::ext

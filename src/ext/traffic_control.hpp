@@ -1,0 +1,56 @@
+// traffic_control.hpp -- routing control extensions (section 5.1).
+//
+// Two mechanisms:
+//   * endpoint-based negotiation -- source and destination exchange their
+//     (small) up-hierarchies with the first packets of a session and agree
+//     on the subset of ASes allowed to carry the flow; the negotiated set
+//     restricts which earliest-common-ancestor subtrees packets may use;
+//   * traffic-engineering suffixes -- a multihomed host joins IDs (G, x_k),
+//     one per provider; senders or intermediate routers vary the suffix to
+//     steer which access link incoming traffic arrives on (this also
+//     implements multi-address multihoming from section 4.2).
+#pragma once
+
+#include <vector>
+
+#include "ext/group_id.hpp"
+#include "interdomain/inter_network.hpp"
+
+namespace rofl::ext {
+
+/// The candidate transit set for a session: ASes in the intersection of the
+/// two endpoints' up-hierarchies ("all paths that can be used to reach AS X
+/// from AS Y traverse ASes in the intersection of X's and Y's
+/// up-hierarchies").  Ordered by level above the destination, so a prefix of
+/// the result is the natural "destination selects a subset" choice.
+[[nodiscard]] std::vector<graph::AsIndex> negotiable_ases(
+    const inter::InterNetwork& net, graph::AsIndex src_as,
+    graph::AsIndex dst_as);
+
+struct NegotiatedRouteResult {
+  inter::InterRouteStats stats;
+  /// True iff every transit AS on the path is covered by the negotiated set
+  /// (i.e. lies in it or under one of its members).
+  bool compliant = false;
+};
+
+/// Routes with the normal protocol, then checks the traversed path against
+/// the negotiated set (the destination would drop non-compliant packets).
+NegotiatedRouteResult route_negotiated(
+    inter::InterNetwork& net, graph::AsIndex src_as, const NodeId& dest,
+    const std::vector<graph::AsIndex>& allowed);
+
+/// Traffic-engineering suffixes: joins (G, x_k) for each of the home AS's
+/// k providers, each single-homed *through that provider's branch*.  Returns
+/// the per-provider member IDs (index-aligned with `providers`).
+struct TeBinding {
+  std::vector<graph::AsIndex> providers;
+  std::vector<NodeId> ids;  // ids[k] is reachable preferentially via providers[k]
+  std::uint64_t join_messages = 0;
+};
+
+[[nodiscard]] TeBinding te_multihomed_join(inter::InterNetwork& net,
+                                           const GroupId& host_group,
+                                           graph::AsIndex home);
+
+}  // namespace rofl::ext

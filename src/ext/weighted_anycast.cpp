@@ -1,0 +1,57 @@
+#include "ext/weighted_anycast.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rofl::ext {
+
+void WeightedAnycast::add_replica(graph::NodeIndex gateway, double weight) {
+  assert(weight > 0.0);
+  assert(!deployed_);
+  replicas_.push_back(Replica{gateway, weight, 0, NodeId{}});
+}
+
+bool WeightedAnycast::deploy(intra::Network& net) {
+  if (replicas_.empty() || deployed_) return false;
+  double total = 0.0;
+  for (const Replica& r : replicas_) total += r.weight;
+  // Assign each replica the TOP suffix of its range: greedy routing to a
+  // uniform (G, r) stops at the smallest member suffix >= ...; with
+  // closest-without-overshoot semantics, (G, r) is absorbed by the member
+  // whose suffix is the largest <= r -- so place members at range *bottoms*
+  // shifted by one: the owner of [bottom, next_bottom) is the member at
+  // `bottom`.  Range widths are proportional to weight.
+  const double span = 4294967296.0;  // 2^32 suffixes
+  double acc = 0.0;
+  for (Replica& r : replicas_) {
+    r.suffix = static_cast<std::uint32_t>(std::floor(acc / total * span));
+    r.member_id = group_.with_suffix(r.suffix);
+    acc += r.weight;
+  }
+  for (Replica& r : replicas_) {
+    const auto js = anycast_join(net, group_, r.suffix, r.gateway);
+    if (!js.ok) return false;
+  }
+  deployed_ = true;
+  return true;
+}
+
+AnycastResult WeightedAnycast::send(intra::Network& net, graph::NodeIndex src,
+                                    Rng& rng) const {
+  const auto r = static_cast<std::uint32_t>(rng.below(1ull << 32));
+  // Ownership-exact delivery: load must follow the suffix split, not the
+  // placement luck of whichever replica sits on more shortest paths.
+  return anycast_route(net, src, group_, r, /*absorb_en_route=*/false);
+}
+
+const WeightedAnycast::Replica* WeightedAnycast::owner_of(
+    std::uint32_t suffix) const {
+  if (replicas_.empty()) return nullptr;
+  const Replica* best = &replicas_.back();  // wrap: below first range
+  for (const Replica& r : replicas_) {
+    if (r.suffix <= suffix) best = &r;
+  }
+  return best;
+}
+
+}  // namespace rofl::ext

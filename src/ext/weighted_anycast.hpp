@@ -1,0 +1,57 @@
+// weighted_anycast.hpp -- i3-style anycast load balancing (section 5.2).
+//
+// "This style of anycast can be extended to perform more advanced functions
+// (e.g. load balancing) by modifying X, Y and the size of G in a manner
+// similar to the approach taken in i3."
+//
+// The suffix space of a group (G, x) is carved into contiguous ranges whose
+// widths are proportional to replica capacities.  Each replica joins at the
+// TOP of its range; clients steer packets to (G, r) for uniformly random r,
+// and greedy forwarding's closest-without-overshoot rule delivers to the
+// owner of the range r falls into -- so load follows capacity with no
+// coordination and no extra state.
+#pragma once
+
+#include <vector>
+
+#include "ext/anycast.hpp"
+#include "ext/group_id.hpp"
+
+namespace rofl::ext {
+
+class WeightedAnycast {
+ public:
+  explicit WeightedAnycast(GroupId group) : group_(std::move(group)) {}
+
+  struct Replica {
+    graph::NodeIndex gateway;
+    double weight;        // relative capacity
+    std::uint32_t suffix;  // top of the assigned range (assigned by plan())
+    NodeId member_id;
+  };
+
+  /// Declares a replica with a relative capacity weight (> 0).
+  void add_replica(graph::NodeIndex gateway, double weight);
+
+  /// Carves the suffix space proportionally and joins every replica.
+  /// Returns false if any join failed.
+  bool deploy(intra::Network& net);
+
+  [[nodiscard]] const std::vector<Replica>& replicas() const {
+    return replicas_;
+  }
+
+  /// Client-side send: picks r uniformly at random and routes to (G, r).
+  AnycastResult send(intra::Network& net, graph::NodeIndex src, Rng& rng) const;
+
+  /// The replica whose range contains `suffix` (the analytical owner; what
+  /// greedy delivery converges to).
+  [[nodiscard]] const Replica* owner_of(std::uint32_t suffix) const;
+
+ private:
+  GroupId group_;
+  std::vector<Replica> replicas_;
+  bool deployed_ = false;
+};
+
+}  // namespace rofl::ext

@@ -1,0 +1,331 @@
+#include "graph/as_topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+#include <tuple>
+
+namespace rofl::graph {
+
+unsigned UpHierarchy::height() const {
+  unsigned h = 0;
+  for (const auto& [as, lvl] : level) h = std::max(h, lvl);
+  return h;
+}
+
+bool AsTopology::is_stub(AsIndex a) const {
+  return customers(a, /*include_backup=*/true).empty();
+}
+
+std::uint64_t AsTopology::total_hosts() const {
+  return std::accumulate(hosts_.begin(), hosts_.end(), std::uint64_t{0});
+}
+
+std::vector<AsIndex> AsTopology::providers(AsIndex a, bool include_backup) const {
+  std::vector<AsIndex> out;
+  for (const auto& adj : adj_[a]) {
+    if (adj.rel == AsRel::kProvider ||
+        (include_backup && adj.rel == AsRel::kBackupProvider)) {
+      out.push_back(adj.neighbor);
+    }
+  }
+  return out;
+}
+
+std::vector<AsIndex> AsTopology::customers(AsIndex a, bool include_backup) const {
+  std::vector<AsIndex> out;
+  for (const auto& adj : adj_[a]) {
+    if (adj.rel == AsRel::kCustomer ||
+        (include_backup && adj.rel == AsRel::kBackupCustomer)) {
+      out.push_back(adj.neighbor);
+    }
+  }
+  return out;
+}
+
+std::vector<AsIndex> AsTopology::peers(AsIndex a) const {
+  std::vector<AsIndex> out;
+  for (const auto& adj : adj_[a]) {
+    if (adj.rel == AsRel::kPeer) out.push_back(adj.neighbor);
+  }
+  return out;
+}
+
+std::optional<AsRel> AsTopology::relationship(AsIndex a, AsIndex b) const {
+  for (const auto& adj : adj_[a]) {
+    if (adj.neighbor == b) return adj.rel;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t AsTopology::link_key(AsIndex a, AsIndex b) {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return (std::uint64_t{hi} << 32) | lo;
+}
+
+void AsTopology::set_link_up(AsIndex a, AsIndex b, bool up) {
+  if (up) {
+    link_down_.erase(link_key(a, b));
+  } else {
+    link_down_[link_key(a, b)] = true;
+  }
+}
+
+bool AsTopology::link_up(AsIndex a, AsIndex b) const {
+  if (!up_[a] || !up_[b]) return false;
+  return !link_down_.contains(link_key(a, b));
+}
+
+UpHierarchy AsTopology::up_hierarchy(AsIndex x, bool include_backup) const {
+  UpHierarchy g;
+  g.root = x;
+  if (!up_[x]) return g;
+  std::deque<AsIndex> frontier{x};
+  g.level[x] = 0;
+  g.nodes.push_back(x);
+  while (!frontier.empty()) {
+    const AsIndex cur = frontier.front();
+    frontier.pop_front();
+    for (AsIndex p : providers(cur, include_backup)) {
+      if (!up_[p] || !link_up(cur, p)) continue;
+      g.edges.emplace_back(cur, p);
+      if (!g.level.contains(p)) {
+        g.level[p] = g.level[cur] + 1;
+        g.nodes.push_back(p);
+        frontier.push_back(p);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<AsIndex> AsTopology::customer_subtree(AsIndex a) const {
+  std::vector<AsIndex> out;
+  if (!up_[a]) return out;
+  std::vector<bool> seen(adj_.size(), false);
+  std::deque<AsIndex> frontier{a};
+  seen[a] = true;
+  while (!frontier.empty()) {
+    const AsIndex cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    for (AsIndex c : customers(cur, /*include_backup=*/true)) {
+      if (seen[c] || !up_[c] || !link_up(cur, c)) continue;
+      seen[c] = true;
+      frontier.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool AsTopology::in_subtree(AsIndex root, AsIndex member) const {
+  // Walk member's up-hierarchy; cheaper than materialising root's subtree.
+  const auto g = up_hierarchy(member, /*include_backup=*/true);
+  return g.contains(root);
+}
+
+std::vector<AsIndex> AsTopology::common_ancestors(AsIndex x, AsIndex y) const {
+  const auto gx = up_hierarchy(x, /*include_backup=*/true);
+  const auto gy = up_hierarchy(y, /*include_backup=*/true);
+  std::vector<AsIndex> common;
+  for (AsIndex a : gx.nodes) {
+    if (gy.contains(a)) common.push_back(a);
+  }
+  if (common.empty()) return common;
+  // Keep only the "earliest" ancestors: minimal combined level.
+  unsigned best = ~0u;
+  for (AsIndex a : common) best = std::min(best, gx.level.at(a) + gy.level.at(a));
+  std::vector<AsIndex> out;
+  for (AsIndex a : common) {
+    if (gx.level.at(a) + gy.level.at(a) == best) out.push_back(a);
+  }
+  return out;
+}
+
+AsIndex AsTopology::add_as(unsigned tier, bool is_virtual) {
+  adj_.emplace_back();
+  tier_.push_back(tier);
+  hosts_.push_back(0);
+  up_.push_back(true);
+  is_virtual_.push_back(is_virtual);
+  return static_cast<AsIndex>(adj_.size() - 1);
+}
+
+void AsTopology::add_link(AsIndex a, AsIndex b, AsRel rel_of_b_from_a) {
+  assert(a < adj_.size() && b < adj_.size() && a != b);
+  if (relationship(a, b).has_value()) return;  // no parallel links
+  adj_[a].push_back(AsAdjacency{b, rel_of_b_from_a});
+  adj_[b].push_back(AsAdjacency{a, reverse_rel(rel_of_b_from_a)});
+}
+
+void AsTopology::remove_link(AsIndex a, AsIndex b) {
+  auto erase_from = [](std::vector<AsAdjacency>& v, AsIndex n) {
+    std::erase_if(v, [n](const AsAdjacency& adj) { return adj.neighbor == n; });
+  };
+  erase_from(adj_[a], b);
+  erase_from(adj_[b], a);
+}
+
+AsTopology AsTopology::make_internet_like(const AsGenParams& p, Rng& rng) {
+  AsTopology t;
+  std::vector<AsIndex> tier1, tier2, tier3, stubs;
+  for (std::size_t i = 0; i < p.tier1_count; ++i) tier1.push_back(t.add_as(1));
+  for (std::size_t i = 0; i < p.tier2_count; ++i) tier2.push_back(t.add_as(2));
+  for (std::size_t i = 0; i < p.tier3_count; ++i) tier3.push_back(t.add_as(3));
+  for (std::size_t i = 0; i < p.stub_count; ++i) stubs.push_back(t.add_as(4));
+
+  // Tier-1 clique: full mesh of peering links.
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      t.add_link(tier1[i], tier1[j], AsRel::kPeer);
+    }
+  }
+
+  auto attach = [&](AsIndex child, const std::vector<AsIndex>& pool) {
+    // Primary provider plus optional multihoming, possibly as backup.
+    const AsIndex primary = pool[rng.index(pool.size())];
+    t.add_link(child, primary, AsRel::kProvider);
+    if (rng.chance(p.multihome_prob) && pool.size() > 1) {
+      const unsigned extra = 1 + static_cast<unsigned>(rng.below(2));
+      for (unsigned e = 0; e < extra; ++e) {
+        AsIndex other = pool[rng.index(pool.size())];
+        if (other == primary || t.relationship(child, other).has_value()) continue;
+        const bool backup = rng.chance(p.backup_prob);
+        t.add_link(child, other,
+                   backup ? AsRel::kBackupProvider : AsRel::kProvider);
+      }
+    }
+  };
+
+  for (AsIndex a : tier2) attach(a, tier1);
+  // Tier-3 buys mostly from tier-2 but occasionally directly from tier-1.
+  for (AsIndex a : tier3) attach(a, rng.chance(0.15) ? tier1 : tier2);
+  // Stubs buy from tier-2/3.
+  for (AsIndex a : stubs) attach(a, rng.chance(0.35) ? tier2 : tier3);
+
+  // Sideways peering.
+  auto add_peering = [&](const std::vector<AsIndex>& tier, double prob) {
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier.size(); ++j) {
+        if (rng.chance(prob) && !t.relationship(tier[i], tier[j])) {
+          t.add_link(tier[i], tier[j], AsRel::kPeer);
+        }
+      }
+    }
+  };
+  add_peering(tier2, p.tier2_peering_prob);
+  add_peering(tier3, p.tier3_peering_prob);
+
+  // Host counts: heavy-tailed across the edge (stubs + tier3), light in the
+  // core, normalised to total_hosts -- the skitter-estimate stand-in.
+  std::vector<AsIndex> edge_ases = stubs;
+  edge_ases.insert(edge_ases.end(), tier3.begin(), tier3.end());
+  rng.shuffle(edge_ases);
+  const ZipfSampler zipf(edge_ases.size(), p.host_zipf_s);
+  double mass_total = 0.0;
+  std::vector<double> mass(edge_ases.size());
+  for (std::size_t i = 0; i < edge_ases.size(); ++i) {
+    mass[i] = zipf.pmf(i);
+    mass_total += mass[i];
+  }
+  for (std::size_t i = 0; i < edge_ases.size(); ++i) {
+    const auto hosts = static_cast<std::uint64_t>(
+        static_cast<double>(p.total_hosts) * mass[i] / mass_total);
+    t.hosts_[edge_ases[i]] = std::max<std::uint64_t>(1, hosts);
+  }
+  return t;
+}
+
+AsTopology AsTopology::from_links(
+    std::size_t as_count,
+    const std::vector<std::tuple<AsIndex, AsIndex, AsRel>>& links) {
+  AsTopology t;
+  for (std::size_t i = 0; i < as_count; ++i) t.add_as(0);
+  for (const auto& [a, b, rel] : links) t.add_link(a, b, rel);
+  // tier := 1 + height of the AS's up-hierarchy, so providers get lower
+  // numbers (1 = core) and stubs the highest.
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    t.tier_[a] = 1 + t.up_hierarchy(a).height();
+    t.hosts_[a] = 1;
+  }
+  return t;
+}
+
+AsTopology AsTopology::with_virtual_peering_ases(
+    std::vector<std::pair<AsIndex, std::vector<AsIndex>>>* virtual_for) const {
+  AsTopology t = *this;
+  // Find peering "cliques": maximal groups where every pair peers.  We grow
+  // greedily from each unassigned peering link; the Tier-1 full mesh thus
+  // collapses into a single virtual AS as the paper notes.
+  std::unordered_map<std::uint64_t, bool> used;
+  std::vector<std::vector<AsIndex>> cliques;
+  for (AsIndex a = 0; a < as_count(); ++a) {
+    for (AsIndex b : peers(a)) {
+      if (a >= b) continue;
+      const auto key = link_key(a, b);
+      if (used.contains(key)) continue;
+      std::vector<AsIndex> clique{a, b};
+      for (AsIndex c : peers(a)) {
+        if (c == b) continue;
+        const bool peers_all = std::all_of(
+            clique.begin(), clique.end(), [&](AsIndex m) {
+              return relationship(c, m) == AsRel::kPeer;
+            });
+        if (peers_all) clique.push_back(c);
+      }
+      for (std::size_t i = 0; i < clique.size(); ++i) {
+        for (std::size_t j = i + 1; j < clique.size(); ++j) {
+          used[link_key(clique[i], clique[j])] = true;
+        }
+      }
+      cliques.push_back(std::move(clique));
+    }
+  }
+  for (const auto& clique : cliques) {
+    unsigned min_tier = ~0u;
+    for (AsIndex m : clique) min_tier = std::min(min_tier, tier(m));
+    const AsIndex v = t.add_as(min_tier == 0 ? 0 : min_tier - 1,
+                               /*is_virtual=*/true);
+    for (AsIndex m : clique) {
+      // Virtual AS acts as provider of each clique member...
+      t.add_link(m, v, AsRel::kProvider);
+      // ...and as customer of each member's (real) providers.
+      for (AsIndex prov : providers(m)) {
+        t.add_link(v, prov, AsRel::kProvider);
+      }
+      // The original peering links disappear from the converted graph.
+      for (AsIndex other : clique) {
+        if (m < other) t.remove_link(m, other);
+      }
+    }
+    if (virtual_for != nullptr) virtual_for->emplace_back(v, clique);
+  }
+  return t;
+}
+
+std::vector<unsigned> AsTopology::infer_tiers_by_degree() const {
+  // Rank by total degree and cut at the generation-time tier proportions --
+  // a simplified stand-in for the Subramanian et al. inference pass.
+  std::vector<AsIndex> order(as_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](AsIndex a, AsIndex b) {
+    return adj_[a].size() > adj_[b].size();
+  });
+  std::vector<unsigned> inferred(as_count(), 4);
+  std::size_t t1 = 0, t2 = 0, t3 = 0;
+  for (unsigned tv : tier_) {
+    if (tv <= 1) ++t1;
+    else if (tv == 2) ++t2;
+    else if (tv == 3) ++t3;
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < t1) inferred[order[i]] = 1;
+    else if (i < t1 + t2) inferred[order[i]] = 2;
+    else if (i < t1 + t2 + t3) inferred[order[i]] = 3;
+  }
+  return inferred;
+}
+
+}  // namespace rofl::graph

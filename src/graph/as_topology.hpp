@@ -1,0 +1,181 @@
+// as_topology.hpp -- Internet-like AS-level topology with policy annotations.
+//
+// The interdomain evaluation (section 6.3) runs over the Routeviews AS graph
+// with customer/provider relationships inferred by the Subramanian et al.
+// tool and per-AS host counts estimated from skitter traces.  This module
+// provides the synthetic equivalent (see DESIGN.md): a tiered AS graph --
+// a Tier-1 clique fully meshed with peering links, transit tiers that buy
+// from the tier above and peer sideways, and a large stub fringe, some of it
+// multihomed and some with backup links -- plus a Zipf host-count model and a
+// degree-based hierarchy-inference pass that mirrors how the paper's input
+// was produced.
+//
+// It also computes the structures the ROFL interdomain protocol consumes:
+//   * G_X, the up-hierarchy graph of an AS (providers, their providers, ...,
+//     section 2.3), with per-AS levels;
+//   * customer subtrees ("down-hierarchies"), which define the merged ring
+//     at each level of the Canon construction (section 4.1);
+//   * the virtual-AS transformation for peering links (section 4.2, fig 4a).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rofl::graph {
+
+using AsIndex = std::uint32_t;
+inline constexpr AsIndex kInvalidAs = 0xFFFFFFFFu;
+
+/// Relationship of a neighbor from the local AS's perspective.
+enum class AsRel : std::uint8_t {
+  kProvider,        // neighbor is my (primary) provider
+  kCustomer,        // neighbor is my customer
+  kPeer,            // settlement-free peer
+  kBackupProvider,  // provider used only on failure (section 4.2 backup)
+  kBackupCustomer,  // reverse view of a backup link
+};
+
+[[nodiscard]] constexpr AsRel reverse_rel(AsRel r) {
+  switch (r) {
+    case AsRel::kProvider: return AsRel::kCustomer;
+    case AsRel::kCustomer: return AsRel::kProvider;
+    case AsRel::kPeer: return AsRel::kPeer;
+    case AsRel::kBackupProvider: return AsRel::kBackupCustomer;
+    case AsRel::kBackupCustomer: return AsRel::kBackupProvider;
+  }
+  return AsRel::kPeer;
+}
+
+struct AsAdjacency {
+  AsIndex neighbor = kInvalidAs;
+  AsRel rel = AsRel::kPeer;
+};
+
+struct AsGenParams {
+  std::size_t tier1_count = 8;
+  std::size_t tier2_count = 60;
+  std::size_t tier3_count = 250;
+  std::size_t stub_count = 1200;
+  /// Probability a non-tier1 AS is multihomed (2+ providers).
+  double multihome_prob = 0.45;
+  /// Probability a multihomed AS marks one provider link as backup-only.
+  double backup_prob = 0.2;
+  /// Probability of a sideways peering link between same-tier ASes, scaled
+  /// by tier (denser near the core).
+  double tier2_peering_prob = 0.08;
+  double tier3_peering_prob = 0.01;
+  /// Zipf exponent for host counts across stubs/regionals.
+  double host_zipf_s = 1.1;
+  std::uint64_t total_hosts = 10'000'000;
+};
+
+/// The "up-hierarchy" graph G_X of section 2.3: X plus everything above it.
+struct UpHierarchy {
+  AsIndex root = kInvalidAs;  // the AS whose hierarchy this is (level 0)
+  /// Members in breadth-first order starting with root.
+  std::vector<AsIndex> nodes;
+  /// level[a] = fewest provider-hops from root up to a (root => 0).
+  std::unordered_map<AsIndex, unsigned> level;
+  /// Customer->provider edges inside the hierarchy (customer first).
+  std::vector<std::pair<AsIndex, AsIndex>> edges;
+
+  [[nodiscard]] bool contains(AsIndex a) const { return level.contains(a); }
+  [[nodiscard]] unsigned height() const;
+};
+
+class AsTopology {
+ public:
+  [[nodiscard]] std::size_t as_count() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<AsAdjacency>& adjacencies(AsIndex a) const {
+    return adj_[a];
+  }
+
+  /// Tier assigned at generation time (1 = core). Virtual ASes report the
+  /// tier of their highest-tier member minus a half step (they sit between).
+  [[nodiscard]] unsigned tier(AsIndex a) const { return tier_[a]; }
+  [[nodiscard]] bool is_stub(AsIndex a) const;
+  [[nodiscard]] bool is_virtual(AsIndex a) const { return is_virtual_[a]; }
+  [[nodiscard]] std::uint64_t host_count(AsIndex a) const { return hosts_[a]; }
+  [[nodiscard]] std::uint64_t total_hosts() const;
+
+  [[nodiscard]] std::vector<AsIndex> providers(AsIndex a,
+                                               bool include_backup = false) const;
+  [[nodiscard]] std::vector<AsIndex> customers(AsIndex a,
+                                               bool include_backup = false) const;
+  [[nodiscard]] std::vector<AsIndex> peers(AsIndex a) const;
+
+  [[nodiscard]] std::optional<AsRel> relationship(AsIndex a, AsIndex b) const;
+
+  // -- failure model --------------------------------------------------------
+  void set_as_up(AsIndex a, bool up) { up_[a] = up; }
+  [[nodiscard]] bool as_up(AsIndex a) const { return up_[a]; }
+  void set_link_up(AsIndex a, AsIndex b, bool up);
+  [[nodiscard]] bool link_up(AsIndex a, AsIndex b) const;
+
+  // -- hierarchy queries ----------------------------------------------------
+  /// Builds G_X for `x` following live provider links (and optionally backup
+  /// providers).  Peering links are NOT part of G_X; they are handled by the
+  /// virtual-AS transformation or the bloom-filter rule.
+  [[nodiscard]] UpHierarchy up_hierarchy(AsIndex x,
+                                         bool include_backup = false) const;
+
+  /// All ASes in `a`'s customer subtree (including `a`), following live
+  /// customer links -- the membership of the merged ring rooted at `a`.
+  [[nodiscard]] std::vector<AsIndex> customer_subtree(AsIndex a) const;
+
+  /// True if `member` lies in `root`'s customer subtree.
+  [[nodiscard]] bool in_subtree(AsIndex root, AsIndex member) const;
+
+  /// Earliest (lowest-level) common ancestor set: the minimal-tier ASes that
+  /// have both x and y in their subtree.  Empty if none (partition).
+  [[nodiscard]] std::vector<AsIndex> common_ancestors(AsIndex x, AsIndex y) const;
+
+  // -- construction ---------------------------------------------------------
+  /// Generates the tiered Internet-like topology described above.
+  [[nodiscard]] static AsTopology make_internet_like(const AsGenParams& params,
+                                                     Rng& rng);
+
+  /// Builds a small hand-specified topology (tests).  `links` are
+  /// (a, b, rel-of-b-from-a's-view).
+  [[nodiscard]] static AsTopology from_links(
+      std::size_t as_count,
+      const std::vector<std::tuple<AsIndex, AsIndex, AsRel>>& links);
+
+  /// The virtual-AS conversion rule for peering (section 4.2, figure 4a):
+  /// returns a copy of the topology where each peering clique is replaced by
+  /// a virtual AS that is a provider of all clique members and a customer of
+  /// each member's providers.  `virtual_for` maps new virtual AS indices to
+  /// the clique members they represent.
+  [[nodiscard]] AsTopology with_virtual_peering_ases(
+      std::vector<std::pair<AsIndex, std::vector<AsIndex>>>* virtual_for =
+          nullptr) const;
+
+  /// Degree-based tier inference in the spirit of Subramanian et al. [35]:
+  /// ranks ASes by degree and assigns inferred tiers; returns inferred tier
+  /// per AS.  Used to validate that experiments driven by inferred instead
+  /// of ground-truth hierarchy behave the same.
+  [[nodiscard]] std::vector<unsigned> infer_tiers_by_degree() const;
+
+  void set_host_count(AsIndex a, std::uint64_t hosts) { hosts_[a] = hosts; }
+
+ private:
+  AsIndex add_as(unsigned tier, bool is_virtual = false);
+  void add_link(AsIndex a, AsIndex b, AsRel rel_of_b_from_a);
+  void remove_link(AsIndex a, AsIndex b);
+
+  std::vector<std::vector<AsAdjacency>> adj_;
+  std::vector<unsigned> tier_;
+  std::vector<std::uint64_t> hosts_;
+  std::vector<bool> up_;
+  std::vector<bool> is_virtual_;
+  // Link up/down state keyed by canonical (min,max) pair.
+  std::unordered_map<std::uint64_t, bool> link_down_;
+  [[nodiscard]] static std::uint64_t link_key(AsIndex a, AsIndex b);
+};
+
+}  // namespace rofl::graph

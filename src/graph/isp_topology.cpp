@@ -1,0 +1,153 @@
+#include "graph/isp_topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rofl::graph {
+
+IspTopology make_isp_topology(const IspParams& params, Rng& rng) {
+  assert(params.router_count >= 2);
+  assert(params.pop_count >= 1 && params.pop_count <= params.router_count);
+
+  IspTopology topo;
+  topo.name = params.name;
+  topo.host_count = params.host_count;
+  topo.graph = Graph(params.router_count);
+  topo.pop_of.resize(params.router_count);
+  topo.is_backbone.assign(params.router_count, false);
+  topo.pops.resize(params.pop_count);
+
+  // Distribute routers over PoPs: every PoP gets a base allotment, the
+  // remainder is spread over the first PoPs (mirrors the uneven PoP sizes in
+  // measured maps where a few city PoPs dominate).
+  const std::size_t base = params.router_count / params.pop_count;
+  std::size_t next_router = 0;
+  for (std::size_t p = 0; p < params.pop_count; ++p) {
+    std::size_t count = base + (p < params.router_count % params.pop_count ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto r = static_cast<NodeIndex>(next_router++);
+      topo.pop_of[r] = static_cast<std::uint32_t>(p);
+      topo.pops[p].push_back(r);
+    }
+  }
+
+  // Within each PoP: mark backbone routers (at least one), connect them in a
+  // ring plus chords, and dual-home every access router onto the backbone.
+  for (std::size_t p = 0; p < params.pop_count; ++p) {
+    auto& members = topo.pops[p];
+    const std::size_t bb_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               params.backbone_fraction * static_cast<double>(members.size()))));
+    std::vector<NodeIndex> backbone(members.begin(),
+                                    members.begin() + static_cast<long>(bb_count));
+    for (NodeIndex r : backbone) topo.is_backbone[r] = true;
+
+    for (std::size_t i = 0; i + 1 < backbone.size(); ++i) {
+      topo.graph.add_edge(backbone[i], backbone[i + 1],
+                          params.intra_pop_latency_ms);
+    }
+    if (backbone.size() > 2) {
+      topo.graph.add_edge(backbone.back(), backbone.front(),
+                          params.intra_pop_latency_ms);
+      // A few chords for intra-PoP redundancy.
+      const std::size_t chords = backbone.size() / 2;
+      for (std::size_t c = 0; c < chords; ++c) {
+        const NodeIndex a = backbone[rng.index(backbone.size())];
+        const NodeIndex b = backbone[rng.index(backbone.size())];
+        topo.graph.add_edge(a, b, params.intra_pop_latency_ms);
+      }
+    }
+
+    for (std::size_t i = bb_count; i < members.size(); ++i) {
+      const NodeIndex access = members[i];
+      const unsigned uplinks =
+          std::min<unsigned>(params.access_uplinks,
+                             static_cast<unsigned>(backbone.size()));
+      // First uplink is deterministic (round robin) so every access router
+      // is attached even if random picks collide.
+      topo.graph.add_edge(access, backbone[(i - bb_count) % backbone.size()],
+                          params.intra_pop_latency_ms);
+      for (unsigned u = 1; u < uplinks; ++u) {
+        topo.graph.add_edge(access, backbone[rng.index(backbone.size())],
+                            params.intra_pop_latency_ms);
+      }
+    }
+  }
+
+  // Inter-PoP mesh: a PoP ring guarantees connectivity; extra random PoP
+  // adjacencies up to the target degree add the meshiness of core networks.
+  auto pop_gateway = [&](std::size_t p) -> NodeIndex {
+    const auto& members = topo.pops[p];
+    std::vector<NodeIndex> bbs;
+    for (NodeIndex r : members) {
+      if (topo.is_backbone[r]) bbs.push_back(r);
+    }
+    return bbs[rng.index(bbs.size())];
+  };
+  auto inter_latency = [&]() {
+    return params.inter_pop_latency_min_ms +
+           rng.uniform() * (params.inter_pop_latency_max_ms -
+                            params.inter_pop_latency_min_ms);
+  };
+  if (params.pop_count > 1) {
+    for (std::size_t p = 0; p < params.pop_count; ++p) {
+      const std::size_t q = (p + 1) % params.pop_count;
+      topo.graph.add_edge(pop_gateway(p), pop_gateway(q), inter_latency());
+    }
+    const auto target_extra = static_cast<std::size_t>(std::max(
+        0.0, (params.inter_pop_degree - 2.0) *
+                 static_cast<double>(params.pop_count) / 2.0));
+    for (std::size_t e = 0; e < target_extra; ++e) {
+      const std::size_t p = rng.index(params.pop_count);
+      const std::size_t q = rng.index(params.pop_count);
+      if (p == q) continue;
+      topo.graph.add_edge(pop_gateway(p), pop_gateway(q), inter_latency());
+    }
+  }
+
+  assert(topo.graph.connected());
+  return topo;
+}
+
+IspParams rocketfuel_params(RocketfuelAs which) {
+  IspParams p;
+  switch (which) {
+    case RocketfuelAs::kAs1221:
+      p.name = "AS1221";
+      p.router_count = 318;
+      p.pop_count = 27;  // Telstra PoPs per Rocketfuel
+      p.host_count = 2'600'000;
+      break;
+    case RocketfuelAs::kAs1239:
+      p.name = "AS1239";
+      p.router_count = 604;
+      p.pop_count = 43;  // Sprint
+      p.host_count = 10'000'000;
+      break;
+    case RocketfuelAs::kAs3257:
+      p.name = "AS3257";
+      p.router_count = 240;
+      p.pop_count = 25;  // Tiscali
+      p.host_count = 500'000;
+      break;
+    case RocketfuelAs::kAs3967:
+      p.name = "AS3967";
+      p.router_count = 201;
+      p.pop_count = 21;  // Exodus
+      p.host_count = 2'100'000;
+      break;
+  }
+  return p;
+}
+
+IspTopology make_rocketfuel_like(RocketfuelAs which, Rng& rng) {
+  return make_isp_topology(rocketfuel_params(which), rng);
+}
+
+std::vector<RocketfuelAs> all_rocketfuel_ases() {
+  return {RocketfuelAs::kAs1221, RocketfuelAs::kAs1239,
+          RocketfuelAs::kAs3257, RocketfuelAs::kAs3967};
+}
+
+}  // namespace rofl::graph

@@ -1,0 +1,78 @@
+// isp_topology.hpp -- Rocketfuel-like router-level ISP topologies.
+//
+// The paper's intradomain evaluation (section 6.1/6.2) runs over four ISP
+// maps measured by Rocketfuel: AS 1221 (318 routers, 2.6M hosts), AS 1239
+// (604 routers, 10M hosts), AS 3257 (240 routers, 0.5M hosts) and AS 3967
+// (201 routers, 2.1M hosts).  We cannot ship the measured maps, so this
+// generator produces topologies with the same router counts and the
+// structural features the experiments depend on (see DESIGN.md): a
+// PoP-structured two-level design -- backbone routers per PoP connected in a
+// sparse inter-PoP mesh, access routers hanging off their PoP's backbone --
+// with realistic intra-PoP (sub-millisecond) and inter-PoP (several ms) link
+// latencies.  Figure 7 fails whole PoPs, which is why PoP membership is part
+// of the model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rofl::graph {
+
+struct IspParams {
+  std::string name = "synthetic";
+  std::size_t router_count = 100;
+  std::size_t pop_count = 10;
+  /// Fraction of each PoP's routers that are backbone (vs access) routers.
+  double backbone_fraction = 0.3;
+  /// Average number of inter-PoP adjacencies per PoP (>=2 keeps the
+  /// backbone 2-connected in practice; generator also forces a PoP ring).
+  /// Rocketfuel maps are dense (AS1239: 604 routers, ~2268 links), hence
+  /// the generous default.
+  double inter_pop_degree = 5.0;
+  /// Each access router homes to this many backbone routers in its PoP.
+  unsigned access_uplinks = 3;
+  double intra_pop_latency_ms = 0.3;
+  double inter_pop_latency_min_ms = 2.0;
+  double inter_pop_latency_max_ms = 15.0;
+  /// Estimated host population for the ISP (used to derive how many hosts a
+  /// given experiment attaches).
+  std::uint64_t host_count = 1'000'000;
+};
+
+struct IspTopology {
+  std::string name;
+  Graph graph;                                  // routers only
+  std::vector<std::uint32_t> pop_of;            // router -> PoP id
+  std::vector<std::vector<NodeIndex>> pops;     // PoP id -> routers
+  std::vector<bool> is_backbone;                // per router
+  std::uint64_t host_count = 0;
+
+  [[nodiscard]] std::size_t router_count() const { return graph.node_count(); }
+  [[nodiscard]] std::size_t pop_count() const { return pops.size(); }
+};
+
+/// Generates a PoP-structured ISP topology.  The result is always connected.
+[[nodiscard]] IspTopology make_isp_topology(const IspParams& params, Rng& rng);
+
+/// The four Rocketfuel ISPs the paper simulates.
+enum class RocketfuelAs : std::uint16_t {
+  kAs1221 = 1221,  // Telstra: 318 routers, 2.6M hosts
+  kAs1239 = 1239,  // Sprint: 604 routers, 10M hosts
+  kAs3257 = 3257,  // Tiscali: 240 routers, 0.5M hosts
+  kAs3967 = 3967,  // Exodus: 201 routers, 2.1M hosts
+};
+
+/// Preset parameters matching the paper's four ISPs.
+[[nodiscard]] IspParams rocketfuel_params(RocketfuelAs which);
+
+/// Convenience: generate the preset topology directly.
+[[nodiscard]] IspTopology make_rocketfuel_like(RocketfuelAs which, Rng& rng);
+
+/// All four presets, in the order the paper lists them.
+[[nodiscard]] std::vector<RocketfuelAs> all_rocketfuel_ases();
+
+}  // namespace rofl::graph

@@ -1,0 +1,119 @@
+#include "interdomain/border.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace rofl::inter {
+
+BorderFabric::BorderFabric(const InterNetwork* net) : net_(net) {
+  assert(net != nullptr);
+}
+
+std::size_t BorderFabric::attach_isp(AsIndex as, intra::Network* isp,
+                                     std::uint64_t seed) {
+  assert(isp != nullptr);
+  IspBinding binding;
+  binding.isp = isp;
+
+  // Candidate border routers: the ISP's backbone.
+  const auto& topo = isp->topology();
+  std::vector<graph::NodeIndex> backbone;
+  for (graph::NodeIndex r = 0; r < topo.router_count(); ++r) {
+    if (topo.is_backbone[r]) backbone.push_back(r);
+  }
+  if (backbone.empty()) {
+    for (graph::NodeIndex r = 0; r < topo.router_count(); ++r) {
+      backbone.push_back(r);
+    }
+  }
+
+  Rng rng(seed ^ (static_cast<std::uint64_t>(as) << 17));
+  const auto& work = net_->work_topology();
+  for (const auto& adj : work.adjacencies(as)) {
+    binding.borders[adj.neighbor] = backbone[rng.index(backbone.size())];
+  }
+
+  // "Border routers flood their existence internally": one network-wide
+  // flood per border router over the ISP's link-state channel.
+  std::uint64_t directed_edges = 0;
+  for (graph::NodeIndex r = 0; r < topo.router_count(); ++r) {
+    directed_edges += topo.graph.live_degree(r);
+  }
+  std::set<graph::NodeIndex> distinct;
+  for (const auto& [nbr, br] : binding.borders) distinct.insert(br);
+  binding.flood_packets = directed_edges * distinct.size();
+  isp->simulator().counters().add(sim::MsgCategory::kControl,
+                                  binding.flood_packets);
+
+  const std::size_t count = distinct.size();
+  isps_[as] = std::move(binding);
+  return count;
+}
+
+std::optional<graph::NodeIndex> BorderFabric::border_router(
+    AsIndex as, AsIndex neighbor) const {
+  const auto it = isps_.find(as);
+  if (it == isps_.end()) return std::nullopt;
+  const auto br = it->second.borders.find(neighbor);
+  if (br == it->second.borders.end()) return std::nullopt;
+  return br->second;
+}
+
+std::uint64_t BorderFabric::flood_cost(AsIndex as) const {
+  const auto it = isps_.find(as);
+  return it == isps_.end() ? 0 : it->second.flood_packets;
+}
+
+BorderFabric::Expansion BorderFabric::expand(const AsRoute& as_route) const {
+  Expansion ex;
+  if (as_route.empty()) return ex;
+  const auto& work = net_->work_topology();
+  ex.ok = true;
+  for (std::size_t i = 0; i < as_route.size(); ++i) {
+    const AsIndex as = as_route[i];
+    if (work.is_virtual(as)) continue;  // peering-clique construct: free
+    const auto it = isps_.find(as);
+    // Previous/next real AS for ingress/egress determination.
+    auto real_neighbor = [&](std::size_t from, int dir) -> std::optional<AsIndex> {
+      for (long j = static_cast<long>(from) + dir;
+           j >= 0 && j < static_cast<long>(as_route.size()); j += dir) {
+        if (!work.is_virtual(as_route[static_cast<std::size_t>(j)])) {
+          return as_route[static_cast<std::size_t>(j)];
+        }
+      }
+      return std::nullopt;
+    };
+    const auto prev = real_neighbor(i, -1);
+    const auto next = real_neighbor(i, +1);
+    if (next.has_value()) ++ex.router_hops;  // the inter-AS link itself
+    if (it == isps_.end()) continue;          // single-node AS: no interior
+    // Interior segment: ingress border (facing prev) to egress border
+    // (facing next).  Endpoints of the whole route enter/exit at an
+    // arbitrary interior point; we use the border facing the single
+    // adjacent AS on the route.
+    std::optional<graph::NodeIndex> ingress =
+        prev.has_value() ? border_router(as, *prev) : std::nullopt;
+    std::optional<graph::NodeIndex> egress =
+        next.has_value() ? border_router(as, *next) : std::nullopt;
+    // A virtual AS between real ones maps the adjacency to the peer beyond
+    // it; fall back to any border when the exact adjacency is unknown.
+    if (!ingress.has_value() && !it->second.borders.empty()) {
+      ingress = it->second.borders.begin()->second;
+    }
+    if (!egress.has_value() && !it->second.borders.empty()) {
+      egress = it->second.borders.begin()->second;
+    }
+    if (ingress.has_value() && egress.has_value() && *ingress != *egress) {
+      const auto hops = it->second.isp->map().hop_distance(*ingress, *egress);
+      if (!hops.has_value()) {
+        ex.ok = false;
+        return ex;
+      }
+      ex.router_hops += *hops;
+      ex.internal_hops += *hops;
+    }
+  }
+  return ex;
+}
+
+}  // namespace rofl::inter

@@ -1,0 +1,81 @@
+// border.hpp -- border routers and EGP/IGP integration (section 4.1,
+// "Integrating EGP and IGP routing").
+//
+// "Packets contain a list of ISPs that can be used to reach the final
+// destination.  Hence a router containing a packet needs to know how to
+// reach the next-hop AS in the list.  To solve this problem, we have border
+// routers flood their existence internally. ... even the largest ISPs
+// typically only have a few hundred border routers."
+//
+// This module binds an interdomain network to router-level ISP maps: every
+// AS adjacency is pinned to a border router inside each AS, border routers
+// flood their existence over the ISP's link-state channel (cost accounted),
+// and AS-level source routes expand into router-level paths -- giving the
+// two-level (EGP over IGP) view of an end-to-end ROFL packet trip.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "interdomain/inter_network.hpp"
+#include "rofl/network.hpp"
+
+namespace rofl::inter {
+
+/// Router-level realization of the interdomain fabric for a subset of ASes.
+/// ASes without an attached ISP map are modeled as single virtual routers
+/// (the paper's own AS-as-node simplification).
+class BorderFabric {
+ public:
+  /// `net` must outlive the fabric.
+  explicit BorderFabric(const InterNetwork* net);
+
+  /// Attaches a router-level map to an AS.  Border routers are assigned per
+  /// AS adjacency (deterministically from `seed`, drawn from the ISP's
+  /// backbone routers) and their existence is flooded internally over the
+  /// ISP's link-state channel -- the iBGP-analog redistribution the paper
+  /// describes.  Returns the number of border routers assigned.
+  std::size_t attach_isp(AsIndex as, intra::Network* isp, std::uint64_t seed);
+
+  [[nodiscard]] bool attached(AsIndex as) const {
+    return isps_.contains(as);
+  }
+
+  /// The border router of `as` facing `neighbor` (nullopt if `as` has no
+  /// attached map or no such adjacency).
+  [[nodiscard]] std::optional<graph::NodeIndex> border_router(
+      AsIndex as, AsIndex neighbor) const;
+
+  /// Packets accounted for flooding border-router existence inside `as`.
+  [[nodiscard]] std::uint64_t flood_cost(AsIndex as) const;
+
+  struct Expansion {
+    bool ok = false;
+    /// Router-level hops: intra-ISP segments between border routers plus
+    /// one hop per inter-AS link; single-node ASes count one hop across.
+    std::uint32_t router_hops = 0;
+    /// Intra-ISP hops only (the EGP-over-IGP overhead the AS-level view
+    /// hides).
+    std::uint32_t internal_hops = 0;
+  };
+
+  /// Expands an AS-level route (as produced by InterNetwork routing, virtual
+  /// peering ASes included) into router-level hops: inside each attached
+  /// ISP, the packet travels ingress-border -> egress-border over IGP
+  /// shortest paths.
+  [[nodiscard]] Expansion expand(const AsRoute& as_route) const;
+
+ private:
+  const InterNetwork* net_;
+  struct IspBinding {
+    intra::Network* isp = nullptr;
+    // neighbor AS -> border router index inside this ISP
+    std::map<AsIndex, graph::NodeIndex> borders;
+    std::uint64_t flood_packets = 0;
+  };
+  std::map<AsIndex, IspBinding> isps_;
+};
+
+}  // namespace rofl::inter

@@ -1,0 +1,106 @@
+#include "linkstate/link_state.hpp"
+
+#include <cassert>
+
+namespace rofl::linkstate {
+
+LinkStateMap::LinkStateMap(graph::Graph* g, sim::Simulator* sim)
+    : graph_(g), sim_(sim) {
+  assert(g != nullptr);
+  spf_cache_.resize(g->node_count());
+}
+
+const graph::ShortestPaths& LinkStateMap::spf(NodeIndex src) const {
+  if (spf_cache_version_ != version_) {
+    for (auto& entry : spf_cache_) entry.reset();
+    spf_cache_.resize(graph_->node_count());
+    spf_cache_version_ = version_;
+  }
+  if (!spf_cache_[src].has_value()) {
+    spf_cache_[src] = graph_->dijkstra(src);
+  }
+  return *spf_cache_[src];
+}
+
+std::optional<NodeIndex> LinkStateMap::next_hop(NodeIndex u, NodeIndex v) const {
+  if (u == v) return u;
+  const auto p = path(u, v);
+  if (p.size() < 2) return std::nullopt;
+  return p[1];
+}
+
+std::vector<NodeIndex> LinkStateMap::path(NodeIndex u, NodeIndex v) const {
+  return graph::Graph::extract_path(spf(u), u, v);
+}
+
+bool LinkStateMap::reachable(NodeIndex u, NodeIndex v) const {
+  return spf(u).reachable(v);
+}
+
+std::optional<std::uint32_t> LinkStateMap::hop_distance(NodeIndex u,
+                                                        NodeIndex v) const {
+  const auto& sp = spf(u);
+  if (!sp.reachable(v)) return std::nullopt;
+  return sp.hops[v];
+}
+
+std::optional<double> LinkStateMap::latency_ms(NodeIndex u, NodeIndex v) const {
+  const auto& sp = spf(u);
+  if (!sp.reachable(v)) return std::nullopt;
+  return sp.latency_ms[v];
+}
+
+bool LinkStateMap::route_valid(const std::vector<NodeIndex>& route) const {
+  if (route.empty()) return false;
+  if (!graph_->node_up(route.front())) return false;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    if (!graph_->link_up(route[i], route[i + 1])) return false;
+  }
+  return true;
+}
+
+void LinkStateMap::fail_link(NodeIndex u, NodeIndex v) {
+  graph_->set_link_up(u, v, false);
+  bump_version_and_notify(
+      TopologyEvent{TopologyEvent::Kind::kLinkDown, u, v});
+}
+
+void LinkStateMap::restore_link(NodeIndex u, NodeIndex v) {
+  graph_->set_link_up(u, v, true);
+  bump_version_and_notify(TopologyEvent{TopologyEvent::Kind::kLinkUp, u, v});
+}
+
+void LinkStateMap::fail_node(NodeIndex u) {
+  graph_->set_node_up(u, false);
+  bump_version_and_notify(
+      TopologyEvent{TopologyEvent::Kind::kNodeDown, u, graph::kInvalidNode});
+}
+
+void LinkStateMap::restore_node(NodeIndex u) {
+  graph_->set_node_up(u, true);
+  bump_version_and_notify(
+      TopologyEvent{TopologyEvent::Kind::kNodeUp, u, graph::kInvalidNode});
+}
+
+void LinkStateMap::account_flood(sim::MsgCategory category) {
+  if (sim_ == nullptr) return;
+  // OSPF reliable flooding sends each LSA once over every live adjacency in
+  // each direction.
+  std::uint64_t live_directed_edges = 0;
+  for (NodeIndex u = 0; u < graph_->node_count(); ++u) {
+    live_directed_edges += graph_->live_degree(u);
+  }
+  sim_->counters().add(category, live_directed_edges);
+}
+
+void LinkStateMap::bump_version_and_notify(const TopologyEvent& ev) {
+  ++version_;
+  account_flood();
+  for (const auto& listener : listeners_) listener(ev);
+}
+
+void LinkStateMap::subscribe(Listener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace rofl::linkstate

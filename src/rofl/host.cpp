@@ -1,0 +1,47 @@
+#include "rofl/host.hpp"
+
+namespace rofl::intra {
+
+Host::Host(Network& net, HostClass host_class)
+    : net_(&net),
+      identity_(Identity::generate(net.rng())),
+      host_class_(host_class) {}
+
+Host::Host(Network& net, Identity identity, HostClass host_class)
+    : net_(&net), identity_(std::move(identity)), host_class_(host_class) {}
+
+JoinStats Host::attach(NodeIndex gateway) {
+  if (gateway_.has_value()) return {};
+  const JoinStats js = net_->join_host(identity_, gateway, host_class_);
+  if (js.ok) gateway_ = gateway;
+  return js;
+}
+
+RepairStats Host::detach() {
+  if (!gateway_.has_value()) return {};
+  const RepairStats rs = net_->leave_host(identity_.id());
+  gateway_.reset();
+  return rs;
+}
+
+JoinStats Host::move_to(NodeIndex gateway) {
+  (void)detach();
+  return attach(gateway);
+}
+
+RepairStats Host::crash() {
+  if (!gateway_.has_value()) return {};
+  const RepairStats rs = net_->fail_host(identity_.id());
+  gateway_.reset();
+  return rs;
+}
+
+RouteStats Host::send_to(const NodeId& dest) const {
+  if (!gateway_.has_value()) return {};
+  // The gateway may have rehomed the ID after a router failure; route from
+  // wherever the network currently hosts it.
+  const auto home = net_->hosting_router(identity_.id());
+  return net_->route(home.value_or(*gateway_), dest);
+}
+
+}  // namespace rofl::intra

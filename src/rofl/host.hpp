@@ -1,0 +1,60 @@
+// host.hpp -- the endpoint-side facade of the intradomain API.
+//
+// A Host owns a self-certified identity for its whole lifetime and attaches
+// to (or detaches from, or moves between) gateway routers; the identifier
+// never changes across moves -- the architectural point of routing on flat
+// labels.  This wrapper is sugar over Network's join/leave/route primitives
+// for applications that think in terms of endpoints rather than routers.
+#pragma once
+
+#include <optional>
+
+#include "rofl/network.hpp"
+
+namespace rofl::intra {
+
+class Host {
+ public:
+  /// Creates a detached host with a fresh identity.
+  explicit Host(Network& net, HostClass host_class = HostClass::kStable);
+
+  /// Creates a detached host from an existing identity (e.g. restored from
+  /// stable storage after a reboot).
+  Host(Network& net, Identity identity,
+       HostClass host_class = HostClass::kStable);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+  Host(Host&&) = default;
+
+  [[nodiscard]] NodeId id() const { return identity_.id(); }
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+  [[nodiscard]] bool attached() const { return gateway_.has_value(); }
+  [[nodiscard]] std::optional<NodeIndex> gateway() const { return gateway_; }
+
+  /// Attaches at `gateway` (DHCP/manual assignment in the paper's terms).
+  /// No-op failure if already attached or the join is refused.
+  JoinStats attach(NodeIndex gateway);
+
+  /// Graceful detach (teardowns, no directed flood).
+  RepairStats detach();
+
+  /// Mobility: detach + attach at the new gateway, same identifier.
+  JoinStats move_to(NodeIndex gateway);
+
+  /// Abrupt death, as the network sees it (session timeout + teardown
+  /// flood).  The Host object can attach() again afterwards -- that is a
+  /// host rebooting.
+  RepairStats crash();
+
+  /// Sends one packet to `dest` from this host's gateway.
+  [[nodiscard]] RouteStats send_to(const NodeId& dest) const;
+
+ private:
+  Network* net_;
+  Identity identity_;
+  HostClass host_class_;
+  std::optional<NodeIndex> gateway_;
+};
+
+}  // namespace rofl::intra

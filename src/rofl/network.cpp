@@ -1,0 +1,1034 @@
+#include "rofl/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace rofl::intra {
+namespace {
+
+/// Orders `p` into `owner`'s successor group (nearest in clockwise distance
+/// first) and truncates to `k`.  Refreshes the host if the ID is already
+/// present.
+void insert_sorted_successor(VirtualNode& owner, const NeighborPtr& p,
+                             std::size_t k) {
+  if (p.id == owner.id) return;
+  for (auto& s : owner.successors) {
+    if (s.id == p.id) {
+      s.host = p.host;
+      return;
+    }
+  }
+  const NodeId d_new = NodeId::distance_cw(owner.id, p.id);
+  auto it = owner.successors.begin();
+  for (; it != owner.successors.end(); ++it) {
+    if (d_new < NodeId::distance_cw(owner.id, it->id)) break;
+  }
+  owner.successors.insert(it, p);
+  if (owner.successors.size() > k) owner.successors.resize(k);
+}
+
+void remove_successor(VirtualNode& owner, const NodeId& id) {
+  std::erase_if(owner.successors,
+                [&](const NeighborPtr& s) { return s.id == id; });
+}
+
+}  // namespace
+
+Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
+    : topo_(topo), cfg_(cfg), rng_(seed) {
+  assert(topo != nullptr);
+  // The graph is owned by the topology; LinkStateMap mutates its up/down
+  // flags through this pointer.
+  map_ = std::make_unique<linkstate::LinkStateMap>(
+      const_cast<graph::Graph*>(&topo_->graph), &sim_);
+
+  routers_.reserve(topo_->router_count());
+  for (NodeIndex i = 0; i < topo_->router_count(); ++i) {
+    routers_.push_back(
+        std::make_unique<Router>(i, Identity::generate(rng_), cfg_.cache_capacity));
+  }
+
+  // Failure notifications from the link-state substrate: caches drop entries
+  // whose source routes die (section 2.2 "Recovering" / 3.2 link failure).
+  map_->subscribe([this](const linkstate::TopologyEvent& ev) {
+    using Kind = linkstate::TopologyEvent::Kind;
+    if (ev.kind == Kind::kNodeDown) {
+      for (auto& r : routers_) r->cache().invalidate_through_router(ev.a);
+    } else if (ev.kind == Kind::kLinkDown) {
+      for (auto& r : routers_) r->cache().invalidate_through_link(ev.a, ev.b);
+    }
+  });
+
+  bootstrap_router_ring();
+}
+
+void Network::bootstrap_router_ring() {
+  // Section 3.1: each router starts a default virtual node holding the
+  // router-ID; the default vnode joins by flooding, so after bring-up the
+  // router-ID ring is complete.  We materialise the steady state directly
+  // and (optionally) charge one network flood per router for it.
+  std::vector<std::pair<NodeId, NodeIndex>> order;
+  order.reserve(routers_.size());
+  for (const auto& r : routers_) order.emplace_back(r->router_id(), r->index());
+  std::sort(order.begin(), order.end());
+
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    VirtualNode vn;
+    vn.id = order[i].first;
+    vn.pub = routers_[order[i].second]->identity().public_key();
+    vn.is_default = true;
+    for (std::size_t s = 1; s <= cfg_.successor_group && s < n; ++s) {
+      const auto& [sid, shost] = order[(i + s) % n];
+      vn.successors.push_back(NeighborPtr{sid, shost});
+    }
+    if (n > 1) {
+      const auto& [pid, phost] = order[(i + n - 1) % n];
+      vn.predecessor = NeighborPtr{pid, phost};
+    }
+    routers_[order[i].second]->add_vnode(std::move(vn));
+    directory_[order[i].first] = order[i].second;
+    if (cfg_.count_bootstrap) map_->account_flood(sim::MsgCategory::kJoin);
+  }
+}
+
+Network::Transfer Network::unicast(NodeIndex a, NodeIndex b,
+                                   sim::MsgCategory cat) {
+  Transfer t;
+  if (a == b) {
+    t.ok = true;
+    t.path = {a};
+    return t;
+  }
+  t.path = map_->path(a, b);
+  if (t.path.empty()) return t;
+  t.ok = true;
+  t.messages = t.path.size() - 1;
+  t.latency_ms = map_->latency_ms(a, b).value_or(0.0);
+  sim_.counters().add(cat, t.messages);
+  return t;
+}
+
+void Network::cache_along_path(const std::vector<NodeIndex>& path,
+                               const NodeId& id, NodeIndex host) {
+  if (!cfg_.cache_control_paths) return;
+  // Every router the control message traverses may cache a pointer to the
+  // destination ID (section 3.1); the stored source route is the path
+  // remainder toward the hosting router.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == host) continue;
+    SourceRoute suffix(path.begin() + static_cast<long>(i), path.end());
+    if (suffix.back() != host) continue;  // only forward-pointing prefixes
+    routers_[path[i]]->cache().insert(id, host, std::move(suffix));
+  }
+}
+
+Network::LocateResult Network::locate_predecessor(NodeIndex from,
+                                                  const NodeId& target,
+                                                  sim::MsgCategory cat) {
+  LocateResult res;
+  if (!topo_->graph.node_up(from)) return res;
+  NodeIndex cur = from;
+  res.control_path.push_back(from);
+  // Strictly decreasing clockwise distance of the chased pointer guarantees
+  // termination (greedy progress, section 2.2 "Routing").
+  NodeId best_dist = NodeId{}.minus(NodeId::from_u64(1));  // max distance
+  std::optional<NodeId> last_chased;
+  // IDs this walk has already found dead: re-chasing them out of another
+  // router's cache would loop the cleanup (the walk still tears each one
+  // down exactly once).
+  std::set<NodeId> dead_this_walk;
+  for (std::uint32_t step = 0; step < cfg_.max_forwarding_hops; ++step) {
+    Router& r = *routers_[cur];
+    if (VirtualNode* pred = r.predecessor_vnode_of(target); pred != nullptr) {
+      res.ok = true;
+      res.pred_router = cur;
+      res.pred_id = pred->id;
+      return res;
+    }
+    // Gather candidates: Algorithm 2 over VN state and the pointer cache.
+    std::vector<Candidate> cands;
+    if (auto c = r.vn_best_match(target)) cands.push_back(*c);
+    if (const CacheEntry* e = r.cache().best_match(target)) {
+      cands.push_back(Candidate{e->id, e->host, false});
+    }
+    std::sort(cands.begin(), cands.end(), [&](const Candidate& a, const Candidate& b) {
+      return NodeId::closer_to(target, a.id, b.id);
+    });
+    bool moved = false;
+    for (const Candidate& c : cands) {
+      const NodeId d = NodeId::distance_cw(c.id, target);
+      if (!(d < best_dist)) continue;  // no progress via this candidate
+      if (c.host == cur) continue;     // resident but not predecessor-owner
+      if (dead_this_walk.contains(c.id)) {
+        r.cache().erase(c.id);  // clean the copy here too, then skip it
+        continue;
+      }
+      const Transfer hop = unicast(cur, c.host, cat);
+      if (!hop.ok) {
+        // Pointer target unreachable; a cached pointer is simply dropped.
+        r.cache().erase(c.id);
+        continue;
+      }
+      res.messages += hop.messages;
+      res.latency_ms += hop.latency_ms;
+      res.control_path.insert(res.control_path.end(), hop.path.begin() + 1,
+                              hop.path.end());
+      best_dist = d;
+      cur = c.host;
+      last_chased = c.id;
+      moved = true;
+      break;
+    }
+    if (!moved) {
+      // Stale-pointer recovery, mirroring route(): if the previous hop
+      // chased a cached ID that is no longer hosted here, tear the stale
+      // entry down and restart greedy progress from ring state.  Every reset
+      // erases an entry, so this terminates.
+      if (last_chased.has_value() && !r.hosts(*last_chased)) {
+        r.cache().erase(*last_chased);
+        dead_this_walk.insert(*last_chased);
+        last_chased.reset();
+        best_dist = NodeId{}.minus(NodeId::from_u64(1));
+        continue;
+      }
+      return res;  // stuck: broken ring or partition
+    }
+  }
+  return res;
+}
+
+Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
+                                     const NodeId& pred_id,
+                                     sim::MsgCategory cat) {
+  Transfer total;
+  total.ok = true;
+
+  Router& pred_r = *routers_[pred_router];
+  VirtualNode* pred = pred_r.find_vnode(pred_id);
+  assert(pred != nullptr);
+
+  // The new vnode inherits the predecessor's successor view: everything in
+  // pred's group is still a successor of vn (vn sits between pred and
+  // pred's old succ0).
+  vn.successors.clear();
+  for (const NeighborPtr& s : pred->successors) {
+    if (s.id != vn.id) vn.successors.push_back(s);
+  }
+  if (vn.successors.empty()) {
+    // Singleton ring: predecessor is also the successor.
+    vn.successors.push_back(NeighborPtr{pred->id, pred_router});
+  }
+  vn.predecessor = NeighborPtr{pred->id, pred_router};
+
+  const NeighborPtr self{vn.id, vn.home};
+  const NodeId succ0_id = vn.successors.front().id;
+  const NodeIndex succ0_host = vn.successors.front().host;
+
+  // Predecessor adopts vn as its new first successor.
+  insert_sorted_successor(*pred, self, cfg_.successor_group);
+  pred_r.reindex_vnode(pred->id);
+
+  // Ephemeral backpointers that now fall past vn migrate from pred to vn
+  // (piggybacked on the join reply, no extra messages).
+  std::vector<NodeId> migrate;
+  for (const auto& [eid, gw] : pred_r.ephemeral_backpointers()) {
+    if (NodeId::in_interval_oc(vn.id, eid, succ0_id)) migrate.push_back(eid);
+  }
+
+  // Join reply: predecessor -> joining host's gateway, carrying the
+  // successor list.  Routers along the way cache the new ID.
+  const Transfer reply = unicast(pred_router, vn.home, cat);
+  if (!reply.ok) {
+    total.ok = false;
+    return total;
+  }
+  total.messages += reply.messages;
+  // Routers on the reply path may cache the new ID, so they belong to the
+  // directed-flood set cleared on host failure (section 3.2).
+  vn.control_path.insert(vn.control_path.end(), reply.path.begin(),
+                         reply.path.end());
+  {
+    // Cache vn.id (lives at vn.home) along the reply path, seen from each
+    // traversed router toward vn.home.
+    cache_along_path(reply.path, vn.id, vn.home);
+    // And the predecessor in the reverse direction.
+    std::vector<NodeIndex> rev(reply.path.rbegin(), reply.path.rend());
+    cache_along_path(rev, pred->id, pred_router);
+  }
+
+  Router& home_r = *routers_[vn.home];
+  for (const NodeId& eid : migrate) {
+    const auto gw = pred_r.ephemeral_gateway(eid);
+    if (gw.has_value()) home_r.add_ephemeral_backpointer(eid, *gw);
+    pred_r.remove_ephemeral_backpointer(eid);
+  }
+
+  // Successor learns its new predecessor (sent from the gateway once the
+  // reply arrives; parallel with the deeper-predecessor updates below).
+  double branch_a = reply.latency_ms;
+  {
+    const Transfer notify = unicast(vn.home, succ0_host, cat);
+    if (notify.ok) {
+      total.messages += notify.messages;
+      branch_a += notify.latency_ms;
+      if (VirtualNode* succ = routers_[succ0_host]->find_vnode(succ0_id)) {
+        succ->predecessor = self;
+      }
+    }
+  }
+
+  // The k-1 deeper predecessors add vn to their successor groups so the
+  // group invariant (each vnode knows its next k ring members) holds.
+  double branch_b = 0.0;
+  NeighborPtr walk = *vn.predecessor;
+  NodeIndex walk_from = pred_router;
+  for (std::size_t depth = 1; depth < cfg_.successor_group; ++depth) {
+    VirtualNode* cur = routers_[walk.host]->find_vnode(walk.id);
+    if (cur == nullptr || !cur->predecessor.has_value()) break;
+    const NeighborPtr next = *cur->predecessor;
+    const Transfer hop = unicast(walk_from, next.host, cat);
+    if (!hop.ok) break;
+    total.messages += hop.messages;
+    branch_b += hop.latency_ms;
+    VirtualNode* deeper = routers_[next.host]->find_vnode(next.id);
+    if (deeper == nullptr) break;
+    insert_sorted_successor(*deeper, self, cfg_.successor_group);
+    routers_[next.host]->reindex_vnode(deeper->id);
+    walk_from = next.host;
+    walk = next;
+  }
+
+  total.latency_ms = std::max(branch_a, branch_b);
+  return total;
+}
+
+JoinStats Network::join_host(const Identity& ident, NodeIndex gateway,
+                             HostClass host_class) {
+  JoinStats stats;
+  const NodeId id = ident.id();
+  if (gateway >= routers_.size() || !topo_->graph.node_up(gateway)) return stats;
+  if (directory_.contains(id)) return stats;
+
+  // Algorithm 1 line 1: authenticate(id).  The gateway challenges the host
+  // with a nonce; the host proves private-key ownership of its
+  // self-certified ID.  One packet over the host access link.
+  const std::uint64_t nonce = rng_.next_u64();
+  const OwnershipProof proof = ident.prove(nonce);
+  if (!verify_ownership(id, ident.public_key(), nonce, proof,
+                        ident.private_key())) {
+    return stats;
+  }
+  stats = join_id(id, ident.public_key(), gateway, host_class);
+  if (stats.ok) host_identities_.emplace(id, ident);
+  return stats;
+}
+
+JoinStats Network::join_group_id(const NodeId& id, const PublicKey& pub,
+                                 NodeIndex gateway, HostClass host_class) {
+  if (gateway >= routers_.size() || !topo_->graph.node_up(gateway)) return {};
+  if (directory_.contains(id)) return {};
+  return join_id(id, pub, gateway, host_class);
+}
+
+JoinStats Network::join_id(const NodeId& id, const PublicKey& pub,
+                           NodeIndex gateway, HostClass host_class) {
+  JoinStats stats;
+  // Sybil audit (section 2.1): the AS limits how many IDs a router may
+  // host, bounding the footprint a compromised router can concoct.
+  if (cfg_.max_resident_ids_per_router > 0 &&
+      routers_[gateway]->resident_count() >
+          cfg_.max_resident_ids_per_router) {
+    return stats;
+  }
+  stats.messages += 1;  // host -> gateway join request
+  sim_.counters().add(sim::MsgCategory::kJoin, 1);
+
+  const LocateResult loc =
+      locate_predecessor(gateway, id, sim::MsgCategory::kJoin);
+  if (!loc.ok) return stats;
+  stats.messages += loc.messages;
+
+  if (host_class == HostClass::kEphemeral) {
+    // Section 2.2, "Ephemeral hosts": no ring membership; the predecessor
+    // keeps a source route to the host's gateway.  (The predecessor here is
+    // the vnode, hence the backpointer lives at its hosting router.)
+    VirtualNode vn;
+    vn.id = id;
+    vn.pub = pub;
+    vn.host_class = HostClass::kEphemeral;
+    VirtualNode* pred = routers_[loc.pred_router]->find_vnode(loc.pred_id);
+    assert(pred != nullptr);
+    vn.successors.push_back(NeighborPtr{pred->id, loc.pred_router});
+    vn.predecessor = NeighborPtr{pred->id, loc.pred_router};
+    vn.control_path = loc.control_path;
+    routers_[gateway]->add_vnode(std::move(vn));
+    routers_[loc.pred_router]->add_ephemeral_backpointer(id, gateway);
+    const Transfer reply =
+        unicast(loc.pred_router, gateway, sim::MsgCategory::kJoin);
+    stats.messages += reply.messages;
+    stats.latency_ms = loc.latency_ms + reply.latency_ms;
+  } else {
+    VirtualNode vn;
+    vn.id = id;
+    vn.pub = pub;
+    vn.home = gateway;
+    vn.control_path = loc.control_path;
+    const Transfer install = [&] {
+      VirtualNode local = vn;  // splice computes pointers, then we register
+      Transfer t = splice_in(local, loc.pred_router, loc.pred_id,
+                             sim::MsgCategory::kJoin);
+      if (t.ok) routers_[gateway]->add_vnode(std::move(local));
+      return t;
+    }();
+    if (!install.ok) return stats;
+    stats.messages += install.messages;
+    stats.latency_ms = loc.latency_ms + install.latency_ms;
+    // Top the group up to k so every stable vnode knows its next k ring
+    // members (keeps successor-group state canonical network-wide).
+    if (VirtualNode* reg = routers_[gateway]->find_vnode(id)) {
+      stats.messages += refill_successors(*reg, sim::MsgCategory::kJoin);
+    }
+  }
+
+  directory_[id] = gateway;
+  host_class_[id] = host_class;
+  stats.ok = true;
+  return stats;
+}
+
+JoinStats Network::join_random_host(HostClass host_class) {
+  const Identity ident = Identity::generate(rng_);
+  // Pick a live gateway uniformly.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto gw = static_cast<NodeIndex>(rng_.index(routers_.size()));
+    if (topo_->graph.node_up(gw)) return join_host(ident, gw, host_class);
+  }
+  return {};
+}
+
+std::uint64_t Network::refill_successors(VirtualNode& vn, sim::MsgCategory cat,
+                                         const std::optional<NodeId>& exclude) {
+  if (vn.successors.size() >= cfg_.successor_group || vn.successors.empty()) {
+    return 0;
+  }
+  // Ask the first live successor for its group and append what we miss
+  // (section 3.2: "asking each of its successors ... to fill the gap").
+  // `exclude` guards against copying back an ID that is mid-teardown and
+  // may still linger in the peer's not-yet-cleaned list.
+  const NeighborPtr head = vn.successors.front();
+  const Transfer t = unicast(vn.home, head.host, cat);
+  if (!t.ok) return 0;
+  const VirtualNode* succ = routers_[head.host]->find_vnode(head.id);
+  if (succ != nullptr) {
+    for (const NeighborPtr& s : succ->successors) {
+      if (s.id == vn.id) continue;
+      if (exclude.has_value() && s.id == *exclude) continue;
+      insert_sorted_successor(vn, s, cfg_.successor_group);
+    }
+    routers_[vn.home]->reindex_vnode(vn.id);
+  }
+  return t.messages;
+}
+
+RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
+                                sim::MsgCategory cat) {
+  RepairStats stats;
+  const auto dir_it = directory_.find(id);
+  if (dir_it == directory_.end()) return stats;
+  const NodeIndex gw = dir_it->second;
+  Router& gw_r = *routers_[gw];
+  VirtualNode* vn = gw_r.find_vnode(id);
+  if (vn == nullptr) return stats;
+
+  if (vn->host_class == HostClass::kEphemeral) {
+    // Teardown to the predecessor that holds the backpointer.
+    if (vn->predecessor.has_value()) {
+      const Transfer t = unicast(gw, vn->predecessor->host, cat);
+      stats.messages += t.messages;
+      routers_[vn->predecessor->host]->remove_ephemeral_backpointer(id);
+      ++stats.pointers_torn;
+    }
+    gw_r.remove_vnode(id);
+    directory_.erase(dir_it);
+    return stats;
+  }
+
+  const std::optional<NeighborPtr> pred_ptr = vn->predecessor;
+  const std::optional<NeighborPtr> succ_ptr =
+      vn->successors.empty() ? std::nullopt
+                             : std::optional<NeighborPtr>(vn->successors.front());
+  const std::vector<NodeIndex> control_path = vn->control_path;
+  // The departing vnode's ephemeral backpointers migrate to its predecessor.
+  std::vector<std::pair<NodeId, NodeIndex>> orphans(
+      gw_r.ephemeral_backpointers().begin(),
+      gw_r.ephemeral_backpointers().end());
+
+  gw_r.remove_vnode(id);
+  directory_.erase(dir_it);
+
+  // Teardown to the first successor: it loses its predecessor pointer and
+  // relinks to the departing node's predecessor.
+  if (succ_ptr.has_value()) {
+    const Transfer t = unicast(gw, succ_ptr->host, cat);
+    stats.messages += t.messages;
+    if (t.ok) {
+      if (VirtualNode* succ = routers_[succ_ptr->host]->find_vnode(succ_ptr->id)) {
+        if (succ->predecessor.has_value() && succ->predecessor->id == id) {
+          succ->predecessor = pred_ptr;
+          ++stats.pointers_torn;
+        }
+      }
+    }
+  }
+
+  // Teardowns walk the predecessor chain: every vnode holding `id` in its
+  // successor group drops it.  Refills run in a second phase once every
+  // holder has been cleaned -- otherwise a refill could copy the departing
+  // ID right back out of a not-yet-cleaned neighbor (visible in small
+  // rings, where everyone holds everyone).
+  if (pred_ptr.has_value()) {
+    std::vector<NeighborPtr> cleaned;
+    NeighborPtr walk = *pred_ptr;
+    NodeIndex from = gw;
+    for (std::size_t depth = 0; depth < cfg_.successor_group; ++depth) {
+      const Transfer t = unicast(from, walk.host, cat);
+      if (!t.ok) break;
+      stats.messages += t.messages;
+      VirtualNode* p = routers_[walk.host]->find_vnode(walk.id);
+      if (p == nullptr) break;
+      const bool had = std::any_of(p->successors.begin(), p->successors.end(),
+                                   [&](const NeighborPtr& s) { return s.id == id; });
+      if (had) {
+        remove_successor(*p, id);
+        ++stats.pointers_torn;
+        routers_[walk.host]->reindex_vnode(p->id);
+        cleaned.push_back(walk);
+      }
+      // The nearest predecessor inherits orphaned ephemeral backpointers.
+      if (depth == 0) {
+        for (const auto& [eid, egw] : orphans) {
+          routers_[walk.host]->add_ephemeral_backpointer(eid, egw);
+        }
+      }
+      if (!p->predecessor.has_value()) break;
+      from = walk.host;
+      walk = *p->predecessor;
+    }
+    for (const NeighborPtr& w : cleaned) {
+      VirtualNode* p = routers_[w.host]->find_vnode(w.id);
+      if (p == nullptr) continue;
+      stats.messages += refill_successors(*p, cat, id);
+    }
+  }
+
+  // Directed flood (section 3.2, "Host failure"): a source-routed flood over
+  // the constrained router set -- the routers that carried this ID's control
+  // messages -- clearing their cached pointers.
+  if (directed_flood && !control_path.empty()) {
+    for (const NodeIndex r : control_path) {
+      if (r < routers_.size()) routers_[r]->cache().erase(id);
+    }
+    const std::uint64_t flood_msgs = control_path.size() > 0
+                                         ? control_path.size() - 1
+                                         : 0;
+    stats.messages += flood_msgs;
+    sim_.counters().add(cat, flood_msgs);
+  }
+  return stats;
+}
+
+RepairStats Network::fail_host(const NodeId& id) {
+  RepairStats stats = splice_out(id, /*directed_flood=*/true,
+                                 sim::MsgCategory::kTeardown);
+  host_identities_.erase(id);
+  host_class_.erase(id);
+  return stats;
+}
+
+RepairStats Network::leave_host(const NodeId& id) {
+  RepairStats stats = splice_out(id, /*directed_flood=*/false,
+                                 sim::MsgCategory::kTeardown);
+  host_identities_.erase(id);
+  host_class_.erase(id);
+  return stats;
+}
+
+NodeIndex Network::failover_router(NodeIndex failed) const {
+  // Routers agree in advance on a deterministic failover order (section
+  // 3.2): the next live router in index order.
+  for (std::size_t k = 1; k < routers_.size(); ++k) {
+    const auto cand =
+        static_cast<NodeIndex>((failed + k) % routers_.size());
+    if (topo_->graph.node_up(cand)) return cand;
+  }
+  return graph::kInvalidNode;
+}
+
+std::uint32_t Network::tear_unreachable_pointers() {
+  std::uint32_t torn = 0;
+  for (auto& r : routers_) {
+    if (!topo_->graph.node_up(r->index())) continue;
+    std::vector<NodeId> dirty;
+    for (const auto& [vid, vn_const] : r->vnodes()) {
+      VirtualNode* vn = r->find_vnode(vid);
+      const std::size_t before = vn->successors.size();
+      std::erase_if(vn->successors, [&](const NeighborPtr& s) {
+        if (!map_->reachable(r->index(), s.host)) return true;
+        return routers_[s.host]->find_vnode(s.id) == nullptr;
+      });
+      if (vn->predecessor.has_value()) {
+        const NeighborPtr p = *vn->predecessor;
+        if (!map_->reachable(r->index(), p.host) ||
+            routers_[p.host]->find_vnode(p.id) == nullptr) {
+          vn->predecessor.reset();
+          ++torn;
+        }
+      }
+      if (vn->successors.size() != before) {
+        torn += static_cast<std::uint32_t>(before - vn->successors.size());
+        dirty.push_back(vid);
+      }
+    }
+    for (const NodeId& vid : dirty) r->reindex_vnode(vid);
+  }
+  return torn;
+}
+
+RepairStats Network::repair_partitions() {
+  RepairStats stats;
+  stats.pointers_torn = tear_unreachable_pointers();
+
+  // Zero-ID convergence (section 3.2): routers distribute the smallest ID
+  // they know of (piggybacked on link-state advertisements) until every
+  // component agrees on its minimum; only then do rings merge.  The
+  // protocol runs explicitly here and its advertisement traffic is charged.
+  {
+    ZeroIdProtocol zero(&topo_->graph);
+    for (const auto& r : routers_) {
+      if (!topo_->graph.node_up(r->index())) continue;
+      std::optional<NodeId> smallest;
+      for (const auto& [vid, vn] : r->vnodes()) {
+        if (vn.host_class == HostClass::kEphemeral) continue;
+        smallest = vid;  // vnodes_ is sorted: first stable id is smallest
+        break;
+      }
+      zero.set_local_min(r->index(), smallest);
+    }
+    const auto conv = zero.run_to_convergence();
+    // "In practice, the zero node advertisements are piggybacked on
+    // link-state advertisements": they consume LSA bytes, not extra
+    // packets, so they are accounted on the link-state channel and do not
+    // inflate the repair packet counts of figure 7.
+    sim_.counters().add(sim::MsgCategory::kLinkState, conv.messages);
+    assert(zero.verify_consistent());
+  }
+
+  // Gather live stable vnodes per connected component.
+  const auto comp = topo_->graph.components();
+  std::map<NodeIndex, std::vector<std::pair<NodeId, NodeIndex>>> rings;
+  for (const auto& [id, host] : directory_) {
+    if (!topo_->graph.node_up(host)) continue;
+    const auto cls = host_class_.find(id);
+    if (cls != host_class_.end() && cls->second == HostClass::kEphemeral) continue;
+    rings[comp[host]].emplace_back(id, host);
+  }
+
+  for (auto& [component, members] : rings) {
+    std::sort(members.begin(), members.end());
+    const std::size_t n = members.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [vid, vhost] = members[i];
+      VirtualNode* vn = routers_[vhost]->find_vnode(vid);
+      if (vn == nullptr) continue;
+
+      // Desired successor group within this component.
+      std::vector<NeighborPtr> want;
+      for (std::size_t s = 1; s <= cfg_.successor_group && s < n; ++s) {
+        const auto& [sid, shost] = members[(i + s) % n];
+        want.push_back(NeighborPtr{sid, shost});
+      }
+      std::optional<NeighborPtr> want_pred;
+      if (n > 1) {
+        const auto& [pid, phost] = members[(i + n - 1) % n];
+        want_pred = NeighborPtr{pid, phost};
+      }
+
+      // Charge repair messages only for pointers that actually change:
+      // unaffected vnodes cost nothing, matching the paper's finding that
+      // repair overhead tracks the number of affected identifiers.
+      bool changed = false;
+      if (vn->successors != want) {
+        for (const NeighborPtr& w : want) {
+          const bool had = std::any_of(
+              vn->successors.begin(), vn->successors.end(),
+              [&](const NeighborPtr& s) { return s.id == w.id && s.host == w.host; });
+          if (!had) {
+            const Transfer t =
+                unicast(vhost, w.host, sim::MsgCategory::kRepair);
+            stats.messages += t.messages;
+          }
+        }
+        vn->successors = want;
+        changed = true;
+      }
+      if (vn->predecessor != want_pred) {
+        if (want_pred.has_value()) {
+          const Transfer t =
+              unicast(vhost, want_pred->host, sim::MsgCategory::kRepair);
+          stats.messages += t.messages;
+        }
+        vn->predecessor = want_pred;
+        changed = true;
+      }
+      if (changed) {
+        routers_[vhost]->reindex_vnode(vid);
+        ++stats.ids_rejoined;
+      }
+    }
+  }
+
+  // Re-anchor ephemeral backpointers whose predecessor moved or became
+  // unreachable.
+  for (const auto& [id, gw] : directory_) {
+    const auto cls = host_class_.find(id);
+    if (cls == host_class_.end() || cls->second != HostClass::kEphemeral) continue;
+    if (!topo_->graph.node_up(gw)) continue;
+    const LocateResult loc =
+        locate_predecessor(gw, id, sim::MsgCategory::kRepair);
+    if (!loc.ok) continue;
+    stats.messages += loc.messages;
+    Router& pred_r = *routers_[loc.pred_router];
+    if (pred_r.ephemeral_gateway(id) != gw) {
+      pred_r.add_ephemeral_backpointer(id, gw);
+      VirtualNode* evn = routers_[gw]->find_vnode(id);
+      if (evn != nullptr) {
+        evn->predecessor = NeighborPtr{loc.pred_id, loc.pred_router};
+      }
+    }
+  }
+  return stats;
+}
+
+RepairStats Network::fail_router(NodeIndex r) {
+  RepairStats stats;
+  if (r >= routers_.size() || !topo_->graph.node_up(r)) return stats;
+
+  // Snapshot the resident IDs before the crash erases them.
+  struct Lost {
+    Identity ident;
+    HostClass cls;
+  };
+  std::vector<Lost> lost_hosts;
+  std::vector<NodeId> lost_ids;
+  for (const auto& [id, vn] : routers_[r]->vnodes()) {
+    lost_ids.push_back(id);
+    if (vn.is_default) continue;
+    const auto it = host_identities_.find(id);
+    if (it != host_identities_.end()) {
+      // Group-held IDs (anycast/multicast) have no per-host identity and are
+      // not auto-rejoined; their members re-register themselves.
+      lost_hosts.push_back(Lost{it->second, host_class_.at(id)});
+    }
+  }
+
+  // The crash: LSA flood + cache invalidation via the subscription.
+  map_->fail_node(r);
+  for (const NodeId& id : lost_ids) directory_.erase(id);
+
+  // Ring repair around everything the router hosted or was pointed at by.
+  const RepairStats ring = repair_partitions();
+  stats.messages += ring.messages;
+  stats.pointers_torn += ring.pointers_torn;
+
+  // Each disconnected host rejoins via its deterministic failover router
+  // (section 3.2, "Router failure").
+  const NodeIndex fo = failover_router(r);
+  if (fo != graph::kInvalidNode) {
+    for (const Lost& h : lost_hosts) {
+      host_identities_.erase(h.ident.id());
+      host_class_.erase(h.ident.id());
+      const JoinStats j = join_host(h.ident, fo, h.cls);
+      if (j.ok) {
+        stats.messages += j.messages;
+        ++stats.ids_rejoined;
+      }
+    }
+  }
+  return stats;
+}
+
+RepairStats Network::restore_router(NodeIndex r) {
+  RepairStats stats;
+  if (r >= routers_.size() || topo_->graph.node_up(r)) return stats;
+  // Clear any stale state from before the crash, then come back up.
+  std::vector<NodeId> stale;
+  for (const auto& [id, vn] : routers_[r]->vnodes()) stale.push_back(id);
+  for (const NodeId& id : stale) routers_[r]->remove_vnode(id);
+  routers_[r]->cache().clear();
+  map_->restore_node(r);
+
+  // The router's default vnode rejoins the ring.
+  VirtualNode vn;
+  vn.id = routers_[r]->router_id();
+  vn.pub = routers_[r]->identity().public_key();
+  vn.is_default = true;
+  vn.home = r;
+  routers_[r]->add_vnode(std::move(vn));
+  directory_[routers_[r]->router_id()] = r;
+  const RepairStats fix = repair_partitions();
+  stats.messages += fix.messages;
+  stats.ids_rejoined = fix.ids_rejoined;
+  return stats;
+}
+
+RepairStats Network::fail_link(NodeIndex u, NodeIndex v) {
+  map_->fail_link(u, v);
+  return repair_partitions();
+}
+
+RepairStats Network::restore_link(NodeIndex u, NodeIndex v) {
+  map_->restore_link(u, v);
+  return repair_partitions();
+}
+
+RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
+  RouteStats stats;
+  if (src_router >= routers_.size() || !topo_->graph.node_up(src_router)) {
+    return stats;
+  }
+  // Oracle: the IGP distance to the destination's hosting router, for the
+  // stretch metric.  Not consulted by forwarding.
+  if (const auto host = hosting_router(dest)) {
+    stats.shortest_hops = map_->hop_distance(src_router, *host).value_or(0);
+  }
+
+  NodeIndex cur = src_router;
+  routers_[cur]->count_traversal();
+  std::vector<NodeIndex> traversed{cur};
+  std::optional<Candidate> chasing;
+  // When the chased pointer came from a cache, remember whose cache, so the
+  // teardown on stale discovery reaches the pointer holder (invariant (b)).
+  NodeIndex chasing_origin = graph::kInvalidNode;
+  NodeId committed_dist = NodeId{}.minus(NodeId::from_u64(1));
+  std::set<NodeId> dead_this_walk;
+
+  for (std::uint32_t step = 0; step < cfg_.max_forwarding_hops; ++step) {
+    Router& r = *routers_[cur];
+    // Delivery checks: resident vnode, or ephemeral backpointer here.
+    if (r.hosts(dest)) {
+      stats.delivered = true;
+      // Optional data-plane snooping: traversed routers cache the
+      // destination now that its location is confirmed.
+      if (cfg_.cache_data_paths) {
+        cache_along_path(traversed, dest, cur);
+      }
+      return stats;
+    }
+    if (const auto egw = r.ephemeral_gateway(dest)) {
+      const auto path = map_->path(cur, *egw);
+      if (!path.empty()) {
+        for (std::size_t i = 1; i < path.size(); ++i) {
+          routers_[path[i]]->count_traversal();
+        }
+        const auto hops = static_cast<std::uint32_t>(path.size() - 1);
+        stats.physical_hops += hops;
+        stats.latency_ms += map_->latency_ms(cur, *egw).value_or(0.0);
+        sim_.counters().add(sim::MsgCategory::kData, hops);
+        stats.delivered = true;
+        return stats;
+      }
+      return stats;
+    }
+
+    // Algorithm 2: best resident/successor candidate vs best cached pointer.
+    std::vector<std::pair<Candidate, bool>> cands;  // candidate, from-cache
+    if (auto c = r.vn_best_match(dest)) cands.emplace_back(*c, false);
+    if (const CacheEntry* e = r.cache().best_match(dest)) {
+      if (map_->route_valid(e->path)) {
+        cands.emplace_back(Candidate{e->id, e->host, false}, true);
+      }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [&](const auto& a, const auto& b) {
+                return NodeId::closer_to(dest, a.first.id, b.first.id);
+              });
+
+    bool switched = false;
+    for (const auto& [c, from_cache] : cands) {
+      if (dead_this_walk.contains(c.id)) {
+        r.cache().erase(c.id);
+        continue;
+      }
+      const NodeId d = NodeId::distance_cw(c.id, dest);
+      if (d < committed_dist) {
+        chasing = c;
+        chasing_origin = from_cache ? cur : graph::kInvalidNode;
+        committed_dist = d;
+        ++stats.ring_hops;
+        switched = true;
+        break;
+      }
+    }
+    if (!chasing.has_value()) return stats;  // no way to make progress
+    if (!switched && cur == chasing->host) {
+      if (r.hosts(chasing->id)) {
+        // The chased ID is alive here and offers no further progress: the
+        // destination genuinely does not exist in this component.
+        return stats;
+      }
+      // Stale pointer: the chased ID left this router without this cache
+      // entry being flooded away.  Discovering the stale route tears it down
+      // at the discovery point AND -- via a teardown message back along the
+      // path -- at the router whose cache supplied it (invariant (b) of
+      // section 3.2).  Forwarding restarts from ring state; each reset
+      // removes stale entries, so this terminates.
+      r.cache().erase(chasing->id);
+      dead_this_walk.insert(chasing->id);
+      if (chasing_origin != graph::kInvalidNode && chasing_origin != cur) {
+        const Transfer back =
+            unicast(cur, chasing_origin, sim::MsgCategory::kTeardown);
+        (void)back;
+        routers_[chasing_origin]->cache().erase(chasing->id);
+      }
+      chasing.reset();
+      chasing_origin = graph::kInvalidNode;
+      committed_dist = NodeId{}.minus(NodeId::from_u64(1));
+      continue;
+    }
+
+    const auto next = map_->next_hop(cur, chasing->host);
+    if (!next.has_value() || *next == cur) {
+      // Path to the chased pointer died; drop it (and any matching cache
+      // entry) and re-evaluate from scratch at this router.
+      r.cache().erase(chasing->id);
+      chasing.reset();
+      continue;
+    }
+    // Per-hop latency of the link about to be crossed.
+    for (const graph::Edge& e : topo_->graph.neighbors(cur)) {
+      if (e.to == *next) {
+        stats.latency_ms += e.latency_ms;
+        break;
+      }
+    }
+    cur = *next;
+    traversed.push_back(cur);
+    routers_[cur]->count_traversal();
+    ++stats.physical_hops;
+    sim_.counters().add(sim::MsgCategory::kData, 1);
+  }
+  return stats;
+}
+
+std::optional<NodeIndex> Network::hosting_router(const NodeId& id) const {
+  const auto it = directory_.find(id);
+  if (it == directory_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Network::verify_rings(std::string* err, bool strict) const {
+  const auto comp = topo_->graph.components();
+  // Collect live stable vnodes per component.
+  std::map<NodeIndex, std::vector<std::pair<NodeId, NodeIndex>>> rings;
+  for (const auto& [id, host] : directory_) {
+    if (!topo_->graph.node_up(host)) continue;
+    const auto cls = host_class_.find(id);
+    if (cls != host_class_.end() && cls->second == HostClass::kEphemeral) continue;
+    rings[comp[host]].emplace_back(id, host);
+  }
+  for (const auto& [component, members_const] : rings) {
+    auto members = members_const;
+    std::sort(members.begin(), members.end());
+    const std::size_t n = members.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [vid, vhost] = members[i];
+      const VirtualNode* vn = routers_[vhost]->find_vnode(vid);
+      if (vn == nullptr) {
+        if (err != nullptr) {
+          std::ostringstream os;
+          os << "directory lists " << vid << " at router " << vhost
+             << " but no vnode exists";
+          *err = os.str();
+        }
+        return false;
+      }
+      if (n == 1) continue;
+      const auto& [expect_id, expect_host] = members[(i + 1) % n];
+      const NeighborPtr* succ = vn->first_successor();
+      if (succ == nullptr || succ->id != expect_id || succ->host != expect_host) {
+        if (err != nullptr) {
+          std::ostringstream os;
+          os << "vnode " << vid << " at router " << vhost
+             << " successor mismatch: expected " << expect_id << "@"
+             << expect_host;
+          if (succ != nullptr) os << " got " << succ->id << "@" << succ->host;
+          *err = os.str();
+        }
+        return false;
+      }
+      if (strict) {
+        const std::size_t want = std::min(cfg_.successor_group, n - 1);
+        if (vn->successors.size() != want) {
+          if (err != nullptr) {
+            std::ostringstream os;
+            os << "vnode " << vid << " group size " << vn->successors.size()
+               << " != " << want;
+            *err = os.str();
+          }
+          return false;
+        }
+        for (std::size_t s = 0; s < want; ++s) {
+          const auto& [sid, shost] = members[(i + s + 1) % n];
+          if (vn->successors[s].id != sid || vn->successors[s].host != shost) {
+            if (err != nullptr) {
+              std::ostringstream os;
+              os << "vnode " << vid << " successor[" << s << "] mismatch";
+              *err = os.str();
+            }
+            return false;
+          }
+        }
+        const auto& [pid, phost] = members[(i + n - 1) % n];
+        if (!vn->predecessor.has_value() || vn->predecessor->id != pid ||
+            vn->predecessor->host != phost) {
+          if (err != nullptr) {
+            std::ostringstream os;
+            os << "vnode " << vid << " predecessor mismatch";
+            *err = os.str();
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double Network::mean_state_entries() const {
+  std::uint64_t total = 0;
+  std::size_t live = 0;
+  for (const auto& r : routers_) {
+    if (!topo_->graph.node_up(r->index())) continue;
+    total += r->state_entries();
+    ++live;
+  }
+  return live == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(live);
+}
+
+std::uint64_t Network::resident_state_bits() const {
+  std::uint64_t ids = 0;
+  for (const auto& r : routers_) {
+    if (!topo_->graph.node_up(r->index())) continue;
+    ids += r->resident_count();
+  }
+  return ids * 128;
+}
+
+void Network::reset_traffic_counters() {
+  for (auto& r : routers_) r->reset_traversals();
+}
+
+}  // namespace rofl::intra

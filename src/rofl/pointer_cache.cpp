@@ -1,0 +1,98 @@
+#include "rofl/pointer_cache.hpp"
+
+#include <algorithm>
+
+namespace rofl::intra {
+
+void PointerCache::insert(const NodeId& id, NodeIndex host, SourceRoute path) {
+  if (capacity_ == 0) return;
+  auto [it, inserted] = entries_.insert_or_assign(
+      id, CacheEntry{id, host, std::move(path)});
+  (void)it;
+  if (inserted && entries_.size() > capacity_) evict_lru();
+  touch(id);
+}
+
+const CacheEntry* PointerCache::best_match(const NodeId& dest) {
+  if (entries_.empty()) {
+    ++misses_;
+    return nullptr;
+  }
+  // Largest key <= dest in ring order == minimal clockwise distance to dest.
+  auto it = entries_.upper_bound(dest);
+  if (it == entries_.begin()) it = entries_.end();
+  --it;
+  ++hits_;
+  touch(it->first);
+  return &it->second;
+}
+
+const CacheEntry* PointerCache::find(const NodeId& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PointerCache::erase(const NodeId& id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  entries_.erase(it);
+  const auto tick_it = tick_of_.find(id);
+  if (tick_it != tick_of_.end()) {
+    by_tick_.erase(tick_it->second);
+    tick_of_.erase(tick_it);
+  }
+}
+
+void PointerCache::invalidate_through_router(NodeIndex router) {
+  std::vector<NodeId> dead;
+  for (const auto& [id, entry] : entries_) {
+    if (std::find(entry.path.begin(), entry.path.end(), router) !=
+        entry.path.end()) {
+      dead.push_back(id);
+    }
+  }
+  for (const NodeId& id : dead) erase(id);
+}
+
+void PointerCache::invalidate_through_link(NodeIndex u, NodeIndex v) {
+  std::vector<NodeId> dead;
+  for (const auto& [id, entry] : entries_) {
+    for (std::size_t i = 0; i + 1 < entry.path.size(); ++i) {
+      if ((entry.path[i] == u && entry.path[i + 1] == v) ||
+          (entry.path[i] == v && entry.path[i + 1] == u)) {
+        dead.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const NodeId& id : dead) erase(id);
+}
+
+void PointerCache::clear() {
+  entries_.clear();
+  by_tick_.clear();
+  tick_of_.clear();
+}
+
+void PointerCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) evict_lru();
+}
+
+void PointerCache::touch(const NodeId& id) {
+  const auto tick_it = tick_of_.find(id);
+  if (tick_it != tick_of_.end()) by_tick_.erase(tick_it->second);
+  by_tick_[next_tick_] = id;
+  tick_of_[id] = next_tick_;
+  ++next_tick_;
+}
+
+void PointerCache::evict_lru() {
+  if (by_tick_.empty()) return;
+  const auto oldest = by_tick_.begin();
+  entries_.erase(oldest->second);
+  tick_of_.erase(oldest->second);
+  by_tick_.erase(oldest);
+}
+
+}  // namespace rofl::intra

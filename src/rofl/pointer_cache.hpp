@@ -1,0 +1,79 @@
+// pointer_cache.hpp -- bounded per-router cache of source-route pointers.
+//
+// "Whenever a source route is established, the routers along the path can
+// cache the route. ... The pointer-cache of routers is limited in size, and
+// precedence is given to pointers [from resident IDs]" (section 2.2).  The
+// cache is the knob behind figure 6a: bigger caches shortcut greedy routing
+// and cut stretch.  Eviction is LRU; ring pointers owned by virtual nodes
+// never live here, so precedence is structural.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "rofl/types.hpp"
+
+namespace rofl::intra {
+
+struct CacheEntry {
+  NodeId id;
+  NodeIndex host = graph::kInvalidNode;
+  SourceRoute path;  // physical route from the caching router to `host`
+};
+
+class PointerCache {
+ public:
+  explicit PointerCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts/refreshes an entry.  Evicts the least-recently-used entry when
+  /// full.  A capacity of zero disables the cache entirely.
+  void insert(const NodeId& id, NodeIndex host, SourceRoute path);
+
+  /// The cached ID closest to `dest` without overshooting it (the entry
+  /// minimising clockwise distance to dest), or nullptr if empty.  Marks the
+  /// returned entry as used.
+  [[nodiscard]] const CacheEntry* best_match(const NodeId& dest);
+
+  /// Exact lookup without touching LRU state.
+  [[nodiscard]] const CacheEntry* find(const NodeId& id) const;
+
+  void erase(const NodeId& id);
+
+  /// Drops every entry whose source route traverses `router` (router
+  /// failure, section 2.2 "Recovering").
+  void invalidate_through_router(NodeIndex router);
+
+  /// Drops every entry whose source route uses link (u,v) in either
+  /// direction (link failure, section 3.2).
+  void invalidate_through_link(NodeIndex u, NodeIndex v);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity);
+
+  [[nodiscard]] const std::map<NodeId, CacheEntry>& entries() const {
+    return entries_;
+  }
+
+  // -- cache-effectiveness accounting (benches) -----------------------------
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  void touch(const NodeId& id);
+  void evict_lru();
+
+  std::size_t capacity_;
+  std::map<NodeId, CacheEntry> entries_;
+  // LRU bookkeeping: tick -> id and id -> tick.
+  std::map<std::uint64_t, NodeId> by_tick_;
+  std::map<NodeId, std::uint64_t> tick_of_;
+  std::uint64_t next_tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rofl::intra

@@ -1,0 +1,119 @@
+#include "rofl/router.hpp"
+
+#include <cassert>
+
+namespace rofl::intra {
+
+Router::Router(NodeIndex index, Identity identity, std::size_t cache_capacity)
+    : index_(index), identity_(std::move(identity)), cache_(cache_capacity) {}
+
+VirtualNode* Router::add_vnode(VirtualNode vn) {
+  vn.home = index_;
+  const NodeId id = vn.id;
+  auto [it, inserted] = vnodes_.emplace(id, std::move(vn));
+  if (!inserted) return nullptr;
+  // Ephemeral hosts never serve as anyone's successor or predecessor
+  // (section 2.2), so they stay out of the greedy index entirely; packets
+  // for them stop at the predecessor's backpointer.
+  if (it->second.host_class != HostClass::kEphemeral) {
+    index_ptr(id, index_, /*resident=*/true);
+    for (const NeighborPtr& s : it->second.successors) {
+      index_ptr(s.id, s.host, /*resident=*/false);
+    }
+  }
+  return &it->second;
+}
+
+void Router::remove_vnode(const NodeId& id) {
+  const auto it = vnodes_.find(id);
+  if (it == vnodes_.end()) return;
+  vnodes_.erase(it);
+  // Full rebuild keeps the resident flag exact even when the removed ID was
+  // also some co-resident vnode's successor.
+  reindex_vnode(id);
+}
+
+VirtualNode* Router::find_vnode(const NodeId& id) {
+  const auto it = vnodes_.find(id);
+  return it == vnodes_.end() ? nullptr : &it->second;
+}
+
+const VirtualNode* Router::find_vnode(const NodeId& id) const {
+  const auto it = vnodes_.find(id);
+  return it == vnodes_.end() ? nullptr : &it->second;
+}
+
+void Router::reindex_vnode(const NodeId& id) {
+  // Successor sets are small (successor-group size), so rebuild the whole
+  // index contribution of this vnode: drop all non-resident refs we can't
+  // attribute, which requires a full rebuild of known_.  Cheaper: rebuild
+  // from scratch over all vnodes -- still O(resident * group) and only done
+  // on ring maintenance, not on forwarding.
+  known_.clear();
+  for (const auto& [vid, vn] : vnodes_) {
+    if (vn.host_class == HostClass::kEphemeral) continue;
+    index_ptr(vid, index_, /*resident=*/true);
+    for (const NeighborPtr& s : vn.successors) {
+      index_ptr(s.id, s.host, /*resident=*/false);
+    }
+  }
+  (void)id;
+}
+
+void Router::add_ephemeral_backpointer(const NodeId& id, NodeIndex gateway) {
+  ephemerals_[id] = gateway;
+}
+
+void Router::remove_ephemeral_backpointer(const NodeId& id) {
+  ephemerals_.erase(id);
+}
+
+std::optional<NodeIndex> Router::ephemeral_gateway(const NodeId& id) const {
+  const auto it = ephemerals_.find(id);
+  if (it == ephemerals_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Candidate> Router::vn_best_match(const NodeId& dest) const {
+  if (known_.empty()) return std::nullopt;
+  auto it = known_.upper_bound(dest);
+  if (it == known_.begin()) it = known_.end();
+  --it;
+  return Candidate{it->first, it->second.host, it->second.resident};
+}
+
+bool Router::hosts(const NodeId& dest) const {
+  return vnodes_.contains(dest);
+}
+
+VirtualNode* Router::predecessor_vnode_of(const NodeId& id) {
+  for (auto& [vid, vn] : vnodes_) {
+    if (vn.host_class == HostClass::kEphemeral) continue;
+    const NeighborPtr* succ = vn.first_successor();
+    if (succ == nullptr) continue;
+    if (NodeId::in_interval_oc(vid, id, succ->id)) return &vn;
+  }
+  return nullptr;
+}
+
+std::size_t Router::state_entries() const {
+  std::size_t n = cache_.size();
+  for (const auto& [id, vn] : vnodes_) {
+    n += 1 + vn.successors.size() + (vn.predecessor.has_value() ? 1 : 0);
+  }
+  n += ephemerals_.size();
+  return n;
+}
+
+void Router::index_ptr(const NodeId& id, NodeIndex host, bool resident) {
+  auto [it, inserted] = known_.try_emplace(id, IndexedPtr{host, resident, 1});
+  if (!inserted) {
+    ++it->second.refs;
+    if (resident) {
+      it->second.resident = true;
+      it->second.host = host;
+    }
+  }
+}
+
+}  // namespace rofl::intra

@@ -1,0 +1,105 @@
+// router.hpp -- a ROFL hosting router (sections 2.2, 3).
+//
+// Each router owns: its self-certified identity (held by a "default" virtual
+// node whose successors double as default routes), a virtual node per
+// resident host ID, backpointer state for ephemeral hosts, and a bounded
+// pointer cache.  The router keeps a sorted index of every ID it can make
+// greedy progress toward (resident IDs plus all their successors); Algorithm
+// 2's VN.best_match is a lookup in that index.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "rofl/pointer_cache.hpp"
+#include "rofl/types.hpp"
+
+namespace rofl::intra {
+
+/// A candidate next pointer for greedy forwarding.
+struct Candidate {
+  NodeId id;                          // the ID we'd be making progress toward
+  NodeIndex host = graph::kInvalidNode;  // router currently hosting it
+  bool resident = false;              // true if hosted here
+};
+
+class Router {
+ public:
+  Router(NodeIndex index, Identity identity, std::size_t cache_capacity);
+
+  [[nodiscard]] NodeIndex index() const { return index_; }
+  [[nodiscard]] NodeId router_id() const { return identity_.id(); }
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+
+  // -- virtual nodes --------------------------------------------------------
+  /// Registers a vnode (Algorithm 1, register_virtual_node).  Returns the
+  /// stored node.  Fails (nullptr) if the ID is already resident.
+  VirtualNode* add_vnode(VirtualNode vn);
+  void remove_vnode(const NodeId& id);
+  [[nodiscard]] VirtualNode* find_vnode(const NodeId& id);
+  [[nodiscard]] const VirtualNode* find_vnode(const NodeId& id) const;
+  [[nodiscard]] const std::map<NodeId, VirtualNode>& vnodes() const {
+    return vnodes_;
+  }
+  [[nodiscard]] std::size_t resident_count() const { return vnodes_.size(); }
+
+  /// Re-indexes a vnode's successor set after the caller mutated it.
+  void reindex_vnode(const NodeId& id);
+
+  // -- ephemeral backpointers (section 2.2, "Ephemeral hosts") --------------
+  /// Called on the *predecessor's* router: remembers that ephemeral `id`
+  /// currently hangs off `gateway`.
+  void add_ephemeral_backpointer(const NodeId& id, NodeIndex gateway);
+  void remove_ephemeral_backpointer(const NodeId& id);
+  [[nodiscard]] std::optional<NodeIndex> ephemeral_gateway(const NodeId& id) const;
+  [[nodiscard]] const std::map<NodeId, NodeIndex>& ephemeral_backpointers() const {
+    return ephemerals_;
+  }
+
+  // -- Algorithm 2 ----------------------------------------------------------
+  /// VN.best_match: the closest ID to `dest` (clockwise, not past it) among
+  /// resident IDs and their successors.  nullopt when the router has no
+  /// vnode state at all.
+  [[nodiscard]] std::optional<Candidate> vn_best_match(const NodeId& dest) const;
+
+  /// True if `dest` is a resident (non-default) ID or the router's own ID.
+  [[nodiscard]] bool hosts(const NodeId& dest) const;
+
+  /// Finds the resident vnode that is `id`'s predecessor, i.e. a vnode v
+  /// with id in (v.id, v.successor0.id].  Used to terminate join routing.
+  [[nodiscard]] VirtualNode* predecessor_vnode_of(const NodeId& id);
+
+  PointerCache& cache() { return cache_; }
+  const PointerCache& cache() const { return cache_; }
+
+  /// Total routing-table entries held (resident vnode pointers + cache):
+  /// the figure 6c memory metric.
+  [[nodiscard]] std::size_t state_entries() const;
+
+  // -- load accounting (figure 6b) ------------------------------------------
+  void count_traversal() { ++traversals_; }
+  [[nodiscard]] std::uint64_t traversals() const { return traversals_; }
+  void reset_traversals() { traversals_ = 0; }
+
+ private:
+  void index_ptr(const NodeId& id, NodeIndex host, bool resident);
+
+  NodeIndex index_;
+  Identity identity_;
+  std::map<NodeId, VirtualNode> vnodes_;
+  std::map<NodeId, NodeIndex> ephemerals_;
+  PointerCache cache_;
+  std::uint64_t traversals_ = 0;
+
+  // Greedy index over {resident IDs} U {their successors}.  Values carry a
+  // refcount because several vnodes can share a successor ID.
+  struct IndexedPtr {
+    NodeIndex host;
+    bool resident;
+    int refs;
+  };
+  std::map<NodeId, IndexedPtr> known_;
+};
+
+}  // namespace rofl::intra

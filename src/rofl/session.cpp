@@ -1,0 +1,51 @@
+#include "rofl/session.hpp"
+
+namespace rofl::intra {
+
+SessionManager::SessionManager(Network& net, SessionConfig cfg)
+    : net_(&net), cfg_(cfg) {}
+
+void SessionManager::track(const NodeId& id, std::function<bool()> alive) {
+  auto [it, inserted] =
+      sessions_.insert_or_assign(id, Session{std::move(alive), 0, 0});
+  if (!inserted) ++it->second.epoch;
+  schedule_tick(id, it->second.epoch);
+}
+
+void SessionManager::untrack(const NodeId& id) { sessions_.erase(id); }
+
+void SessionManager::schedule_tick(const NodeId& id, std::uint64_t epoch) {
+  net_->simulator().schedule_in(
+      cfg_.keepalive_interval_ms,
+      [this, id, epoch] { tick(id, epoch); });
+}
+
+void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.epoch != epoch) return;
+  Session& s = it->second;
+  if (s.alive()) {
+    // The host emits a keepalive over its access link.
+    wire::Packet ka;
+    ka.type = wire::PacketType::kKeepalive;
+    ka.source = id;
+    ka.destination = id;  // to the gateway's session state for this ID
+    net_->simulator().counters().add(sim::MsgCategory::kControl,
+                                     ka.fragments());
+    ++keepalives_;
+    s.missed = 0;
+    schedule_tick(id, epoch);
+    return;
+  }
+  if (++s.missed >= cfg_.miss_limit) {
+    // Session timeout: the gateway runs the section-3.2 host-failure
+    // machinery (teardowns + directed flood).
+    ++timeouts_;
+    sessions_.erase(it);
+    (void)net_->fail_host(id);
+    return;
+  }
+  schedule_tick(id, epoch);
+}
+
+}  // namespace rofl::intra

@@ -1,0 +1,66 @@
+// session.hpp -- host-gateway sessions with keepalive-driven failure
+// detection.
+//
+// Section 3.2 detects host failure "through a session timeout".  This module
+// makes that concrete and event-driven: each attached host keeps a session
+// with its gateway; the host schedules keepalives on the simulator clock and
+// the gateway declares the host dead -- triggering Network::fail_host and
+// its teardown machinery -- when `miss_limit` intervals elapse without one.
+// Keepalives ride the wire format (kKeepalive packets), so their cost and
+// size are real.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "rofl/network.hpp"
+#include "wire/packet.hpp"
+
+namespace rofl::intra {
+
+struct SessionConfig {
+  double keepalive_interval_ms = 1'000.0;
+  unsigned miss_limit = 3;
+};
+
+class SessionManager {
+ public:
+  /// `net` must outlive the manager; events are scheduled on net's
+  /// simulator.
+  SessionManager(Network& net, SessionConfig cfg);
+
+  /// Starts supervising an attached host.  The host object is modeled by a
+  /// liveness callback: it returns false once the host has silently died
+  /// (no more keepalives are produced).
+  void track(const NodeId& id, std::function<bool()> alive);
+
+  /// Graceful stop (host detached cleanly; no timeout fires).
+  void untrack(const NodeId& id);
+
+  [[nodiscard]] std::size_t tracked_count() const { return sessions_.size(); }
+  [[nodiscard]] bool tracking(const NodeId& id) const {
+    return sessions_.contains(id);
+  }
+  /// Hosts declared dead so far (and therefore failed out of the ring).
+  [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_; }
+  /// Total keepalive packets sent.
+  [[nodiscard]] std::uint64_t keepalives_sent() const { return keepalives_; }
+
+ private:
+  struct Session {
+    std::function<bool()> alive;
+    unsigned missed = 0;
+    std::uint64_t epoch = 0;  // invalidates stale timer callbacks
+  };
+
+  void schedule_tick(const NodeId& id, std::uint64_t epoch);
+  void tick(const NodeId& id, std::uint64_t epoch);
+
+  Network* net_;
+  SessionConfig cfg_;
+  std::map<NodeId, Session> sessions_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t keepalives_ = 0;
+};
+
+}  // namespace rofl::intra

@@ -1,0 +1,87 @@
+// types.hpp -- shared vocabulary of the intradomain ROFL protocol (section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/identity.hpp"
+#include "util/node_id.hpp"
+
+namespace rofl::intra {
+
+using graph::NodeIndex;
+
+/// A hop-by-hop series of physically connected router indices from one
+/// hosting router to another (section 2.1, "Source routes").
+using SourceRoute = std::vector<NodeIndex>;
+
+/// A ring pointer: some ID known to reside at a particular hosting router.
+struct NeighborPtr {
+  NodeId id;
+  NodeIndex host = graph::kInvalidNode;
+
+  friend bool operator==(const NeighborPtr&, const NeighborPtr&) = default;
+};
+
+/// Node classes from section 2.1.  Routers always participate fully; stable
+/// hosts become ring members; ephemeral hosts only register a backpointer at
+/// their predecessor and never serve as anyone's successor/predecessor.
+enum class HostClass : std::uint8_t { kStable, kEphemeral };
+
+/// Per-vnode routing state.  A hosting router spawns one VirtualNode per
+/// resident ID (Algorithm 1).  The router's own identity lives in a special
+/// "default" virtual node whose successors act as default routes.
+struct VirtualNode {
+  NodeId id;
+  PublicKey pub{};
+  NodeIndex home = graph::kInvalidNode;
+  bool is_default = false;  // the router's own vnode
+  HostClass host_class = HostClass::kStable;
+
+  /// Successor group, nearest first (section 2.2, "Recovering": nodes hold
+  /// multiple successors for resilience to ID failure).
+  std::vector<NeighborPtr> successors;
+  std::optional<NeighborPtr> predecessor;
+
+  /// Routers traversed by the join control messages; the hosting router
+  /// stores this list and uses it for the directed teardown flood on host
+  /// failure (section 3.1/3.2).
+  std::vector<NodeIndex> control_path;
+
+  [[nodiscard]] const NeighborPtr* first_successor() const {
+    return successors.empty() ? nullptr : &successors.front();
+  }
+};
+
+/// Outcome of a join (figures 5a/5b/5c).
+struct JoinStats {
+  bool ok = false;
+  std::uint64_t messages = 0;  // network-level packets consumed by the join
+  double latency_ms = 0.0;     // completion time (parallel messages overlap)
+};
+
+/// Outcome of routing one data packet (figures 6a/6b).
+struct RouteStats {
+  bool delivered = false;
+  std::uint32_t physical_hops = 0;  // router-level hops traversed
+  std::uint32_t ring_hops = 0;      // pointer switches en route
+  double latency_ms = 0.0;
+  std::uint32_t shortest_hops = 0;  // IGP shortest path for the same pair
+
+  [[nodiscard]] double stretch() const {
+    if (!delivered || shortest_hops == 0) return 0.0;
+    return static_cast<double>(physical_hops) /
+           static_cast<double>(shortest_hops);
+  }
+};
+
+/// Outcome of a failure-handling episode (teardown floods, repairs).
+struct RepairStats {
+  std::uint64_t messages = 0;
+  std::uint32_t ids_rejoined = 0;
+  std::uint32_t pointers_torn = 0;
+};
+
+}  // namespace rofl::intra

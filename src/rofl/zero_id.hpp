@@ -1,0 +1,73 @@
+// zero_id.hpp -- the zero-ID distribution protocol (section 3.2).
+//
+// "To prevent [ring partitions], routers continuously distribute the
+// smallest ID they know about (the zero-ID ...) to all its neighbors.  The
+// zero-ID a router propagates is set equal to the minimum of the smallest ID
+// it is hosting and the smallest ID it receives from its neighbors (the path
+// is also distributed ...).  The end result is that all routers become aware
+// of the smallest ID in the network."
+//
+// This module runs that distance-vector-style computation explicitly over a
+// router graph: per-round neighbor exchange with path vectors (so stale
+// circular dependencies flush), convergence detection, and per-component
+// results.  Network::repair_partitions uses convergence of this protocol as
+// the merge trigger; tests validate it standalone.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/node_id.hpp"
+
+namespace rofl::intra {
+
+class ZeroIdProtocol {
+ public:
+  /// `g` must outlive the protocol object.
+  explicit ZeroIdProtocol(const graph::Graph* g);
+
+  /// Declares the smallest ID hosted locally at `router` (nullopt = hosts
+  /// nothing).  Resets convergence.
+  void set_local_min(graph::NodeIndex router,
+                     const std::optional<NodeId>& smallest);
+
+  /// One advertisement round: every router offers min(local, received) to
+  /// each live neighbor, with the originating path attached; offers whose
+  /// path contains the receiver are rejected (flushes circular stale state).
+  /// Returns the number of belief changes (0 = converged).
+  std::size_t step();
+
+  /// Runs rounds until convergence; returns (rounds, messages) where
+  /// messages counts one advertisement per live directed edge per round
+  /// (piggybacked on LSAs in practice, as the paper notes).
+  struct Convergence {
+    std::size_t rounds = 0;
+    std::uint64_t messages = 0;
+  };
+  Convergence run_to_convergence(std::size_t max_rounds = 1'000);
+
+  /// The zero-ID `router` currently believes in.
+  [[nodiscard]] std::optional<NodeId> belief(graph::NodeIndex router) const;
+
+  /// The path (router indices) to the believed zero-ID's host.
+  [[nodiscard]] const std::vector<graph::NodeIndex>& belief_path(
+      graph::NodeIndex router) const;
+
+  /// True iff, in every connected component, all routers agree on the
+  /// component's true minimum hosted ID.
+  [[nodiscard]] bool verify_consistent() const;
+
+ private:
+  struct Belief {
+    std::optional<NodeId> id;
+    std::vector<graph::NodeIndex> path;  // to the host, starting here
+  };
+
+  const graph::Graph* graph_;
+  std::vector<std::optional<NodeId>> local_;
+  std::vector<Belief> beliefs_;
+};
+
+}  // namespace rofl::intra

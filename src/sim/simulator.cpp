@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace rofl::sim {
+
+std::string_view to_string(MsgCategory c) {
+  switch (c) {
+    case MsgCategory::kJoin: return "join";
+    case MsgCategory::kTeardown: return "teardown";
+    case MsgCategory::kRepair: return "repair";
+    case MsgCategory::kLinkState: return "linkstate";
+    case MsgCategory::kData: return "data";
+    case MsgCategory::kControl: return "control";
+  }
+  return "?";
+}
+
+std::uint64_t Counters::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void Simulator::schedule_in(double delay_ms, Action action) {
+  assert(delay_ms >= 0.0);
+  schedule_at(now_ms_ + delay_ms, std::move(action));
+}
+
+void Simulator::schedule_at(double when_ms, Action action) {
+  assert(when_ms >= now_ms_);
+  queue_.push(Item{when_ms, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the metadata and move the closure via const_cast -- the
+  // item is popped immediately after.
+  auto& top = const_cast<Item&>(queue_.top());
+  now_ms_ = top.when;
+  Action action = std::move(top.action);
+  queue_.pop();
+  action();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(double t_ms) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= t_ms && step()) ++n;
+  now_ms_ = std::max(now_ms_, t_ms);
+  return n;
+}
+
+}  // namespace rofl::sim

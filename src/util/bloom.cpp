@@ -1,0 +1,83 @@
+#include "util/bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace rofl {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned hashes)
+    : bits_(bits), hashes_(hashes), words_((bits + 63) / 64, 0) {
+  assert(bits > 0 && hashes > 0);
+}
+
+BloomFilter BloomFilter::for_capacity(std::size_t expected_items,
+                                      double false_positive_rate) {
+  assert(expected_items > 0);
+  assert(false_positive_rate > 0.0 && false_positive_rate < 1.0);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(false_positive_rate) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  return BloomFilter(std::max<std::size_t>(64, static_cast<std::size_t>(m) + 1),
+                     std::max(1u, static_cast<unsigned>(std::lround(k))));
+}
+
+std::size_t BloomFilter::index(const NodeId& id, unsigned k) const {
+  const std::uint64_t h1 = mix(id.hi() ^ 0x243F6A8885A308D3ull);
+  const std::uint64_t h2 = mix(id.lo() ^ 0x13198A2E03707344ull) | 1ull;
+  return static_cast<std::size_t>((h1 + k * h2) % bits_);
+}
+
+void BloomFilter::insert(const NodeId& id) {
+  for (unsigned k = 0; k < hashes_; ++k) {
+    const std::size_t i = index(id, k);
+    words_[i / 64] |= (1ull << (i % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(const NodeId& id) const {
+  for (unsigned k = 0; k < hashes_; ++k) {
+    const std::size_t i = index(id, k);
+    if ((words_[i / 64] & (1ull << (i % 64))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::merge(const BloomFilter& other) {
+  if (other.bits_ != bits_ || other.hashes_ != hashes_) return false;
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+double BloomFilter::estimated_fp_rate() const {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+}  // namespace rofl

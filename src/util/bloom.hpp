@@ -1,0 +1,64 @@
+// bloom.hpp -- Bloom filters for ROFL's peering and subtree summaries.
+//
+// Interdomain ROFL uses Bloom filters in two places (sections 4.1/4.2):
+//   * border routers may summarise "the set of hosts in the subtree rooted
+//     at the AS", letting pointer caches shortcut without violating the
+//     isolation property;
+//   * the bloom-filter peering rule checks a peer's filter before using the
+//     peering link, with backtracking on false positives.
+//
+// The filter stores NodeIds.  k index functions are derived from the two
+// 64-bit words of the ID via double hashing (Kirsch-Mitzenmacher), which is
+// adequate because the IDs themselves are cryptographic-hash outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/node_id.hpp"
+
+namespace rofl {
+
+class BloomFilter {
+ public:
+  /// Builds a filter with `bits` bits and `hashes` index functions.
+  /// Requires bits > 0 and hashes > 0.
+  BloomFilter(std::size_t bits, unsigned hashes);
+
+  /// Sizes a filter for `expected_items` at the given false-positive target
+  /// (standard m = -n ln p / ln^2 2, k = m/n ln 2 formulas).
+  static BloomFilter for_capacity(std::size_t expected_items,
+                                  double false_positive_rate);
+
+  void insert(const NodeId& id);
+
+  /// True if `id` may be present (false positives possible, false negatives
+  /// impossible for inserted items).
+  [[nodiscard]] bool may_contain(const NodeId& id) const;
+
+  /// Merges another filter of identical geometry (bitwise OR); used when an
+  /// AS aggregates its customers' subtree summaries.  Returns false (and
+  /// leaves this filter unchanged) if geometries differ.
+  bool merge(const BloomFilter& other);
+
+  void clear();
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_; }
+  [[nodiscard]] unsigned hash_count() const { return hashes_; }
+  [[nodiscard]] std::size_t inserted_count() const { return inserted_; }
+
+  /// Fraction of set bits; the theoretical false-positive rate is
+  /// fill_ratio()^k.
+  [[nodiscard]] double fill_ratio() const;
+  [[nodiscard]] double estimated_fp_rate() const;
+
+ private:
+  [[nodiscard]] std::size_t index(const NodeId& id, unsigned k) const;
+
+  std::size_t bits_;
+  unsigned hashes_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rofl

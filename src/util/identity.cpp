@@ -1,0 +1,70 @@
+#include "util/identity.hpp"
+
+#include <cstring>
+
+namespace rofl {
+namespace {
+
+NodeId id_from_digest(const Sha256::Digest& d) {
+  std::array<std::uint8_t, 16> head{};
+  std::memcpy(head.data(), d.data(), head.size());
+  return NodeId::from_bytes(head);
+}
+
+OwnershipProof compute_proof(const PrivateKey& priv, std::uint64_t nonce) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(priv.data(), priv.size()));
+  std::array<std::uint8_t, 8> nonce_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    nonce_bytes[static_cast<size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(nonce_bytes.data(), 8));
+  return h.finish();
+}
+
+}  // namespace
+
+Identity Identity::generate(Rng& rng) {
+  PrivateKey priv{};
+  for (std::size_t i = 0; i < priv.size(); i += 8) {
+    const std::uint64_t w = rng.next_u64();
+    for (std::size_t j = 0; j < 8; ++j) {
+      priv[i + j] = static_cast<std::uint8_t>(w >> (8 * j));
+    }
+  }
+  return from_private_key(priv);
+}
+
+Identity Identity::from_private_key(const PrivateKey& priv) {
+  Identity out;
+  out.priv_ = priv;
+  out.pub_ = Sha256::hash(std::span<const std::uint8_t>(priv.data(), priv.size()));
+  out.id_ = derive_id(out.pub_);
+  return out;
+}
+
+OwnershipProof Identity::prove(std::uint64_t nonce) const {
+  return compute_proof(priv_, nonce);
+}
+
+NodeId derive_id(const PublicKey& pub) {
+  return id_from_digest(
+      Sha256::hash(std::span<const std::uint8_t>(pub.data(), pub.size())));
+}
+
+bool verify_ownership(const NodeId& claimed, const PublicKey& pub,
+                      std::uint64_t nonce, const OwnershipProof& proof,
+                      const PrivateKey& revealed_priv) {
+  // The claimed ID must be self-certified by the public key.
+  if (derive_id(pub) != claimed) return false;
+  // The public key must be derived from the revealed private key.
+  if (Sha256::hash(std::span<const std::uint8_t>(revealed_priv.data(),
+                                                 revealed_priv.size())) != pub) {
+    return false;
+  }
+  // The proof must bind the private key to the verifier's nonce.
+  return compute_proof(revealed_priv, nonce) == proof;
+}
+
+}  // namespace rofl

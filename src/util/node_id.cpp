@@ -1,0 +1,112 @@
+#include "util/node_id.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace rofl {
+
+NodeId NodeId::from_bytes(const std::array<std::uint8_t, 16>& bytes) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | bytes[static_cast<size_t>(i)];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | bytes[static_cast<size_t>(i)];
+  return NodeId{hi, lo};
+}
+
+std::uint64_t NodeId::digit(unsigned i, unsigned b) const {
+  assert(b >= 1 && b <= 64 && i + b <= 128);
+  std::uint64_t out = 0;
+  for (unsigned k = 0; k < b; ++k) out = (out << 1) | bit(i + k);
+  return out;
+}
+
+unsigned NodeId::common_prefix_len(const NodeId& other) const {
+  for (unsigned i = 0; i < 128; ++i) {
+    if (bit(i) != other.bit(i)) return i;
+  }
+  return 128;
+}
+
+namespace {
+
+// 128-bit shift-left of (hi, lo) by s in [0, 128].
+constexpr std::pair<std::uint64_t, std::uint64_t> shl128(std::uint64_t hi,
+                                                         std::uint64_t lo,
+                                                         unsigned s) {
+  if (s == 0) return {hi, lo};
+  if (s >= 128) return {0, 0};
+  if (s >= 64) return {lo << (s - 64), 0};
+  return {(hi << s) | (lo >> (64 - s)), lo << s};
+}
+
+// 128-bit logical shift-right.
+constexpr std::pair<std::uint64_t, std::uint64_t> shr128(std::uint64_t hi,
+                                                         std::uint64_t lo,
+                                                         unsigned s) {
+  if (s == 0) return {hi, lo};
+  if (s >= 128) return {0, 0};
+  if (s >= 64) return {0, hi >> (s - 64)};
+  return {hi >> s, (lo >> s) | (hi << (64 - s))};
+}
+
+}  // namespace
+
+NodeId NodeId::compose(const NodeId& prefix_src, unsigned prefix_bits,
+                       std::uint64_t digit, unsigned digit_bits,
+                       bool fill_ones) {
+  assert(prefix_bits + digit_bits <= 128 && digit_bits <= 64);
+  // Keep the top prefix_bits of prefix_src.
+  auto [mh, ml] = shl128(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull,
+                         128 - prefix_bits);
+  if (prefix_bits == 0) mh = ml = 0;
+  std::uint64_t hi = prefix_src.hi() & mh;
+  std::uint64_t lo = prefix_src.lo() & ml;
+  // Place the digit right below the prefix.
+  if (digit_bits > 0) {
+    auto [dh, dl] = shl128(0, digit, 128 - prefix_bits - digit_bits);
+    hi |= dh;
+    lo |= dl;
+  }
+  // Fill the remainder.
+  if (fill_ones && prefix_bits + digit_bits < 128) {
+    auto [fh, fl] = shr128(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull,
+                           prefix_bits + digit_bits);
+    hi |= fh;
+    lo |= fl;
+  }
+  return NodeId{hi, lo};
+}
+
+std::string NodeId::to_string() const {
+  std::ostringstream os;
+  os << std::hex << hi_ << ':' << lo_;
+  return os.str();
+}
+
+std::optional<NodeId> NodeId::from_string(std::string_view s) {
+  const auto colon = s.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto parse_word = [](std::string_view w) -> std::optional<std::uint64_t> {
+    if (w.empty() || w.size() > 16) return std::nullopt;
+    std::uint64_t v = 0;
+    for (const char c : w) {
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    return v;
+  };
+  const auto hi = parse_word(s.substr(0, colon));
+  const auto lo = parse_word(s.substr(colon + 1));
+  if (!hi.has_value() || !lo.has_value()) return std::nullopt;
+  return NodeId{*hi, *lo};
+}
+
+std::ostream& operator<<(std::ostream& os, const NodeId& id) {
+  return os << id.to_string();
+}
+
+}  // namespace rofl

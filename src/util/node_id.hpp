@@ -1,0 +1,154 @@
+// node_id.hpp -- 128-bit flat labels on a circular namespace.
+//
+// ROFL (SIGCOMM'06, section 2.1) routes on flat, semantics-free 128-bit
+// identifiers arranged on a mod-2^128 ring, with Chord-style successor /
+// predecessor relationships.  This header provides the identifier value type
+// and all the ring arithmetic used by the intradomain and interdomain
+// protocols: clockwise distance, half-open/closed interval membership, and
+// the "closest without overshooting" comparison that drives greedy
+// forwarding (Algorithm 2 of the paper).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rofl {
+
+/// A 128-bit flat label in the circular namespace.
+///
+/// Values are ordered as unsigned 128-bit integers (hi word most
+/// significant).  The total order is only used for tie-breaking and storage;
+/// routing logic always uses the ring relations below.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr NodeId(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Convenience constructor for small IDs (common in tests).
+  static constexpr NodeId from_u64(std::uint64_t lo) { return NodeId{0, lo}; }
+
+  /// Builds an ID from the first 16 bytes of a hash digest (big-endian).
+  static NodeId from_bytes(const std::array<std::uint8_t, 16>& bytes);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  friend constexpr bool operator==(const NodeId&, const NodeId&) = default;
+  friend constexpr std::strong_ordering operator<=>(const NodeId& a,
+                                                    const NodeId& b) {
+    if (auto c = a.hi_ <=> b.hi_; c != std::strong_ordering::equal) return c;
+    return a.lo_ <=> b.lo_;
+  }
+
+  /// Ring addition: (*this + delta) mod 2^128.
+  [[nodiscard]] constexpr NodeId plus(const NodeId& delta) const {
+    const std::uint64_t lo = lo_ + delta.lo_;
+    const std::uint64_t carry = (lo < lo_) ? 1u : 0u;
+    return NodeId{hi_ + delta.hi_ + carry, lo};
+  }
+
+  /// Ring subtraction: (*this - delta) mod 2^128.
+  [[nodiscard]] constexpr NodeId minus(const NodeId& delta) const {
+    const std::uint64_t lo = lo_ - delta.lo_;
+    const std::uint64_t borrow = (lo_ < delta.lo_) ? 1u : 0u;
+    return NodeId{hi_ - delta.hi_ - borrow, lo};
+  }
+
+  /// Clockwise (increasing-ID) distance from `from` to `to` on the ring.
+  [[nodiscard]] static constexpr NodeId distance_cw(const NodeId& from,
+                                                    const NodeId& to) {
+    return to.minus(from);
+  }
+
+  /// True iff `x` lies in the ring interval (a, b] walking clockwise from a.
+  /// By Chord convention an empty span (a == b) denotes the full ring, so
+  /// every x != a is inside and b == a is inside (the interval is closed
+  /// at b).
+  [[nodiscard]] static constexpr bool in_interval_oc(const NodeId& a,
+                                                     const NodeId& x,
+                                                     const NodeId& b) {
+    if (a == b) return x != a;  // full ring, still open at a
+    return distance_cw(a, x) <= distance_cw(a, b) && x != a;
+  }
+
+  /// True iff `x` lies in (a, b) walking clockwise from a (exclusive ends).
+  [[nodiscard]] static constexpr bool in_interval_oo(const NodeId& a,
+                                                     const NodeId& x,
+                                                     const NodeId& b) {
+    if (a == b) return x != a;  // full ring minus the endpoint
+    return distance_cw(a, x) < distance_cw(a, b) && x != a;
+  }
+
+  /// Greedy-forwarding comparison (Algorithm 2): among candidate next-hop
+  /// IDs, we pick the one with the smallest clockwise distance to `dest`,
+  /// i.e. the candidate "closest, but not past, the destination" when
+  /// walking clockwise from the current ID.  `closer_to` returns true when
+  /// `a` is strictly closer to dest than `b` in that clockwise metric.
+  [[nodiscard]] static constexpr bool closer_to(const NodeId& dest,
+                                                const NodeId& a,
+                                                const NodeId& b) {
+    return distance_cw(a, dest) < distance_cw(b, dest);
+  }
+
+  /// Returns bit `i` counting from the most significant bit (bit 0 = MSB).
+  [[nodiscard]] constexpr unsigned bit(unsigned i) const {
+    return (i < 64) ? ((hi_ >> (63 - i)) & 1u)
+                    : ((lo_ >> (127 - i)) & 1u);
+  }
+
+  /// Returns the b-bit digit starting at bit position `i` (MSB-first), used
+  /// by the prefix-based proximity finger tables (section 4.1).  Requires
+  /// i + b <= 128 and b <= 64.
+  [[nodiscard]] std::uint64_t digit(unsigned i, unsigned b) const;
+
+  /// Length (in bits) of the longest common MSB-first prefix with `other`.
+  [[nodiscard]] unsigned common_prefix_len(const NodeId& other) const;
+
+  /// Builds the ID whose first `prefix_bits` bits are copied from
+  /// `prefix_src`, whose next `digit_bits` bits hold `digit`, and whose
+  /// remaining low bits are all zero (`fill_ones` false) or all one (true).
+  /// Used by the prefix finger tables to bound the range of IDs matching a
+  /// table slot.  Requires prefix_bits + digit_bits <= 128, digit_bits <= 64.
+  [[nodiscard]] static NodeId compose(const NodeId& prefix_src,
+                                      unsigned prefix_bits,
+                                      std::uint64_t digit,
+                                      unsigned digit_bits, bool fill_ones);
+
+  /// Short hex rendering "hhhh:llll" (leading zeros trimmed per word) for
+  /// logs and test diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() rendering back; nullopt on malformed input
+  /// (missing colon, non-hex digits, words wider than 64 bits).
+  [[nodiscard]] static std::optional<NodeId> from_string(std::string_view s);
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const NodeId& id);
+
+/// Zero element of the namespace; the "zero-ID" partition-repair protocol
+/// (section 3.2) distributes the live ID closest to this value.
+inline constexpr NodeId kZeroId{};
+
+}  // namespace rofl
+
+template <>
+struct std::hash<rofl::NodeId> {
+  std::size_t operator()(const rofl::NodeId& id) const noexcept {
+    // splitmix-style combine of the two words.
+    std::uint64_t x = id.hi() * 0x9E3779B97F4A7C15ull ^ id.lo();
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

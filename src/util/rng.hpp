@@ -1,0 +1,82 @@
+// rng.hpp -- deterministic random source for reproducible simulations.
+//
+// Every stochastic choice in the library (topology generation, ID assignment,
+// workload sampling) flows through an explicitly-seeded Rng so that a given
+// seed reproduces a run bit-for-bit; benches print their seeds.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rofl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    return std::uniform_int_distribution<std::uint64_t>()(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  [[nodiscard]] std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child RNG (for parallel sub-experiments).
+  [[nodiscard]] Rng fork() { return Rng(next_u64() ^ 0x9E3779B97F4A7C15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(s) sampler over ranks {1..n}: heavy-tailed per-AS host populations
+/// (our stand-in for the CAIDA skitter host-count estimates, see DESIGN.md).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [0, n) with P(rank k) proportional to 1/(k+1)^s.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rofl

@@ -1,0 +1,49 @@
+// sha256.hpp -- from-scratch SHA-256 (FIPS 180-4).
+//
+// ROFL identifiers are self-certifying: an endpoint's ID is a hash of its
+// public key (section 2.1).  We implement SHA-256 ourselves so the library
+// has no external crypto dependency; identity.hpp builds keypairs and IDs on
+// top of this digest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace rofl {
+
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  /// Absorbs `data` into the hash state.  May be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalises and returns the digest.  The object must not be reused
+  /// afterwards without calling reset().
+  [[nodiscard]] Digest finish();
+
+  void reset();
+
+  /// One-shot helpers.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest hash(std::string_view data);
+
+  /// Lowercase hex rendering of a digest.
+  [[nodiscard]] static std::string to_hex(const Digest& d);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace rofl

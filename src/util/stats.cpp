@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace rofl {
+
+void SampleSet::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void SampleSet::add_all(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    auto& s = const_cast<std::vector<double>&>(samples_);
+    std::sort(s.begin(), s.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSet::mean() const {
+  assert(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  assert(!samples_.empty());
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  assert(!samples_.empty());
+  return samples_.back();
+}
+
+double SampleSet::stddev() const {
+  assert(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double SampleSet::cdf_at(double x) const {
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(std::distance(samples_.begin(), it)) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_series(
+    std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(samples_.size())));
+    out.emplace_back(samples_[rank == 0 ? 0 : rank - 1], frac);
+  }
+  return out;
+}
+
+MovingAverage::MovingAverage(std::size_t window) : buf_(window, 0.0) {
+  assert(window > 0);
+}
+
+void MovingAverage::add(double v) {
+  sum_ -= buf_[next_];
+  buf_[next_] = v;
+  sum_ += v;
+  next_ = (next_ + 1) % buf_.size();
+  ++count_;
+}
+
+double MovingAverage::value() const {
+  const std::size_t n = std::min(count_, buf_.size());
+  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+}
+
+}  // namespace rofl

@@ -1,0 +1,64 @@
+// stats.hpp -- statistics helpers for the evaluation harness.
+//
+// The paper's figures are CDFs, moving averages, and per-bucket aggregates;
+// these helpers compute them so each bench binary only describes its
+// workload.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rofl {
+
+/// Accumulates scalar samples and answers summary queries.  Percentile and
+/// CDF queries sort lazily.
+class SampleSet {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// p in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Returns (value, cumulative fraction) pairs at `points` evenly spaced
+  /// ranks -- the series the paper plots as its CDFs.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Moving average over the trailing `window` samples (figure 8a plots "a
+/// moving average of the join overhead over the last 200 joins").
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double v);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] bool full() const { return count_ >= buf_.size(); }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rofl

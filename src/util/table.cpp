@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rofl {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<Cell> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  const double v = std::get<double>(c);
+  std::ostringstream os;
+  if (v != 0.0 && (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3)) {
+    os << std::scientific << std::setprecision(3) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render(row[i]));
+      width[i] = std::max(width[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::setw(static_cast<int>(width[i]) + 2) << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rendered) line(r);
+  // Opt-in machine-readable mirror of every printed table.
+  const char* csv = std::getenv("ROFL_BENCH_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    os << "--- csv ---\n";
+    print_csv(os);
+    os << "--- end csv ---\n";
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto sanitize = [](std::string s) {
+    std::replace(s.begin(), s.end(), ',', ';');
+    return s;
+  };
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (i ? "," : "") << sanitize(headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << sanitize(render(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace rofl

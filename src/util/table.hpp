@@ -1,0 +1,43 @@
+// table.hpp -- aligned table / CSV emission for the benchmark harness.
+//
+// Each bench binary regenerates one figure or table from the paper; this
+// helper prints the series with aligned columns on stdout (and optionally as
+// CSV) so the output can be compared against the published plot by eye or by
+// script.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rofl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Emits CSV (no quoting beyond commas -> semicolons in strings).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] static std::string render(const Cell& c);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Prints a figure/table banner: "== Figure 6a: ... ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace rofl

@@ -1,0 +1,102 @@
+// buffer.hpp -- bounds-checked byte-order-safe serialization primitives.
+//
+// The wire module gives ROFL concrete packet formats (headers the paper
+// reasons about when it counts join-message bytes against the MTU, section
+// 6.3).  Writers append big-endian fields to a growable buffer; readers
+// consume them with explicit failure on truncation -- no exceptions, no
+// undefined behavior on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rofl::wire {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u16) byte string; silently truncates past 64 KiB.
+  void lp_bytes(std::span<const std::uint8_t> data) {
+    const auto n = static_cast<std::uint16_t>(
+        data.size() > 0xFFFF ? 0xFFFF : data.size());
+    u16(n);
+    bytes(data.subspan(0, n));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (pos_ + 1 > data_.size()) return std::nullopt;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::optional<std::uint16_t> u16() {
+    if (pos_ + 2 > data_.size()) return std::nullopt;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v = static_cast<std::uint16_t>((v << 8) | data_[pos_++]);
+    return v;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> u32() {
+    if (pos_ + 4 > data_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+    return v;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    if (pos_ + 8 > data_.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+    return v;
+  }
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes(
+      std::size_t n) {
+    if (pos_ + n > data_.size()) return std::nullopt;
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> lp_bytes() {
+    const auto n = u16();
+    if (!n.has_value()) return std::nullopt;
+    return bytes(*n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rofl::wire

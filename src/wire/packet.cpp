@@ -1,0 +1,139 @@
+#include "wire/packet.hpp"
+
+#include <cstring>
+
+namespace rofl::wire {
+namespace {
+
+constexpr std::uint8_t kFlagPeering = 0x01;
+constexpr std::uint8_t kFlagCapability = 0x02;
+
+}  // namespace
+
+void write_node_id(ByteWriter& w, const NodeId& id) {
+  w.u64(id.hi());
+  w.u64(id.lo());
+}
+
+std::optional<NodeId> read_node_id(ByteReader& r) {
+  const auto hi = r.u64();
+  const auto lo = r.u64();
+  if (!hi.has_value() || !lo.has_value()) return std::nullopt;
+  return NodeId{*hi, *lo};
+}
+
+std::vector<std::uint8_t> Packet::encode() const {
+  ByteWriter w;
+  w.u8(version);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(ttl);
+  std::uint8_t flags = 0;
+  if (crossed_peering) flags |= kFlagPeering;
+  if (capability.has_value()) flags |= kFlagCapability;
+  w.u8(flags);
+  write_node_id(w, destination);
+  write_node_id(w, source);
+  w.u16(static_cast<std::uint16_t>(as_path.size()));
+  for (const std::uint32_t as : as_path) w.u32(as);
+  if (capability.has_value()) {
+    write_node_id(w, capability->source);
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(capability->expiry_ms));
+    std::memcpy(&bits, &capability->expiry_ms, sizeof(bits));
+    w.u64(bits);
+    w.bytes(std::span<const std::uint8_t>(capability->token.data(),
+                                          capability->token.size()));
+  }
+  w.u16(static_cast<std::uint16_t>(fingers.size()));
+  for (const FingerField& f : fingers) {
+    write_node_id(w, f.target);
+    w.u32(f.home_as);
+  }
+  w.lp_bytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  return w.take();
+}
+
+std::optional<Packet> Packet::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Packet p;
+  const auto version = r.u8();
+  if (!version.has_value() || *version != kVersion) return std::nullopt;
+  p.version = *version;
+  const auto type = r.u8();
+  if (!type.has_value() || *type < 1 ||
+      *type > static_cast<std::uint8_t>(PacketType::kCapabilityGrant)) {
+    return std::nullopt;
+  }
+  p.type = static_cast<PacketType>(*type);
+  const auto ttl = r.u8();
+  const auto flags = r.u8();
+  if (!ttl.has_value() || !flags.has_value()) return std::nullopt;
+  p.ttl = *ttl;
+  p.crossed_peering = (*flags & kFlagPeering) != 0;
+
+  const auto dest = read_node_id(r);
+  const auto src = read_node_id(r);
+  if (!dest.has_value() || !src.has_value()) return std::nullopt;
+  p.destination = *dest;
+  p.source = *src;
+
+  const auto path_len = r.u16();
+  if (!path_len.has_value()) return std::nullopt;
+  p.as_path.reserve(*path_len);
+  for (std::uint16_t i = 0; i < *path_len; ++i) {
+    const auto as = r.u32();
+    if (!as.has_value()) return std::nullopt;
+    p.as_path.push_back(*as);
+  }
+
+  if ((*flags & kFlagCapability) != 0) {
+    CapabilityField cap;
+    const auto cap_src = read_node_id(r);
+    const auto expiry_bits = r.u64();
+    const auto token = r.bytes(cap.token.size());
+    if (!cap_src.has_value() || !expiry_bits.has_value() ||
+        !token.has_value()) {
+      return std::nullopt;
+    }
+    cap.source = *cap_src;
+    std::uint64_t bits = *expiry_bits;
+    std::memcpy(&cap.expiry_ms, &bits, sizeof(bits));
+    std::memcpy(cap.token.data(), token->data(), cap.token.size());
+    p.capability = cap;
+  }
+
+  const auto finger_count = r.u16();
+  if (!finger_count.has_value()) return std::nullopt;
+  p.fingers.reserve(*finger_count);
+  for (std::uint16_t i = 0; i < *finger_count; ++i) {
+    FingerField f;
+    const auto target = read_node_id(r);
+    const auto home = r.u32();
+    if (!target.has_value() || !home.has_value()) return std::nullopt;
+    f.target = *target;
+    f.home_as = *home;
+    p.fingers.push_back(f);
+  }
+
+  const auto payload = r.lp_bytes();
+  if (!payload.has_value()) return std::nullopt;
+  p.payload.assign(payload->begin(), payload->end());
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage
+  return p;
+}
+
+std::size_t Packet::wire_size() const {
+  std::size_t n = 4 + 16 + 16 + 2 + 4 * as_path.size();
+  if (capability.has_value()) n += 16 + 8 + capability->token.size();
+  n += 2 + 20 * fingers.size();
+  n += 2 + payload.size();
+  return n;
+}
+
+std::size_t Packet::fragments(std::size_t mtu) const {
+  const std::size_t size = wire_size();
+  if (mtu == 0) return size;
+  return (size + mtu - 1) / mtu;
+}
+
+}  // namespace rofl::wire

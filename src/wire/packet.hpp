@@ -1,0 +1,87 @@
+// packet.hpp -- ROFL packet formats.
+//
+// The header the design implies (sections 2.3, 4.1, 5.3): a type, the flat
+// destination (and source) labels, a TTL, the peering bit used by the
+// bloom-filter rule, the AS-level source route the packet accumulates, an
+// optional capability, and -- for join messages -- the carried finger
+// entries whose size the paper weighs against the MTU ("with 256 fingers the
+// message size increases to 1638 bytes; ... a 256-finger single-homed join
+// requires 258 IP packets", section 6.3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/node_id.hpp"
+#include "util/sha256.hpp"
+#include "wire/buffer.hpp"
+
+namespace rofl::wire {
+
+enum class PacketType : std::uint8_t {
+  kData = 1,
+  kJoinRequest = 2,
+  kJoinReply = 3,
+  kTeardown = 4,
+  kRepair = 5,
+  kKeepalive = 6,
+  kCapabilityGrant = 7,
+};
+
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kDefaultMtu = 1500;
+
+struct CapabilityField {
+  NodeId source;
+  double expiry_ms = 0.0;
+  Sha256::Digest token{};
+
+  friend bool operator==(const CapabilityField&, const CapabilityField&) =
+      default;
+};
+
+/// A finger entry as carried in join messages: target ID plus the home AS.
+/// 16 + 4 = 20 bytes each on the wire (the paper's estimate of ~6 bytes
+/// assumed compressed IDs; the byte count is a parameter of the analysis,
+/// not of the protocol).
+struct FingerField {
+  NodeId target;
+  std::uint32_t home_as = 0;
+
+  friend bool operator==(const FingerField&, const FingerField&) = default;
+};
+
+struct Packet {
+  std::uint8_t version = kVersion;
+  PacketType type = PacketType::kData;
+  std::uint8_t ttl = 64;
+  /// The bloom-peering rule's marker: once set, the packet may not be
+  /// relayed up the hierarchy (section 4.2).
+  bool crossed_peering = false;
+  NodeId destination;
+  NodeId source;
+  /// AS-level source route accumulated as the packet travels (section 2.3).
+  std::vector<std::uint32_t> as_path;
+  std::optional<CapabilityField> capability;
+  std::vector<FingerField> fingers;  // join messages only
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<Packet> decode(
+      std::span<const std::uint8_t> data);
+
+  /// Exact on-wire size without materializing the bytes.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Number of MTU-sized network packets this message occupies -- the
+  /// quantity the paper charges for finger-carrying joins.
+  [[nodiscard]] std::size_t fragments(std::size_t mtu = kDefaultMtu) const;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// Serializes a NodeId (16 bytes, big-endian).
+void write_node_id(ByteWriter& w, const NodeId& id);
+[[nodiscard]] std::optional<NodeId> read_node_id(ByteReader& r);
+
+}  // namespace rofl::wire

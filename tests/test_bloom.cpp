@@ -1,0 +1,104 @@
+#include "util/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rofl {
+namespace {
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(1024, 4);
+  Rng rng(3);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(NodeId(rng.next_u64(), rng.next_u64()));
+    bf.insert(ids.back());
+  }
+  for (const NodeId& id : ids) EXPECT_TRUE(bf.may_contain(id));
+}
+
+TEST(Bloom, EmptyContainsNothing) {
+  BloomFilter bf(256, 3);
+  EXPECT_FALSE(bf.may_contain(NodeId::from_u64(1)));
+  EXPECT_FALSE(bf.may_contain(NodeId::from_u64(0)));
+}
+
+TEST(Bloom, ForCapacityMeetsTargetFpRate) {
+  const double target = 0.01;
+  BloomFilter bf = BloomFilter::for_capacity(10'000, target);
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    bf.insert(NodeId(rng.next_u64(), rng.next_u64()));
+  }
+  // Measure the empirical false-positive rate on fresh IDs.
+  int fp = 0;
+  const int probes = 20'000;
+  for (int i = 0; i < probes; ++i) {
+    if (bf.may_contain(NodeId(rng.next_u64(), rng.next_u64()))) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  EXPECT_LT(measured, target * 3.0);  // generous margin for variance
+  EXPECT_NEAR(bf.estimated_fp_rate(), measured, 0.02);
+}
+
+TEST(Bloom, MergeUnionsMembership) {
+  BloomFilter a(512, 4);
+  BloomFilter b(512, 4);
+  a.insert(NodeId::from_u64(1));
+  b.insert(NodeId::from_u64(2));
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_TRUE(a.may_contain(NodeId::from_u64(1)));
+  EXPECT_TRUE(a.may_contain(NodeId::from_u64(2)));
+}
+
+TEST(Bloom, MergeRejectsMismatchedGeometry) {
+  BloomFilter a(512, 4);
+  BloomFilter b(256, 4);
+  BloomFilter c(512, 3);
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_FALSE(a.merge(c));
+}
+
+TEST(Bloom, ClearResets) {
+  BloomFilter bf(512, 4);
+  bf.insert(NodeId::from_u64(5));
+  bf.clear();
+  EXPECT_FALSE(bf.may_contain(NodeId::from_u64(5)));
+  EXPECT_EQ(bf.inserted_count(), 0u);
+  EXPECT_EQ(bf.fill_ratio(), 0.0);
+}
+
+TEST(Bloom, FillRatioGrowsWithInsertions) {
+  BloomFilter bf(1024, 4);
+  const double before = bf.fill_ratio();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) bf.insert(NodeId(rng.next_u64(), rng.next_u64()));
+  EXPECT_GT(bf.fill_ratio(), before);
+  EXPECT_LE(bf.fill_ratio(), 1.0);
+}
+
+// Parameterized sweep: the analytic m/k sizing keeps measured FP rate within
+// a small factor of the target across capacities.
+class BloomSizing : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomSizing, SizedFilterHoldsTarget) {
+  const std::size_t n = GetParam();
+  BloomFilter bf = BloomFilter::for_capacity(n, 0.02);
+  Rng rng(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bf.insert(NodeId(rng.next_u64(), rng.next_u64()));
+  }
+  int fp = 0;
+  const int probes = 5000;
+  for (int i = 0; i < probes; ++i) {
+    if (bf.may_contain(NodeId(rng.next_u64(), rng.next_u64()))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.08) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BloomSizing,
+                         ::testing::Values(100, 1'000, 10'000, 50'000));
+
+}  // namespace
+}  // namespace rofl

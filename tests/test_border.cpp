@@ -1,0 +1,109 @@
+#include "interdomain/border.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::inter {
+namespace {
+
+using graph::AsRel;
+
+struct Fixture {
+  graph::AsTopology topo;
+  std::unique_ptr<InterNetwork> net;
+  graph::IspTopology isp_topo;
+  std::unique_ptr<intra::Network> isp;
+
+  Fixture() {
+    topo = graph::AsTopology::from_links(
+        5, {{1, 0, AsRel::kProvider},
+            {2, 0, AsRel::kProvider},
+            {3, 1, AsRel::kProvider},
+            {4, 2, AsRel::kProvider}});
+    for (graph::AsIndex a : {3u, 4u}) topo.set_host_count(a, 10);
+    net = std::make_unique<InterNetwork>(&topo, InterConfig{}, 5);
+    Rng trng(9);
+    graph::IspParams p;
+    p.router_count = 40;
+    p.pop_count = 5;
+    isp_topo = graph::make_isp_topology(p, trng);
+    isp = std::make_unique<intra::Network>(&isp_topo, intra::Config{}, 10);
+  }
+};
+
+TEST(Border, AttachAssignsBordersPerAdjacency) {
+  Fixture f;
+  BorderFabric fabric(f.net.get());
+  // AS 0 has adjacencies to 1 and 2.
+  const std::size_t n = fabric.attach_isp(0, f.isp.get(), 42);
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 2u);
+  EXPECT_TRUE(fabric.attached(0));
+  ASSERT_TRUE(fabric.border_router(0, 1).has_value());
+  ASSERT_TRUE(fabric.border_router(0, 2).has_value());
+  // Borders are backbone routers of the attached ISP.
+  EXPECT_TRUE(f.isp_topo.is_backbone[*fabric.border_router(0, 1)]);
+  EXPECT_FALSE(fabric.border_router(0, 3).has_value());  // not adjacent
+  EXPECT_FALSE(fabric.border_router(1, 0).has_value());  // not attached
+}
+
+TEST(Border, FloodCostAccounted) {
+  Fixture f;
+  BorderFabric fabric(f.net.get());
+  const auto before =
+      f.isp->simulator().counters().get(sim::MsgCategory::kControl);
+  (void)fabric.attach_isp(0, f.isp.get(), 42);
+  EXPECT_GT(fabric.flood_cost(0), 0u);
+  EXPECT_EQ(f.isp->simulator().counters().get(sim::MsgCategory::kControl),
+            before + fabric.flood_cost(0));
+}
+
+TEST(Border, ExpansionAddsInteriorHops) {
+  Fixture f;
+  BorderFabric fabric(f.net.get());
+  (void)fabric.attach_isp(0, f.isp.get(), 42);
+  // AS route 3 -> 1 -> 0 -> 2 -> 4: only AS 0 has a router map.
+  const AsRoute route{3, 1, 0, 2, 4};
+  const auto ex = fabric.expand(route);
+  ASSERT_TRUE(ex.ok);
+  // 4 inter-AS links + the interior of AS 0.
+  EXPECT_GE(ex.router_hops, 4u);
+  const auto in1 = fabric.border_router(0, 1);
+  const auto in2 = fabric.border_router(0, 2);
+  if (*in1 != *in2) {
+    EXPECT_GT(ex.internal_hops, 0u);
+  }
+  EXPECT_EQ(ex.router_hops, 4u + ex.internal_hops);
+}
+
+TEST(Border, ExpansionWithoutMapsIsPureAsHops) {
+  Fixture f;
+  BorderFabric fabric(f.net.get());
+  const AsRoute route{3, 1, 0, 2, 4};
+  const auto ex = fabric.expand(route);
+  ASSERT_TRUE(ex.ok);
+  EXPECT_EQ(ex.router_hops, 4u);
+  EXPECT_EQ(ex.internal_hops, 0u);
+}
+
+TEST(Border, EndToEndExpansionOfRealRoute) {
+  Fixture f;
+  BorderFabric fabric(f.net.get());
+  (void)fabric.attach_isp(0, f.isp.get(), 42);
+  // Join hosts and route 3 -> (host at 4); expand the traversed path.
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(
+      f.net->join_host(ident, 4, JoinStrategy::kRecursiveMultihomed).ok);
+  for (int i = 0; i < 5; ++i) {
+    Identity filler = Identity::generate(f.net->rng());
+    (void)f.net->join_host(filler, 3, JoinStrategy::kRecursiveMultihomed);
+  }
+  std::vector<graph::AsIndex> trace;
+  const auto rs = f.net->route(3, ident.id(), &trace);
+  ASSERT_TRUE(rs.delivered);
+  const auto ex = fabric.expand(trace);
+  EXPECT_TRUE(ex.ok);
+  EXPECT_GE(ex.router_hops, rs.as_hops);
+}
+
+}  // namespace
+}  // namespace rofl::inter

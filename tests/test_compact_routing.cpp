@@ -1,0 +1,90 @@
+#include "baselines/compact_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/isp_topology.hpp"
+
+namespace rofl::baselines {
+namespace {
+
+TEST(CompactRouting, DeliversEverywhereWithStretchAtMostThree) {
+  Rng trng(5);
+  graph::IspParams p;
+  p.router_count = 60;
+  p.pop_count = 8;
+  const auto topo = graph::make_isp_topology(p, trng);
+  Rng rng(6);
+  const CompactRouting cr(&topo.graph, rng);
+  for (graph::NodeIndex u = 0; u < topo.router_count(); u += 3) {
+    for (graph::NodeIndex v = 0; v < topo.router_count(); v += 5) {
+      const auto r = cr.route(u, v);
+      ASSERT_TRUE(r.delivered) << u << "->" << v;
+      if (r.shortest > 0) {
+        EXPECT_LE(r.stretch(), 3.0 + 1e-9) << u << "->" << v;
+        EXPECT_GE(r.stretch(), 1.0);
+      }
+    }
+  }
+}
+
+TEST(CompactRouting, SelfRouteIsZero) {
+  Rng trng(7);
+  graph::IspParams p;
+  p.router_count = 20;
+  p.pop_count = 4;
+  const auto topo = graph::make_isp_topology(p, trng);
+  Rng rng(8);
+  const CompactRouting cr(&topo.graph, rng);
+  const auto r = cr.route(3, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(CompactRouting, TableSizesSublinear) {
+  Rng trng(9);
+  graph::IspParams p;
+  p.router_count = 200;
+  p.pop_count = 20;
+  const auto topo = graph::make_isp_topology(p, trng);
+  Rng rng(10);
+  const CompactRouting cr(&topo.graph, rng);
+  // sqrt(n log n) landmarks; mean table far below n.
+  EXPECT_LT(cr.landmark_count(), 80u);
+  EXPECT_GT(cr.landmark_count(), 10u);
+  EXPECT_LT(cr.mean_table_size(), 200.0 * 0.7);
+}
+
+TEST(CompactRouting, ExplicitLandmarkCount) {
+  Rng trng(11);
+  graph::IspParams p;
+  p.router_count = 40;
+  p.pop_count = 5;
+  const auto topo = graph::make_isp_topology(p, trng);
+  Rng rng(12);
+  const CompactRouting cr(&topo.graph, rng, 5);
+  EXPECT_EQ(cr.landmark_count(), 5u);
+  for (graph::NodeIndex v = 0; v < topo.router_count(); ++v) {
+    EXPECT_NE(cr.home_landmark(v), graph::kInvalidNode);
+  }
+}
+
+TEST(CompactRouting, LandmarkRoutesAreDirect) {
+  Rng trng(13);
+  graph::IspParams p;
+  p.router_count = 40;
+  p.pop_count = 5;
+  const auto topo = graph::make_isp_topology(p, trng);
+  Rng rng(14);
+  const CompactRouting cr(&topo.graph, rng, 6);
+  // Routing TO a landmark is always shortest-path (it is in every table).
+  for (graph::NodeIndex u = 0; u < topo.router_count(); u += 7) {
+    const auto l = cr.home_landmark(u);
+    const auto r = cr.route(u, l);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_EQ(r.hops, r.shortest);
+    EXPECT_FALSE(r.via_landmark);
+  }
+}
+
+}  // namespace
+}  // namespace rofl::baselines

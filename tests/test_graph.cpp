@@ -1,0 +1,120 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::graph {
+namespace {
+
+Graph line(std::size_t n) {
+  Graph g(n);
+  for (NodeIndex i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g;
+  const NodeIndex a = g.add_node();
+  const NodeIndex b = g.add_node();
+  EXPECT_TRUE(g.add_edge(a, b, 2.0, 3.0));
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_TRUE(g.has_edge(b, a));
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(2);
+  EXPECT_FALSE(g.add_edge(0, 0));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, DijkstraOnLine) {
+  const Graph g = line(5);
+  const auto sp = g.dijkstra(0);
+  EXPECT_EQ(sp.hops[4], 4u);
+  EXPECT_DOUBLE_EQ(sp.dist[4], 4.0);
+  const auto path = Graph::extract_path(sp, 0, 4);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 4u);
+}
+
+TEST(Graph, DijkstraPrefersLowWeight) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 10.0);  // heavy direct
+  g.add_edge(0, 2, 1.0, 1.0);
+  g.add_edge(2, 3, 1.0, 1.0);
+  g.add_edge(3, 1, 1.0, 1.0);
+  const auto sp = g.dijkstra(0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 3.0);
+  EXPECT_EQ(sp.hops[1], 3u);
+}
+
+TEST(Graph, LatencyAccumulatesAlongChosenPath) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 7.0);
+  const auto sp = g.dijkstra(0);
+  EXPECT_DOUBLE_EQ(sp.latency_ms[2], 12.0);
+}
+
+TEST(Graph, FailedLinkExcludedFromPaths) {
+  Graph g = line(3);
+  g.set_link_up(0, 1, false);
+  const auto sp = g.dijkstra(0);
+  EXPECT_FALSE(sp.reachable(2));
+  g.set_link_up(0, 1, true);
+  EXPECT_TRUE(g.dijkstra(0).reachable(2));
+}
+
+TEST(Graph, FailedNodeExcluded) {
+  Graph g = line(3);
+  g.set_node_up(1, false);
+  EXPECT_FALSE(g.dijkstra(0).reachable(2));
+  EXPECT_EQ(g.live_degree(0), 0u);
+  EXPECT_FALSE(g.link_up(0, 1));
+}
+
+TEST(Graph, BfsHops) {
+  const Graph g = line(4);
+  const auto d = g.bfs_hops(0);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(Graph, ConnectivityAndComponents) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, ComponentsSkipDownNodes) {
+  Graph g = line(3);
+  g.set_node_up(1, false);
+  const auto comp = g.components();
+  EXPECT_EQ(comp[1], kInvalidNode);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Graph, DiameterOfLine) {
+  const Graph g = line(10);
+  EXPECT_EQ(g.diameter_hops(10), 9u);
+}
+
+TEST(Graph, UnreachableExtractPathEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto sp = g.dijkstra(0);
+  EXPECT_TRUE(Graph::extract_path(sp, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace rofl::graph

@@ -1,0 +1,119 @@
+#include "rofl/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::intra {
+namespace {
+
+struct Fix {
+  graph::IspTopology topo;
+  std::unique_ptr<Network> net;
+
+  explicit Fix(Config cfg = {}, std::uint64_t seed = 61) {
+    Rng trng(seed);
+    graph::IspParams p;
+    p.router_count = 24;
+    p.pop_count = 4;
+    topo = graph::make_isp_topology(p, trng);
+    net = std::make_unique<Network>(&topo, cfg, seed + 1);
+    for (int i = 0; i < 30; ++i) (void)net->join_random_host();
+  }
+};
+
+TEST(Host, AttachDetachLifecycle) {
+  Fix f;
+  Host h(*f.net);
+  EXPECT_FALSE(h.attached());
+  EXPECT_FALSE(h.send_to(h.id()).delivered);  // detached hosts cannot send
+  ASSERT_TRUE(h.attach(3).ok);
+  EXPECT_TRUE(h.attached());
+  EXPECT_EQ(h.gateway(), 3u);
+  EXPECT_FALSE(h.attach(4).ok);  // already attached
+  (void)h.detach();
+  EXPECT_FALSE(h.attached());
+  EXPECT_EQ(f.net->hosting_router(h.id()), std::nullopt);
+}
+
+TEST(Host, IdentityStableAcrossMoves) {
+  Fix f;
+  Host h(*f.net);
+  ASSERT_TRUE(h.attach(1).ok);
+  const NodeId id = h.id();
+  for (const graph::NodeIndex gw : {5u, 9u, 14u, 20u}) {
+    ASSERT_TRUE(h.move_to(gw).ok);
+    EXPECT_EQ(h.id(), id);
+    EXPECT_TRUE(f.net->route(0, id).delivered);
+    EXPECT_EQ(f.net->hosting_router(id), gw);
+  }
+}
+
+TEST(Host, TwoHostsExchangePackets) {
+  Fix f;
+  Host a(*f.net);
+  Host b(*f.net);
+  ASSERT_TRUE(a.attach(2).ok);
+  ASSERT_TRUE(b.attach(19).ok);
+  EXPECT_TRUE(a.send_to(b.id()).delivered);
+  EXPECT_TRUE(b.send_to(a.id()).delivered);
+}
+
+TEST(Host, CrashAndRebootSameIdentity) {
+  Fix f;
+  Host h(*f.net);
+  ASSERT_TRUE(h.attach(7).ok);
+  (void)h.crash();
+  EXPECT_FALSE(h.attached());
+  EXPECT_FALSE(f.net->route(0, h.id()).delivered);
+  ASSERT_TRUE(h.attach(12).ok);  // reboot elsewhere, same key pair
+  EXPECT_TRUE(f.net->route(0, h.id()).delivered);
+}
+
+TEST(Host, RestoredFromStoredIdentity) {
+  Fix f;
+  Rng store(99);
+  const Identity ident = Identity::generate(store);
+  Host h(*f.net, ident);
+  ASSERT_TRUE(h.attach(4).ok);
+  EXPECT_EQ(h.id(), ident.id());
+}
+
+TEST(Host, SendSurvivesGatewayFailure) {
+  Fix f;
+  Host a(*f.net);
+  Host b(*f.net);
+  ASSERT_TRUE(a.attach(2).ok);
+  ASSERT_TRUE(b.attach(10).ok);
+  (void)f.net->fail_router(10);  // b's ID rehomes at the failover router
+  EXPECT_TRUE(a.send_to(b.id()).delivered);
+  EXPECT_TRUE(b.send_to(a.id()).delivered);  // b routes from its new home
+}
+
+TEST(Host, EphemeralHostFacade) {
+  Fix f;
+  Host laptop(*f.net, HostClass::kEphemeral);
+  ASSERT_TRUE(laptop.attach(6).ok);
+  EXPECT_TRUE(f.net->route(0, laptop.id()).delivered);
+  std::string err;
+  EXPECT_TRUE(f.net->verify_rings(&err)) << err;
+}
+
+TEST(Host, SybilQuotaBoundsResidency) {
+  Config cfg;
+  cfg.max_resident_ids_per_router = 5;
+  Fix f(cfg, 71);
+  // The fixture already spread 30 ids; now pile onto one router until the
+  // audit refuses.
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    Host h(*f.net);
+    if (h.attach(0).ok) ++accepted;
+  }
+  EXPECT_LE(f.net->router(0).resident_count(), 5u + 1u);  // + default vnode
+  EXPECT_LT(accepted, 20);
+  // Other routers still accept.
+  Host ok(*f.net);
+  EXPECT_TRUE(ok.attach(1).ok);
+}
+
+}  // namespace
+}  // namespace rofl::intra

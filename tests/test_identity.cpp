@@ -1,0 +1,77 @@
+#include "util/identity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl {
+namespace {
+
+TEST(Identity, GenerateIsDeterministicUnderSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Identity a = Identity::generate(rng1);
+  const Identity b = Identity::generate(rng2);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+TEST(Identity, IdIsSelfCertifying) {
+  Rng rng(7);
+  const Identity ident = Identity::generate(rng);
+  EXPECT_EQ(derive_id(ident.public_key()), ident.id());
+}
+
+TEST(Identity, OwnershipProofVerifies) {
+  Rng rng(7);
+  const Identity ident = Identity::generate(rng);
+  const std::uint64_t nonce = 0xDEADBEEFull;
+  const OwnershipProof proof = ident.prove(nonce);
+  EXPECT_TRUE(verify_ownership(ident.id(), ident.public_key(), nonce, proof,
+                               ident.private_key()));
+}
+
+TEST(Identity, ProofBoundToNonce) {
+  Rng rng(7);
+  const Identity ident = Identity::generate(rng);
+  const OwnershipProof proof = ident.prove(1);
+  EXPECT_FALSE(verify_ownership(ident.id(), ident.public_key(), 2, proof,
+                                ident.private_key()));
+}
+
+TEST(Identity, SpoofedIdRejected) {
+  Rng rng(7);
+  const Identity victim = Identity::generate(rng);
+  const Identity attacker = Identity::generate(rng);
+  const std::uint64_t nonce = 99;
+  // Attacker claims the victim's ID but can only prove its own key.
+  EXPECT_FALSE(verify_ownership(victim.id(), attacker.public_key(), nonce,
+                                attacker.prove(nonce),
+                                attacker.private_key()));
+}
+
+TEST(Identity, WrongPrivateKeyRejected) {
+  Rng rng(7);
+  const Identity ident = Identity::generate(rng);
+  const Identity other = Identity::generate(rng);
+  const std::uint64_t nonce = 5;
+  EXPECT_FALSE(verify_ownership(ident.id(), ident.public_key(), nonce,
+                                ident.prove(nonce), other.private_key()));
+}
+
+TEST(Identity, RoundTripFromPrivateKey) {
+  Rng rng(13);
+  const Identity a = Identity::generate(rng);
+  const Identity b = Identity::from_private_key(a.private_key());
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(Identity, IdsAreWellSpread) {
+  // Flat labels should not collide or cluster trivially.
+  Rng rng(1);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(Identity::generate(rng).id()).second);
+  }
+}
+
+}  // namespace
+}  // namespace rofl

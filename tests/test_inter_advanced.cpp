@@ -1,0 +1,311 @@
+// Advanced interdomain scenarios: registry hygiene under churn, forced
+// bloom false positives, provider-forced joins under failure, finger-table
+// properties, the redundant-lookup optimization, and Canon state bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interdomain/inter_network.hpp"
+#include "util/stats.hpp"
+
+namespace rofl::inter {
+namespace {
+
+using graph::AsRel;
+using graph::AsTopology;
+
+AsTopology three_tier() {
+  //        0 ~ 1              tier-1 peering
+  //       / \    \ .
+  //      2   3    4           transits (3 also peers with 4)
+  //     /|   |\    \ .
+  //    5 6   7 8    9         stubs; 8 is multihomed under 3 and 4
+  AsTopology t = AsTopology::from_links(
+      10, {{2, 0, AsRel::kProvider}, {3, 0, AsRel::kProvider},
+           {4, 1, AsRel::kProvider}, {5, 2, AsRel::kProvider},
+           {6, 2, AsRel::kProvider}, {7, 3, AsRel::kProvider},
+           {8, 3, AsRel::kProvider}, {8, 4, AsRel::kProvider},
+           {9, 4, AsRel::kProvider}, {0, 1, AsRel::kPeer},
+           {3, 4, AsRel::kPeer}});
+  for (graph::AsIndex a : {5u, 6u, 7u, 8u, 9u}) t.set_host_count(a, 50);
+  return t;
+}
+
+struct Net {
+  AsTopology topo;
+  std::unique_ptr<InterNetwork> net;
+
+  explicit Net(InterConfig cfg = {}, std::uint64_t seed = 808)
+      : topo(three_tier()) {
+    net = std::make_unique<InterNetwork>(&topo, cfg, seed);
+  }
+
+  std::vector<NodeId> populate(std::size_t per_stub,
+                               JoinStrategy s = JoinStrategy::kRecursiveMultihomed) {
+    std::vector<NodeId> ids;
+    for (graph::AsIndex stub : {5u, 6u, 7u, 8u, 9u}) {
+      for (std::size_t i = 0; i < per_stub; ++i) {
+        Identity ident = Identity::generate(net->rng());
+        if (net->join_host(ident, stub, s).ok) ids.push_back(ident.id());
+      }
+    }
+    return ids;
+  }
+};
+
+TEST(InterAdvanced, RegistriesCleanAfterChurn) {
+  Net t;
+  auto ids = t.populate(6);
+  Rng chooser(4);
+  // Half the ids leave.
+  std::set<NodeId> gone;
+  for (std::size_t i = 0; i < ids.size() / 2; ++i) {
+    const NodeId victim = ids[chooser.index(ids.size())];
+    if (gone.contains(victim)) continue;
+    (void)t.net->leave_host(victim);
+    gone.insert(victim);
+  }
+  // A departed ID must be gone from the directory and unroutable.
+  for (const NodeId& victim : gone) {
+    EXPECT_EQ(t.net->home_of(victim), std::nullopt);
+    EXPECT_FALSE(t.net->route(5, victim).delivered);
+  }
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const NodeId& id : ids) {
+    if (gone.contains(id)) continue;
+    EXPECT_TRUE(t.net->route(5, id).delivered);
+  }
+}
+
+TEST(InterAdvanced, BloomFalsePositiveBacktracks) {
+  InterConfig cfg;
+  cfg.peering_mode = PeeringMode::kBloom;
+  cfg.bloom_bits = 64;  // tiny filters saturate -> false positives guaranteed
+  cfg.bloom_hashes = 2;
+  Net t(cfg, 99);
+  const auto ids = t.populate(6);
+  std::uint64_t backtracks = 0;
+  // Route from every stub; sources under AS 3 (which peers with AS 4) pass
+  // a peering point whose saturated bloom lies about destinations homed
+  // elsewhere.
+  for (const graph::AsIndex src : {5u, 6u, 7u, 8u, 9u}) {
+    for (const NodeId& id : ids) {
+      const auto rs = t.net->route(src, id);
+      EXPECT_TRUE(rs.delivered) << id;  // correctness despite lies
+      backtracks += rs.backtracks;
+    }
+  }
+  // Saturated filters claim everything; peering probes into the wrong
+  // subtree must have happened and been recovered from.
+  EXPECT_GT(backtracks, 0u);
+}
+
+TEST(InterAdvanced, DirectPeeringShortcutUnderBloom) {
+  // 7 (under 3) -> 9 (under 4): with the 3~4 peering link and blooms, the
+  // packet should cross directly at level 1 instead of climbing to the
+  // tier-1s.
+  InterConfig cfg;
+  cfg.peering_mode = PeeringMode::kBloom;
+  Net t(cfg, 77);
+  const auto ids = t.populate(5);
+  for (const NodeId& id : ids) {
+    if (t.net->home_of(id) != 9u) continue;
+    std::vector<graph::AsIndex> trace;
+    const auto rs = t.net->route(7, id, &trace);
+    ASSERT_TRUE(rs.delivered);
+    EXPECT_GT(rs.peer_links_used, 0u);
+    // Never climbed to tier-1.
+    for (const auto a : trace) {
+      EXPECT_NE(a, 0u);
+      EXPECT_NE(a, 1u);
+    }
+  }
+}
+
+TEST(InterAdvanced, ViaProviderJoinSurvivesReanchor) {
+  Net t;
+  t.populate(4);
+  // A TE-style ID at multihomed stub 8, forced via provider 4.
+  Rng g(5);
+  const Identity gid = Identity::generate(g);
+  const NodeId id = gid.id();
+  ASSERT_TRUE(t.net->join_group_id(id, 8, JoinStrategy::kSingleHomed, 4u).ok);
+  // An unrelated link fails and recovers; the forced branch must persist.
+  (void)t.net->fail_link(5, 2);
+  (void)t.net->restore_link(5, 2);
+  const InterVNode* vn = t.net->find_vnode(id);
+  ASSERT_NE(vn, nullptr);
+  EXPECT_EQ(vn->via_provider, 4u);
+  // Anchors still follow the forced chain (4, then 1, ...).
+  ASSERT_GE(vn->anchors.size(), 2u);
+  EXPECT_EQ(vn->anchors[0].first, 8u);
+  EXPECT_EQ(vn->anchors[1].first, 4u);
+  EXPECT_TRUE(t.net->route(5, id).delivered);
+}
+
+TEST(InterAdvanced, ForcedProviderFailureReanchorsToSurvivor) {
+  Net t;
+  t.populate(4);
+  Rng g(6);
+  const Identity gid = Identity::generate(g);
+  const NodeId id = gid.id();
+  ASSERT_TRUE(t.net->join_group_id(id, 8, JoinStrategy::kSingleHomed, 4u).ok);
+  // The forced access link dies: the ID re-anchors over the other provider
+  // (3) and stays reachable.
+  (void)t.net->fail_link(8, 4);
+  const auto rs = t.net->route(5, id);
+  EXPECT_TRUE(rs.delivered);
+  const InterVNode* vn = t.net->find_vnode(id);
+  ASSERT_NE(vn, nullptr);
+  ASSERT_GE(vn->anchors.size(), 2u);
+  EXPECT_EQ(vn->anchors[1].first, 3u);
+}
+
+TEST(InterAdvanced, FingerTableProperties) {
+  InterConfig cfg;
+  cfg.fingers_per_id = 48;
+  Net t(cfg, 33);
+  const auto ids = t.populate(8);
+  for (const NodeId& id : ids) {
+    const InterVNode* vn = t.net->find_vnode(id);
+    ASSERT_NE(vn, nullptr);
+    EXPECT_LE(vn->fingers.size(), 48u);
+    for (const Finger& f : vn->fingers) {
+      // Prefix property: target matches the owner's first prefix_len bits
+      // and differs at the digit.
+      EXPECT_GE(f.target.common_prefix_len(id), f.prefix_len);
+      EXPECT_EQ(f.target.digit(f.prefix_len, t.net->config().finger_digit_bits),
+                f.digit);
+      EXPECT_NE(f.target, id);
+      // Anchored at one of the owner's joined levels (isolation-safe) and
+      // the target registered in that ring.
+      const bool anchored = std::any_of(
+          vn->anchors.begin(), vn->anchors.end(),
+          [&](const auto& a) { return a.first == f.anchor; });
+      EXPECT_TRUE(anchored);
+      // Route starts at home, peaks at the anchor, ends at the target home.
+      ASSERT_FALSE(f.route.empty());
+      EXPECT_EQ(f.route.front(), vn->home);
+      EXPECT_EQ(f.route.back(), f.target_home);
+    }
+  }
+}
+
+TEST(InterAdvanced, RedundantLookupOptimizationCutsJoinCost) {
+  // Section 6.3: eliminating per-level lookups that resolve to the same
+  // successor makes multihomed joins barely costlier than single-homed.
+  InterConfig on;
+  on.prune_redundant_lookups = true;
+  InterConfig off;
+  off.prune_redundant_lookups = false;
+  Net t_on(on, 55);
+  Net t_off(off, 55);
+  t_on.populate(3);
+  t_off.populate(3);
+  SampleSet cost_on, cost_off;
+  for (int i = 0; i < 20; ++i) {
+    Identity a = Identity::generate(t_on.net->rng());
+    Identity b = Identity::generate(t_off.net->rng());
+    const auto ja =
+        t_on.net->join_host(a, 8, JoinStrategy::kRecursiveMultihomed);
+    const auto jb =
+        t_off.net->join_host(b, 8, JoinStrategy::kRecursiveMultihomed);
+    ASSERT_TRUE(ja.ok && jb.ok);
+    cost_on.add(static_cast<double>(ja.messages));
+    cost_off.add(static_cast<double>(jb.messages));
+  }
+  EXPECT_LT(cost_on.mean(), cost_off.mean());
+}
+
+TEST(InterAdvanced, PointerCountLogarithmicSweep) {
+  // Canon's bound: expected pointers per ID is O(log n).  Check that the
+  // per-ID pointer count grows far slower than n.
+  double per_id_small = 0.0;
+  double per_id_big = 0.0;
+  {
+    Net t({}, 21);
+    const auto ids = t.populate(2);
+    per_id_small = static_cast<double>(t.net->total_pointer_count()) /
+                   static_cast<double>(ids.size());
+  }
+  {
+    Net t({}, 22);
+    const auto ids = t.populate(24);  // 12x the population
+    per_id_big = static_cast<double>(t.net->total_pointer_count()) /
+                 static_cast<double>(ids.size());
+  }
+  EXPECT_LT(per_id_big, per_id_small * 3.0);
+}
+
+TEST(InterAdvanced, EphemeralIdsRoutableFromEverywhere) {
+  Net t;
+  t.populate(5);
+  std::vector<NodeId> ephemerals;
+  for (graph::AsIndex stub : {5u, 7u, 9u}) {
+    Identity ident = Identity::generate(t.net->rng());
+    ASSERT_TRUE(t.net->join_host(ident, stub, JoinStrategy::kEphemeral).ok);
+    ephemerals.push_back(ident.id());
+  }
+  for (const NodeId& id : ephemerals) {
+    for (graph::AsIndex src : {5u, 6u, 7u, 8u, 9u}) {
+      EXPECT_TRUE(t.net->route(src, id).delivered)
+          << "eph " << id << " from " << src;
+    }
+  }
+}
+
+TEST(InterAdvanced, MixedStrategiesCoexist) {
+  Net t;
+  std::vector<NodeId> ids;
+  const JoinStrategy strategies[] = {
+      JoinStrategy::kEphemeral, JoinStrategy::kSingleHomed,
+      JoinStrategy::kRecursiveMultihomed, JoinStrategy::kPeering};
+  int k = 0;
+  for (graph::AsIndex stub : {5u, 6u, 7u, 8u, 9u}) {
+    for (int i = 0; i < 6; ++i) {
+      Identity ident = Identity::generate(t.net->rng());
+      if (t.net->join_host(ident, stub, strategies[k++ % 4]).ok) {
+        ids.push_back(ident.id());
+      }
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const NodeId& id : ids) {
+    EXPECT_TRUE(t.net->route(6, id).delivered) << id;
+  }
+}
+
+TEST(InterAdvanced, StateAccountingMonotone) {
+  Net t;
+  const double empty = t.net->mean_state_bits_per_as();
+  t.populate(4);
+  const double after = t.net->mean_state_bits_per_as();
+  EXPECT_GT(after, empty);
+  EXPECT_GT(t.net->total_pointer_count(), 0u);
+}
+
+TEST(InterAdvanced, WholeTransitFailureHealsOnRestore) {
+  Net t;
+  const auto ids = t.populate(5);
+  // Transit AS 2 dies: stubs 5 and 6 lose their only provider and are cut
+  // off; everyone else keeps working.
+  (void)t.net->fail_as(2);
+  for (const NodeId& id : ids) {
+    const auto home = t.net->home_of(id);
+    if (!home.has_value()) continue;
+    if (*home == 5u || *home == 6u) continue;  // stranded island
+    EXPECT_TRUE(t.net->route(7, id).delivered) << id;
+  }
+  (void)t.net->restore_as(2);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const NodeId& id : ids) {
+    if (!t.net->home_of(id).has_value()) continue;
+    EXPECT_TRUE(t.net->route(7, id).delivered) << id;
+  }
+}
+
+}  // namespace
+}  // namespace rofl::inter

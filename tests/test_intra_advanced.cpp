@@ -1,0 +1,327 @@
+// Advanced intradomain scenarios: failure injection sequences, stale-cache
+// recovery, directed-flood hygiene, successor-group resilience, latency
+// properties, and configuration ablations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rofl/network.hpp"
+#include "util/stats.hpp"
+
+namespace rofl::intra {
+namespace {
+
+struct Net {
+  graph::IspTopology topo;
+  std::unique_ptr<Network> net;
+
+  explicit Net(std::size_t routers = 36, std::size_t pops = 6,
+               Config cfg = {}, std::uint64_t seed = 501) {
+    Rng trng(seed);
+    graph::IspParams p;
+    p.router_count = routers;
+    p.pop_count = pops;
+    topo = graph::make_isp_topology(p, trng);
+    net = std::make_unique<Network>(&topo, cfg, seed + 1);
+  }
+
+  std::vector<Identity> join_idents(std::size_t n) {
+    std::vector<Identity> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Identity ident = Identity::generate(net->rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          net->rng().index(net->router_count()));
+      if (net->join_host(ident, gw).ok) out.push_back(ident);
+    }
+    return out;
+  }
+};
+
+TEST(IntraAdvanced, DirectedFloodClearsCachedPointers) {
+  Net t;
+  const auto idents = t.join_idents(60);
+  const NodeId victim = idents[20].id();
+  // Find the routers caching the victim before the failure.
+  std::size_t cached_before = 0;
+  for (graph::NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    if (t.net->router(r).cache().find(victim) != nullptr) ++cached_before;
+  }
+  (void)t.net->fail_host(victim);
+  // Invariant (b): control-path routers must have dropped the pointer.
+  const std::size_t total = t.net->router_count();
+  std::size_t cached_after = 0;
+  for (graph::NodeIndex r = 0; r < total; ++r) {
+    if (t.net->router(r).cache().find(victim) != nullptr) ++cached_after;
+  }
+  EXPECT_LT(cached_after, cached_before + 1);
+  // Any stragglers (cached off the control path) must not break routing of
+  // nearby IDs.
+  for (const auto& ident : idents) {
+    if (ident.id() == victim) continue;
+    EXPECT_TRUE(t.net->route(0, ident.id()).delivered);
+  }
+}
+
+TEST(IntraAdvanced, StaleCacheEntryRecoveredOnDataPath) {
+  Net t;
+  const auto idents = t.join_idents(50);
+  const NodeId victim = idents[10].id();
+  const auto victim_home = *t.net->hosting_router(victim);
+  // Plant a deliberately stale cache entry at a remote router, then kill
+  // the host: forwarding toward a nearby ID must survive the lie.
+  graph::NodeIndex far = 0;
+  for (graph::NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    if (r != victim_home) far = r;
+  }
+  (void)t.net->fail_host(victim);
+  t.net->router(far).cache().insert(victim, victim_home,
+                                    t.net->map().path(far, victim_home));
+  // Routing to the dead ID itself chases the stale pointer, discovers the
+  // ID is gone, and tears the entry down (invariant (b)); the packet is
+  // then correctly reported undeliverable.
+  EXPECT_FALSE(t.net->route(far, victim).delivered);
+  EXPECT_EQ(t.net->router(far).cache().find(victim), nullptr);
+  // Live destinations keep working regardless of the planted lie.
+  const auto it = t.net->directory().upper_bound(victim);
+  const NodeId target =
+      it != t.net->directory().end() ? it->first
+                                     : t.net->directory().begin()->first;
+  EXPECT_TRUE(t.net->route(far, target).delivered);
+}
+
+TEST(IntraAdvanced, SimultaneousSuccessorFailures) {
+  // Successor groups (k=4) survive several adjacent IDs dying at once.
+  Net t;
+  auto idents = t.join_idents(60);
+  // Sort by ID and kill three consecutive ring members.
+  std::sort(idents.begin(), idents.end(),
+            [](const Identity& a, const Identity& b) { return a.id() < b.id(); });
+  for (int i = 20; i < 23; ++i) {
+    (void)t.net->fail_host(idents[static_cast<std::size_t>(i)].id());
+  }
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (std::size_t i = 0; i < idents.size(); ++i) {
+    if (i >= 20 && i < 23) continue;
+    EXPECT_TRUE(t.net->route(1, idents[i].id()).delivered) << i;
+  }
+}
+
+TEST(IntraAdvanced, CascadingRouterFailures) {
+  Net t(40, 8);
+  const auto idents = t.join_idents(80);
+  Rng chooser(77);
+  std::set<graph::NodeIndex> downed;
+  for (int round = 0; round < 5; ++round) {
+    graph::NodeIndex r;
+    // Keep the graph connected: try candidates until one's removal doesn't
+    // partition the network.
+    for (;;) {
+      r = static_cast<graph::NodeIndex>(chooser.index(t.net->router_count()));
+      if (downed.contains(r)) continue;
+      t.topo.graph.set_node_up(r, false);
+      const bool still = t.topo.graph.connected();
+      t.topo.graph.set_node_up(r, true);
+      if (still) break;
+    }
+    downed.insert(r);
+    (void)t.net->fail_router(r);
+    std::string err;
+    ASSERT_TRUE(t.net->verify_rings(&err)) << "round " << round << ": " << err;
+  }
+  // Every host is still reachable from some live router.
+  graph::NodeIndex probe = 0;
+  while (downed.contains(probe)) ++probe;
+  for (const auto& ident : idents) {
+    EXPECT_TRUE(t.net->route(probe, ident.id()).delivered);
+  }
+}
+
+TEST(IntraAdvanced, FailThenRestoreRouterRoundTrip) {
+  Net t;
+  const auto idents = t.join_idents(40);
+  const graph::NodeIndex r = 7;
+  (void)t.net->fail_router(r);
+  (void)t.net->restore_router(r);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err, /*strict=*/true)) << err;
+  // The restored router can serve as a gateway again.
+  Identity fresh = Identity::generate(t.net->rng());
+  EXPECT_TRUE(t.net->join_host(fresh, r).ok);
+  EXPECT_TRUE(t.net->route(0, fresh.id()).delivered);
+}
+
+TEST(IntraAdvanced, RepeatedLinkFlaps) {
+  Net t;
+  const auto idents = t.join_idents(50);
+  // Flap the first redundant link five times.
+  graph::NodeIndex u = 0, v = 0;
+  for (graph::NodeIndex a = 0; a < t.net->router_count() && v == 0; ++a) {
+    for (const auto& e : t.topo.graph.neighbors(a)) {
+      if (a > e.to) continue;
+      t.topo.graph.set_link_up(a, e.to, false);
+      const bool still = t.topo.graph.connected();
+      t.topo.graph.set_link_up(a, e.to, true);
+      if (still) {
+        u = a;
+        v = e.to;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(v, 0u);
+  for (int i = 0; i < 5; ++i) {
+    (void)t.net->fail_link(u, v);
+    (void)t.net->restore_link(u, v);
+  }
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const auto& ident : idents) {
+    EXPECT_TRUE(t.net->route(0, ident.id()).delivered);
+  }
+}
+
+TEST(IntraAdvanced, SuccessorGroupSizeAblation) {
+  // Deeper successor groups cost more join traffic but survive deeper
+  // simultaneous failures; k=1 must break under a 2-deep cut while k=4
+  // survives.  (The ablation bench quantifies the cost side.)
+  for (const std::size_t k : {1u, 4u}) {
+    Config cfg;
+    cfg.successor_group = k;
+    Net t(36, 6, cfg, 900 + k);
+    auto idents = t.join_idents(50);
+    std::sort(idents.begin(), idents.end(), [](const auto& a, const auto& b) {
+      return a.id() < b.id();
+    });
+    // Kill two consecutive members abruptly WITHOUT repair in between.
+    const NodeId a = idents[10].id();
+    const NodeId b = idents[11].id();
+    (void)t.net->fail_host(a);
+    (void)t.net->fail_host(b);
+    std::string err;
+    const bool ok = t.net->verify_rings(&err);
+    if (k >= 2) {
+      EXPECT_TRUE(ok) << "k=" << k << ": " << err;
+    }
+    // Either way the network must self-heal via repair.
+    (void)t.net->repair_partitions();
+    EXPECT_TRUE(t.net->verify_rings(&err)) << "k=" << k << " post-repair: "
+                                           << err;
+  }
+}
+
+TEST(IntraAdvanced, CacheDisabledStillCorrect) {
+  Config cfg;
+  cfg.cache_capacity = 0;
+  cfg.cache_control_paths = false;
+  Net t(30, 5, cfg);
+  const auto idents = t.join_idents(60);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const auto& ident : idents) {
+    EXPECT_TRUE(t.net->route(2, ident.id()).delivered);
+  }
+  for (graph::NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    EXPECT_EQ(t.net->router(r).cache().size(), 0u);
+  }
+}
+
+TEST(IntraAdvanced, JoinLatencyScalesWithDiameterNotSize) {
+  // Two networks with the same diameter class but different router counts:
+  // join latency should track diameter (the paper's claim), not router
+  // count.
+  Net small(24, 4, {}, 111);
+  Net big(96, 4, {}, 112);  // same PoP count => similar diameter
+  auto measure = [](Net& t) {
+    SampleSet lat;
+    for (int i = 0; i < 40; ++i) {
+      Identity ident = Identity::generate(t.net->rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          t.net->rng().index(t.net->router_count()));
+      const auto js = t.net->join_host(ident, gw);
+      if (js.ok) lat.add(js.latency_ms);
+    }
+    return lat.mean();
+  };
+  const double lat_small = measure(small);
+  const double lat_big = measure(big);
+  // 4x routers must not mean 4x latency; allow 2.5x slack.
+  EXPECT_LT(lat_big, 2.5 * lat_small);
+}
+
+TEST(IntraAdvanced, EphemeralChurnLeavesNoResidue) {
+  Net t;
+  (void)t.join_idents(30);
+  const std::size_t baseline_state = [&] {
+    std::size_t s = 0;
+    for (graph::NodeIndex r = 0; r < t.net->router_count(); ++r) {
+      s += t.net->router(r).state_entries();
+    }
+    return s;
+  }();
+  // 40 ephemeral hosts join and fail.
+  for (int i = 0; i < 40; ++i) {
+    Identity ident = Identity::generate(t.net->rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        t.net->rng().index(t.net->router_count()));
+    if (t.net->join_host(ident, gw, HostClass::kEphemeral).ok) {
+      (void)t.net->fail_host(ident.id());
+    }
+  }
+  std::size_t after = 0;
+  std::size_t backpointers = 0;
+  for (graph::NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    after += t.net->router(r).state_entries();
+    backpointers += t.net->router(r).ephemeral_backpointers().size();
+  }
+  EXPECT_EQ(backpointers, 0u);
+  // Ring state unchanged (caches may have grown from control traffic).
+  EXPECT_GE(after + 1, baseline_state);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+}
+
+TEST(IntraAdvanced, CountersPartitionByCategory) {
+  Net t;
+  const auto before_join =
+      t.net->simulator().counters().get(sim::MsgCategory::kJoin);
+  const auto idents = t.join_idents(10);
+  const auto after_join =
+      t.net->simulator().counters().get(sim::MsgCategory::kJoin);
+  EXPECT_GT(after_join, before_join);
+
+  const auto before_td =
+      t.net->simulator().counters().get(sim::MsgCategory::kTeardown);
+  (void)t.net->fail_host(idents[0].id());
+  EXPECT_GT(t.net->simulator().counters().get(sim::MsgCategory::kTeardown),
+            before_td);
+
+  const auto before_data =
+      t.net->simulator().counters().get(sim::MsgCategory::kData);
+  (void)t.net->route(0, idents[1].id());
+  EXPECT_GE(t.net->simulator().counters().get(sim::MsgCategory::kData),
+            before_data);
+}
+
+// Property sweep: for any successor-group depth, a fresh network's rings are
+// canonical and repair is a no-op.
+class GroupDepth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupDepth, CanonicalAfterJoins) {
+  Config cfg;
+  cfg.successor_group = GetParam();
+  Net t(30, 5, cfg, 1300 + GetParam());
+  (void)t.join_idents(60);
+  std::string err;
+  // Strict mode: full successor groups and predecessors must be canonical.
+  ASSERT_TRUE(t.net->verify_rings(&err, /*strict=*/true)) << err;
+  const RepairStats rs = t.net->repair_partitions();
+  EXPECT_EQ(rs.ids_rejoined, 0u);
+  EXPECT_EQ(rs.pointers_torn, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GroupDepth,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace rofl::intra

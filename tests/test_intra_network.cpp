@@ -1,0 +1,479 @@
+// Integration tests for the intradomain ROFL protocol engine (sections 2.2,
+// 3): joins, greedy forwarding, failure handling, and partition repair, all
+// over a small Rocketfuel-like ISP.
+#include "rofl/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+#include <set>
+
+namespace rofl::intra {
+namespace {
+
+struct TestNet {
+  graph::IspTopology topo;
+  std::unique_ptr<Network> net;
+  std::vector<Identity> hosts;
+
+  explicit TestNet(std::size_t routers = 30, std::size_t pops = 5,
+                   Config cfg = {}, std::uint64_t seed = 1234) {
+    Rng trng(seed);
+    graph::IspParams p;
+    p.router_count = routers;
+    p.pop_count = pops;
+    topo = graph::make_isp_topology(p, trng);
+    net = std::make_unique<Network>(&topo, cfg, seed + 1);
+  }
+
+  NodeId join(NodeIndex gw, HostClass cls = HostClass::kStable) {
+    Identity ident = Identity::generate(net->rng());
+    const JoinStats js = net->join_host(ident, gw, cls);
+    EXPECT_TRUE(js.ok);
+    hosts.push_back(ident);
+    return ident.id();
+  }
+
+  std::vector<NodeId> join_many(std::size_t n) {
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gw =
+          static_cast<NodeIndex>(net->rng().index(net->router_count()));
+      ids.push_back(join(gw));
+    }
+    return ids;
+  }
+};
+
+TEST(IntraBootstrap, RouterRingIsCorrect) {
+  TestNet t;
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_EQ(t.net->directory().size(), t.net->router_count());
+}
+
+TEST(IntraBootstrap, DefaultVnodesHaveSuccessorGroups) {
+  TestNet t;
+  for (NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    const auto& vnodes = t.net->router(r).vnodes();
+    ASSERT_EQ(vnodes.size(), 1u);
+    const VirtualNode& vn = vnodes.begin()->second;
+    EXPECT_TRUE(vn.is_default);
+    EXPECT_EQ(vn.successors.size(), t.net->config().successor_group);
+    EXPECT_TRUE(vn.predecessor.has_value());
+  }
+}
+
+TEST(IntraJoin, SingleHostJoinSucceedsAndRingHolds) {
+  TestNet t;
+  const NodeId id = t.join(0);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_EQ(t.net->hosting_router(id), 0u);
+}
+
+TEST(IntraJoin, ManyJoinsKeepRingCorrect) {
+  TestNet t;
+  t.join_many(200);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_EQ(t.net->directory().size(), t.net->router_count() + 200);
+}
+
+TEST(IntraJoin, DuplicateIdRejected) {
+  TestNet t;
+  Identity ident = Identity::generate(t.net->rng());
+  EXPECT_TRUE(t.net->join_host(ident, 0).ok);
+  EXPECT_FALSE(t.net->join_host(ident, 1).ok);
+}
+
+TEST(IntraJoin, JoinAtDownRouterFails) {
+  TestNet t;
+  t.net->map().fail_node(3);
+  Identity ident = Identity::generate(t.net->rng());
+  EXPECT_FALSE(t.net->join_host(ident, 3).ok);
+}
+
+TEST(IntraJoin, JoinOverheadIsBounded) {
+  // Paper: join overhead is roughly four messages times the network
+  // diameter; check the same order of magnitude.
+  TestNet t;
+  const auto diameter = t.topo.graph.diameter_hops(t.topo.router_count());
+  SampleSet msgs;
+  for (int i = 0; i < 50; ++i) {
+    Identity ident = Identity::generate(t.net->rng());
+    const auto gw =
+        static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+    const JoinStats js = t.net->join_host(ident, gw);
+    ASSERT_TRUE(js.ok);
+    msgs.add(static_cast<double>(js.messages));
+  }
+  EXPECT_LT(msgs.mean(), 12.0 * diameter);
+  EXPECT_GT(msgs.mean(), 0.0);
+}
+
+TEST(IntraJoin, SuccessorGroupsAreFullyPopulated) {
+  TestNet t;
+  t.join_many(50);
+  const std::size_t k = t.net->config().successor_group;
+  for (NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    for (const auto& [id, vn] : t.net->router(r).vnodes()) {
+      if (vn.host_class == HostClass::kEphemeral) continue;
+      EXPECT_EQ(vn.successors.size(), k) << "vnode " << id;
+      EXPECT_TRUE(vn.predecessor.has_value());
+    }
+  }
+}
+
+TEST(IntraJoin, SuccessorGroupsMatchGlobalOrder) {
+  TestNet t;
+  t.join_many(60);
+  // Build the oracle ring.
+  std::vector<std::pair<NodeId, NodeIndex>> ring(t.net->directory().begin(),
+                                                 t.net->directory().end());
+  const std::size_t n = ring.size();
+  const std::size_t k = t.net->config().successor_group;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [id, host] = ring[i];
+    const VirtualNode* vn = t.net->router(host).find_vnode(id);
+    ASSERT_NE(vn, nullptr);
+    for (std::size_t s = 0; s < k && s < vn->successors.size(); ++s) {
+      EXPECT_EQ(vn->successors[s].id, ring[(i + s + 1) % n].first)
+          << "vnode " << id << " successor " << s;
+    }
+  }
+}
+
+TEST(IntraRoute, DeliversBetweenAllPairsSample) {
+  TestNet t;
+  const auto ids = t.join_many(100);
+  std::string err;
+  ASSERT_TRUE(t.net->verify_rings(&err)) << err;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId dest = ids[t.net->rng().index(ids.size())];
+    const auto src =
+        static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+    const RouteStats rs = t.net->route(src, dest);
+    EXPECT_TRUE(rs.delivered) << "to " << dest << " from " << src;
+  }
+}
+
+TEST(IntraRoute, DeliveryToResidentIsImmediate) {
+  TestNet t;
+  const NodeId id = t.join(2);
+  const RouteStats rs = t.net->route(2, id);
+  EXPECT_TRUE(rs.delivered);
+  EXPECT_EQ(rs.physical_hops, 0u);
+}
+
+TEST(IntraRoute, NonexistentIdNotDelivered) {
+  TestNet t;
+  t.join_many(20);
+  // A fresh ID that never joined.
+  Rng other(999);
+  const Identity ghost = Identity::generate(other);
+  const RouteStats rs = t.net->route(0, ghost.id());
+  EXPECT_FALSE(rs.delivered);
+}
+
+TEST(IntraRoute, CacheReducesStretch) {
+  Config small;
+  small.cache_capacity = 0;
+  Config big;
+  big.cache_capacity = 4096;
+  TestNet t_small(30, 5, small, 777);
+  TestNet t_big(30, 5, big, 777);
+
+  auto measure = [](TestNet& t) {
+    const auto ids = t.join_many(150);
+    SampleSet stretch;
+    for (int i = 0; i < 400; ++i) {
+      const NodeId dest = ids[t.net->rng().index(ids.size())];
+      const auto src =
+          static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+      const RouteStats rs = t.net->route(src, dest);
+      if (rs.delivered && rs.shortest_hops > 0) stretch.add(rs.stretch());
+    }
+    return stretch.mean();
+  };
+  const double s_small = measure(t_small);
+  const double s_big = measure(t_big);
+  EXPECT_LT(s_big, s_small);
+  EXPECT_GE(s_big, 1.0);
+}
+
+TEST(IntraRoute, StretchIsAtLeastOne) {
+  TestNet t;
+  const auto ids = t.join_many(50);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId dest = ids[t.net->rng().index(ids.size())];
+    const auto src =
+        static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+    const RouteStats rs = t.net->route(src, dest);
+    if (rs.delivered && rs.shortest_hops > 0) {
+      EXPECT_GE(rs.stretch(), 1.0);
+    }
+  }
+}
+
+TEST(IntraEphemeral, JoinAndRoute) {
+  TestNet t;
+  t.join_many(30);
+  const NodeId eid = t.join(4, HostClass::kEphemeral);
+  std::string err;
+  // Ephemeral hosts are not ring members; ring must still verify.
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  const RouteStats rs = t.net->route(9, eid);
+  EXPECT_TRUE(rs.delivered);
+}
+
+TEST(IntraEphemeral, NeverAppearsInSuccessorLists) {
+  TestNet t;
+  t.join_many(30);
+  const NodeId eid = t.join(4, HostClass::kEphemeral);
+  for (NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    for (const auto& [id, vn] : t.net->router(r).vnodes()) {
+      for (const NeighborPtr& s : vn.successors) {
+        EXPECT_NE(s.id, eid);
+      }
+      if (vn.predecessor.has_value()) {
+        EXPECT_NE(vn.predecessor->id, eid);
+      }
+    }
+  }
+}
+
+TEST(IntraEphemeral, SurvivesInterveningJoin) {
+  // A stable host joining between the ephemeral ID and its predecessor must
+  // inherit the backpointer, or routing breaks.
+  TestNet t;
+  t.join_many(40);
+  const NodeId eid = t.join(4, HostClass::kEphemeral);
+  t.join_many(60);  // some of these land between pred and eid
+  const RouteStats rs = t.net->route(1, eid);
+  EXPECT_TRUE(rs.delivered);
+}
+
+TEST(IntraFail, HostFailureSplicesRing) {
+  TestNet t;
+  const auto ids = t.join_many(50);
+  const RepairStats rs = t.net->fail_host(ids[10]);
+  EXPECT_GT(rs.messages, 0u);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_FALSE(t.net->route(0, ids[10]).delivered);
+  // Everyone else still reachable.
+  for (int i = 0; i < 30; ++i) {
+    const NodeId dest = ids[t.net->rng().index(ids.size())];
+    if (dest == ids[10]) continue;
+    EXPECT_TRUE(t.net->route(0, dest).delivered);
+  }
+}
+
+TEST(IntraFail, GracefulLeaveCheaperThanFailure) {
+  TestNet t1(30, 5, {}, 42);
+  TestNet t2(30, 5, {}, 42);
+  const auto ids1 = t1.join_many(50);
+  const auto ids2 = t2.join_many(50);
+  const RepairStats fail = t1.net->fail_host(ids1[7]);
+  const RepairStats leave = t2.net->leave_host(ids2[7]);
+  EXPECT_LE(leave.messages, fail.messages);
+}
+
+TEST(IntraFail, SequentialHostFailuresKeepRing) {
+  TestNet t;
+  auto ids = t.join_many(60);
+  Rng chooser(5);
+  for (int i = 0; i < 25; ++i) {
+    const std::size_t victim = chooser.index(ids.size());
+    t.net->fail_host(ids[victim]);
+    ids.erase(ids.begin() + static_cast<long>(victim));
+  }
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const NodeId& id : ids) {
+    EXPECT_TRUE(t.net->route(0, id).delivered);
+  }
+}
+
+TEST(IntraFail, RouterFailureRehomesHosts) {
+  TestNet t;
+  const auto ids = t.join_many(60);
+  // Count hosts homed at router 5 before the crash.
+  std::size_t at5 = 0;
+  for (const NodeId& id : ids) {
+    if (t.net->hosting_router(id) == 5u) ++at5;
+  }
+  const RepairStats rs = t.net->fail_router(5);
+  EXPECT_EQ(rs.ids_rejoined, at5);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  // All hosts (including the rehomed ones) reachable from a live router.
+  for (const NodeId& id : ids) {
+    EXPECT_TRUE(t.net->route(10, id).delivered) << id;
+    EXPECT_NE(t.net->hosting_router(id), 5u);
+  }
+}
+
+TEST(IntraFail, RouterRestoreRejoinsRing) {
+  TestNet t;
+  t.join_many(30);
+  t.net->fail_router(5);
+  const RepairStats rs = t.net->restore_router(5);
+  (void)rs;
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_EQ(t.net->hosting_router(t.net->router(5).router_id()), 5u);
+}
+
+TEST(IntraFail, LinkFailureWithoutPartitionKeepsDelivery) {
+  TestNet t;
+  const auto ids = t.join_many(50);
+  // Fail one redundant link (pick an edge whose removal keeps connectivity).
+  bool failed_one = false;
+  for (NodeIndex u = 0; u < t.topo.router_count() && !failed_one; ++u) {
+    for (const auto& e : t.topo.graph.neighbors(u)) {
+      if (u > e.to) continue;
+      t.topo.graph.set_link_up(u, e.to, false);
+      const bool still = t.topo.graph.connected();
+      t.topo.graph.set_link_up(u, e.to, true);
+      if (still) {
+        t.net->fail_link(u, e.to);
+        failed_one = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(failed_one);
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId dest = ids[t.net->rng().index(ids.size())];
+    const auto src =
+        static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+    EXPECT_TRUE(t.net->route(src, dest).delivered);
+  }
+}
+
+TEST(IntraRepair, NoopOnHealthyNetwork) {
+  // Repair must charge (almost) nothing when nothing failed -- pointer state
+  // is already canonical after joins.
+  TestNet t;
+  t.join_many(80);
+  const RepairStats rs = t.net->repair_partitions();
+  EXPECT_EQ(rs.ids_rejoined, 0u);
+  EXPECT_EQ(rs.pointers_torn, 0u);
+}
+
+TEST(IntraPartition, PopDisconnectAndHeal) {
+  TestNet t(40, 8);
+  const auto ids = t.join_many(120);
+
+  // Disconnect PoP 3 by failing all its external links.
+  const auto& pop = t.topo.pops[3];
+  const std::set<NodeIndex> pop_set(pop.begin(), pop.end());
+  std::vector<std::pair<NodeIndex, NodeIndex>> cut;
+  for (const NodeIndex r : pop) {
+    for (const auto& e : t.topo.graph.neighbors(r)) {
+      if (!pop_set.contains(e.to)) cut.emplace_back(r, e.to);
+    }
+  }
+  ASSERT_FALSE(cut.empty());
+  for (const auto& [u, v] : cut) t.net->map().fail_link(u, v);
+  const RepairStats split = t.net->repair_partitions();
+  (void)split;
+
+  // Both sides now have consistent rings.
+  std::string err;
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+
+  // Delivery works within each side.
+  std::vector<NodeId> inside, outside;
+  for (const NodeId& id : ids) {
+    const auto host = t.net->hosting_router(id);
+    ASSERT_TRUE(host.has_value());
+    (pop_set.contains(*host) ? inside : outside).push_back(id);
+  }
+  if (!inside.empty()) {
+    EXPECT_TRUE(t.net->route(*pop_set.begin(), inside.front()).delivered);
+  }
+  if (!outside.empty()) {
+    NodeIndex out_router = 0;
+    while (pop_set.contains(out_router)) ++out_router;
+    EXPECT_TRUE(t.net->route(out_router, outside.front()).delivered);
+    // Cross-partition delivery must fail.
+    if (!inside.empty()) {
+      EXPECT_FALSE(t.net->route(out_router, inside.front()).delivered);
+    }
+  }
+
+  // Heal and verify the rings merge back into one.
+  for (const auto& [u, v] : cut) t.net->map().restore_link(u, v);
+  const RepairStats heal = t.net->repair_partitions();
+  EXPECT_TRUE(t.net->verify_rings(&err)) << err;
+  EXPECT_GT(heal.messages + split.messages, 0u);
+
+  // Full reachability is restored (invariant (a) of section 3.2).
+  for (int i = 0; i < 60; ++i) {
+    const NodeId dest = ids[t.net->rng().index(ids.size())];
+    const auto src =
+        static_cast<NodeIndex>(t.net->rng().index(t.net->router_count()));
+    EXPECT_TRUE(t.net->route(src, dest).delivered);
+  }
+}
+
+TEST(IntraMemory, StateGrowsWithHostsAndCacheBounded) {
+  Config cfg;
+  cfg.cache_capacity = 64;
+  TestNet t(30, 5, cfg);
+  const double before = t.net->mean_state_entries();
+  t.join_many(100);
+  const double after = t.net->mean_state_entries();
+  EXPECT_GT(after, before);
+  for (NodeIndex r = 0; r < t.net->router_count(); ++r) {
+    EXPECT_LE(t.net->router(r).cache().size(), 64u);
+  }
+  EXPECT_GT(t.net->resident_state_bits(), 0u);
+}
+
+TEST(IntraCounters, JoinTrafficIsAccounted) {
+  TestNet t;
+  const auto before = t.net->simulator().counters().get(sim::MsgCategory::kJoin);
+  t.join_many(10);
+  EXPECT_GT(t.net->simulator().counters().get(sim::MsgCategory::kJoin), before);
+}
+
+// Churn property sweep: interleaved joins and failures at several scales
+// must always leave a correct ring and full reachability.
+class IntraChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntraChurn, RingSurvivesChurn) {
+  const int ops = GetParam();
+  TestNet t(25, 5, {}, 2024 + static_cast<std::uint64_t>(ops));
+  std::vector<NodeId> live;
+  Rng chooser(static_cast<std::uint64_t>(ops) * 7 + 1);
+  for (int i = 0; i < ops; ++i) {
+    if (live.size() < 5 || chooser.chance(0.6)) {
+      Identity ident = Identity::generate(t.net->rng());
+      const auto gw =
+          static_cast<NodeIndex>(chooser.index(t.net->router_count()));
+      if (t.net->join_host(ident, gw).ok) live.push_back(ident.id());
+    } else {
+      const std::size_t victim = chooser.index(live.size());
+      t.net->fail_host(live[victim]);
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(t.net->verify_rings(&err)) << err;
+  for (const NodeId& id : live) {
+    EXPECT_TRUE(t.net->route(0, id).delivered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, IntraChurn,
+                         ::testing::Values(20, 60, 120, 250));
+
+}  // namespace
+}  // namespace rofl::intra

@@ -1,0 +1,111 @@
+#include "linkstate/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::linkstate {
+namespace {
+
+struct Fixture {
+  graph::Graph g{4};
+  sim::Simulator sim;
+  Fixture() {
+    // 0 - 1 - 2 - 3 with a backup edge 0-3.
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(2, 3, 3.0);
+    g.add_edge(0, 3, 10.0);
+  }
+};
+
+TEST(LinkState, PathAndNextHop) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  const auto p = m.path(0, 2);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(m.next_hop(0, 2), 1u);
+  EXPECT_EQ(m.hop_distance(0, 2), 2u);
+  EXPECT_DOUBLE_EQ(*m.latency_ms(0, 2), 3.0);
+}
+
+TEST(LinkState, NextHopToSelf) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  EXPECT_EQ(m.next_hop(1, 1), 1u);
+}
+
+TEST(LinkState, ReroutesAroundFailedLink) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  EXPECT_EQ(m.next_hop(0, 3), 3u);  // weight: direct edge is 1 hop weight 1
+  m.fail_link(0, 3);
+  EXPECT_EQ(m.next_hop(0, 3), 1u);  // now via the chain
+  m.restore_link(0, 3);
+  EXPECT_EQ(m.next_hop(0, 3), 3u);
+}
+
+TEST(LinkState, NodeFailureDisconnects) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  m.fail_link(0, 3);
+  m.fail_node(1);
+  EXPECT_FALSE(m.reachable(0, 2));
+  EXPECT_EQ(m.next_hop(0, 2), std::nullopt);
+  m.restore_node(1);
+  EXPECT_TRUE(m.reachable(0, 2));
+}
+
+TEST(LinkState, VersionBumpsOnEveryEvent) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  const auto v0 = m.version();
+  m.fail_link(0, 1);
+  EXPECT_GT(m.version(), v0);
+  m.restore_link(0, 1);
+  EXPECT_GT(m.version(), v0 + 1);
+}
+
+TEST(LinkState, ListenersNotified) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  std::vector<TopologyEvent::Kind> seen;
+  m.subscribe([&](const TopologyEvent& ev) { seen.push_back(ev.kind); });
+  m.fail_link(0, 1);
+  m.fail_node(2);
+  m.restore_node(2);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], TopologyEvent::Kind::kLinkDown);
+  EXPECT_EQ(seen[1], TopologyEvent::Kind::kNodeDown);
+  EXPECT_EQ(seen[2], TopologyEvent::Kind::kNodeUp);
+}
+
+TEST(LinkState, FloodingChargedToCounters) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  EXPECT_EQ(f.sim.counters().get(sim::MsgCategory::kLinkState), 0u);
+  m.fail_link(0, 1);
+  // Remaining live directed adjacencies: (1-2, 2-3, 0-3) * 2 = 6.
+  EXPECT_EQ(f.sim.counters().get(sim::MsgCategory::kLinkState), 6u);
+}
+
+TEST(LinkState, RouteValidTracksTopology) {
+  Fixture f;
+  LinkStateMap m(&f.g, &f.sim);
+  const std::vector<graph::NodeIndex> route{0, 1, 2};
+  EXPECT_TRUE(m.route_valid(route));
+  m.fail_link(1, 2);
+  EXPECT_FALSE(m.route_valid(route));
+  m.restore_link(1, 2);
+  m.fail_node(1);
+  EXPECT_FALSE(m.route_valid(route));
+}
+
+TEST(LinkState, NullSimAllowed) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  LinkStateMap m(&g, nullptr);
+  m.fail_link(0, 1);  // must not crash on accounting
+  EXPECT_FALSE(m.reachable(0, 1));
+}
+
+}  // namespace
+}  // namespace rofl::linkstate

@@ -1,0 +1,216 @@
+#include "util/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rofl {
+namespace {
+
+TEST(NodeId, DefaultIsZero) {
+  const NodeId id;
+  EXPECT_EQ(id.hi(), 0u);
+  EXPECT_EQ(id.lo(), 0u);
+  EXPECT_EQ(id, kZeroId);
+}
+
+TEST(NodeId, OrderingIsUnsigned128) {
+  EXPECT_LT(NodeId::from_u64(1), NodeId::from_u64(2));
+  EXPECT_LT(NodeId::from_u64(0xFFFFFFFFFFFFFFFFull), NodeId(1, 0));
+  EXPECT_LT(NodeId(1, 5), NodeId(2, 0));
+  EXPECT_EQ(NodeId(3, 4), NodeId(3, 4));
+}
+
+TEST(NodeId, PlusWrapsAtLowWordBoundary) {
+  const NodeId a(0, 0xFFFFFFFFFFFFFFFFull);
+  const NodeId b = a.plus(NodeId::from_u64(1));
+  EXPECT_EQ(b, NodeId(1, 0));
+}
+
+TEST(NodeId, PlusWrapsAroundRing) {
+  const NodeId max(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(max.plus(NodeId::from_u64(1)), kZeroId);
+}
+
+TEST(NodeId, MinusBorrowsAcrossWords) {
+  const NodeId a(1, 0);
+  EXPECT_EQ(a.minus(NodeId::from_u64(1)), NodeId(0, 0xFFFFFFFFFFFFFFFFull));
+}
+
+TEST(NodeId, MinusWrapsBelowZero) {
+  EXPECT_EQ(kZeroId.minus(NodeId::from_u64(1)),
+            NodeId(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull));
+}
+
+TEST(NodeId, DistanceCwIsDirectional) {
+  const NodeId a = NodeId::from_u64(10);
+  const NodeId b = NodeId::from_u64(30);
+  EXPECT_EQ(NodeId::distance_cw(a, b), NodeId::from_u64(20));
+  // Going the other way wraps the whole ring.
+  EXPECT_EQ(NodeId::distance_cw(b, a),
+            NodeId(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFECull));
+}
+
+TEST(NodeId, IntervalOpenClosedBasic) {
+  const NodeId a = NodeId::from_u64(10);
+  const NodeId b = NodeId::from_u64(20);
+  EXPECT_TRUE(NodeId::in_interval_oc(a, NodeId::from_u64(15), b));
+  EXPECT_TRUE(NodeId::in_interval_oc(a, b, b));   // closed at b
+  EXPECT_FALSE(NodeId::in_interval_oc(a, a, b));  // open at a
+  EXPECT_FALSE(NodeId::in_interval_oc(a, NodeId::from_u64(25), b));
+}
+
+TEST(NodeId, IntervalWrapsAroundZero) {
+  const NodeId a = NodeId::from_u64(0xF0);
+  const NodeId b = NodeId::from_u64(0x10);
+  EXPECT_TRUE(NodeId::in_interval_oc(a, NodeId::from_u64(0xFF), b));
+  EXPECT_TRUE(NodeId::in_interval_oc(a, NodeId::from_u64(0x05), b));
+  EXPECT_FALSE(NodeId::in_interval_oc(a, NodeId::from_u64(0x80), b));
+}
+
+TEST(NodeId, FullRingConventionWhenEndpointsEqual) {
+  const NodeId a = NodeId::from_u64(7);
+  // (a, a] denotes the full ring.
+  EXPECT_TRUE(NodeId::in_interval_oc(a, NodeId::from_u64(100), a));
+  EXPECT_TRUE(NodeId::in_interval_oc(a, a.plus(NodeId::from_u64(1)), a));
+  EXPECT_FALSE(NodeId::in_interval_oc(a, a, a));
+  // Open-open variant excludes the endpoint itself.
+  EXPECT_TRUE(NodeId::in_interval_oo(a, NodeId::from_u64(100), a));
+  EXPECT_FALSE(NodeId::in_interval_oo(a, a, a));
+}
+
+TEST(NodeId, CloserToPrefersSmallerClockwiseDistance) {
+  const NodeId dest = NodeId::from_u64(100);
+  // 90 is 10 before dest; 101 is just past dest (wraps nearly full ring).
+  EXPECT_TRUE(NodeId::closer_to(dest, NodeId::from_u64(90),
+                                NodeId::from_u64(101)));
+  EXPECT_TRUE(NodeId::closer_to(dest, NodeId::from_u64(99),
+                                NodeId::from_u64(90)));
+  EXPECT_FALSE(NodeId::closer_to(dest, NodeId::from_u64(90),
+                                 NodeId::from_u64(90)));
+  // Exact hit is the closest possible.
+  EXPECT_TRUE(NodeId::closer_to(dest, dest, NodeId::from_u64(99)));
+}
+
+TEST(NodeId, BitExtractionMsbFirst) {
+  const NodeId id(0x8000000000000000ull, 0x1ull);
+  EXPECT_EQ(id.bit(0), 1u);
+  EXPECT_EQ(id.bit(1), 0u);
+  EXPECT_EQ(id.bit(127), 1u);
+  EXPECT_EQ(id.bit(126), 0u);
+}
+
+TEST(NodeId, DigitExtraction) {
+  // hi = 0b1011... at the top.
+  const NodeId id(0xB000000000000000ull, 0);
+  EXPECT_EQ(id.digit(0, 4), 0xBu);
+  EXPECT_EQ(id.digit(1, 3), 0x3u);
+  EXPECT_EQ(id.digit(4, 4), 0x0u);
+}
+
+TEST(NodeId, DigitSpansWordBoundary) {
+  const NodeId id(0x1ull, 0x8000000000000000ull);
+  // Bits 60..67 are 0b0001'1000 = 0x18.
+  EXPECT_EQ(id.digit(60, 8), 0x18u);
+}
+
+TEST(NodeId, CommonPrefixLen) {
+  EXPECT_EQ(NodeId(0, 0).common_prefix_len(NodeId(0, 0)), 128u);
+  EXPECT_EQ(NodeId(0x8000000000000000ull, 0).common_prefix_len(NodeId(0, 0)),
+            0u);
+  EXPECT_EQ(NodeId(0, 1).common_prefix_len(NodeId(0, 0)), 127u);
+}
+
+TEST(NodeId, FromBytesBigEndian) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0xAB;
+  bytes[15] = 0x01;
+  const NodeId id = NodeId::from_bytes(bytes);
+  EXPECT_EQ(id.hi(), 0xAB00000000000000ull);
+  EXPECT_EQ(id.lo(), 0x1ull);
+}
+
+TEST(NodeId, ToStringFromStringRoundTrip) {
+  for (const NodeId id : {NodeId{}, NodeId::from_u64(42),
+                          NodeId(0xDEADBEEF01020304ull, 0xFFFFFFFFFFFFFFFFull)}) {
+    const auto back = NodeId::from_string(id.to_string());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+}
+
+TEST(NodeId, FromStringRejectsMalformed) {
+  EXPECT_FALSE(NodeId::from_string("").has_value());
+  EXPECT_FALSE(NodeId::from_string("1234").has_value());       // no colon
+  EXPECT_FALSE(NodeId::from_string(":12").has_value());        // empty word
+  EXPECT_FALSE(NodeId::from_string("12:").has_value());
+  EXPECT_FALSE(NodeId::from_string("xyz:12").has_value());     // non-hex
+  EXPECT_FALSE(
+      NodeId::from_string("11111111111111111:0").has_value());  // >64 bits
+  EXPECT_TRUE(NodeId::from_string("AB:cd").has_value());        // mixed case
+}
+
+TEST(NodeId, ComposePrefixDigitFill) {
+  const NodeId base(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull);
+  // 8-bit prefix of base, digit 0b0101 (4 bits), zero fill.
+  const NodeId lo = NodeId::compose(base, 8, 0x5, 4, false);
+  EXPECT_EQ(lo.hi(), 0xFF50000000000000ull);
+  EXPECT_EQ(lo.lo(), 0u);
+  // Same with ones fill.
+  const NodeId hi = NodeId::compose(base, 8, 0x5, 4, true);
+  EXPECT_EQ(hi.hi(), 0xFF5FFFFFFFFFFFFFull);
+  EXPECT_EQ(hi.lo(), 0xFFFFFFFFFFFFFFFFull);
+  // Zero-length prefix.
+  const NodeId all = NodeId::compose(base, 0, 0, 0, true);
+  EXPECT_EQ(all, base);
+  // Prefix spanning into the low word.
+  const NodeId deep = NodeId::compose(base, 96, 0x3, 2, false);
+  EXPECT_EQ(deep.hi(), base.hi());
+  EXPECT_EQ(deep.lo(), 0xFFFFFFFFC0000000ull);
+}
+
+TEST(NodeId, ComposeBoundsBracketMatchingIds) {
+  // Any id sharing the prefix+digit lies within [lo, hi].
+  Rng rng_state(99);
+  const NodeId owner(0xABCD000000000000ull, 0x1234ull);
+  const unsigned i = 12, b = 4;
+  const std::uint64_t digit = 0x7;
+  const NodeId lo = NodeId::compose(owner, i, digit, b, false);
+  const NodeId hi = NodeId::compose(owner, i, digit, b, true);
+  EXPECT_LE(lo, hi);
+  // lo itself matches the pattern.
+  EXPECT_GE(lo.common_prefix_len(owner), i);
+  EXPECT_EQ(lo.digit(i, b), digit);
+  EXPECT_EQ(hi.digit(i, b), digit);
+}
+
+TEST(NodeId, HashIsUsableAndSpreads) {
+  std::hash<NodeId> h;
+  EXPECT_NE(h(NodeId::from_u64(1)), h(NodeId::from_u64(2)));
+}
+
+// Property sweep: in_interval_oc(a, x, b) agrees with the distance-based
+// definition on a dense small ring.
+class NodeIdIntervalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeIdIntervalProperty, IntervalMatchesWalkDefinition) {
+  const int span = GetParam();
+  const NodeId a = NodeId::from_u64(200);
+  const NodeId b = a.plus(NodeId::from_u64(static_cast<std::uint64_t>(span)));
+  // Walk clockwise from a+1 to b; everything on the walk must be inside,
+  // the next step outside.
+  NodeId x = a;
+  for (int i = 1; i <= span; ++i) {
+    x = x.plus(NodeId::from_u64(1));
+    EXPECT_TRUE(NodeId::in_interval_oc(a, x, b)) << "offset " << i;
+  }
+  EXPECT_FALSE(NodeId::in_interval_oc(a, b.plus(NodeId::from_u64(1)), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, NodeIdIntervalProperty,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+}  // namespace
+}  // namespace rofl

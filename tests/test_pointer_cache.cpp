@@ -1,0 +1,128 @@
+#include "rofl/pointer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::intra {
+namespace {
+
+NodeId id(std::uint64_t v) { return NodeId::from_u64(v); }
+
+TEST(PointerCache, InsertAndFind) {
+  PointerCache pc(4);
+  pc.insert(id(10), 1, {0, 1});
+  const CacheEntry* e = pc.find(id(10));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->host, 1u);
+  EXPECT_EQ(pc.size(), 1u);
+}
+
+TEST(PointerCache, ZeroCapacityDisablesCaching) {
+  PointerCache pc(0);
+  pc.insert(id(10), 1, {});
+  EXPECT_EQ(pc.size(), 0u);
+  EXPECT_EQ(pc.best_match(id(10)), nullptr);
+}
+
+TEST(PointerCache, BestMatchClosestWithoutOvershoot) {
+  PointerCache pc(8);
+  pc.insert(id(10), 1, {});
+  pc.insert(id(50), 2, {});
+  pc.insert(id(90), 3, {});
+  // dest 60: closest not past it is 50.
+  const CacheEntry* e = pc.best_match(id(60));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->id, id(50));
+  // dest 95: 90 wins.
+  EXPECT_EQ(pc.best_match(id(95))->id, id(90));
+  // exact hit.
+  EXPECT_EQ(pc.best_match(id(50))->id, id(50));
+}
+
+TEST(PointerCache, BestMatchWrapsRing) {
+  PointerCache pc(8);
+  pc.insert(id(100), 1, {});
+  // dest 5 is "before" all entries; the wrap-around pick is the numerically
+  // largest entry (closest clockwise predecessor of 5 on the ring).
+  const CacheEntry* e = pc.best_match(id(5));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->id, id(100));
+}
+
+TEST(PointerCache, LruEvictionKeepsRecentlyUsed) {
+  PointerCache pc(2);
+  pc.insert(id(1), 1, {});
+  pc.insert(id(2), 2, {});
+  // Touch id(1) so id(2) is the LRU.
+  (void)pc.best_match(id(1));
+  pc.insert(id(3), 3, {});
+  EXPECT_NE(pc.find(id(1)), nullptr);
+  EXPECT_EQ(pc.find(id(2)), nullptr);
+  EXPECT_NE(pc.find(id(3)), nullptr);
+}
+
+TEST(PointerCache, ReinsertRefreshesEntry) {
+  PointerCache pc(4);
+  pc.insert(id(1), 1, {0, 1});
+  pc.insert(id(1), 2, {0, 2});
+  EXPECT_EQ(pc.size(), 1u);
+  EXPECT_EQ(pc.find(id(1))->host, 2u);
+}
+
+TEST(PointerCache, EraseRemoves) {
+  PointerCache pc(4);
+  pc.insert(id(1), 1, {});
+  pc.erase(id(1));
+  EXPECT_EQ(pc.size(), 0u);
+  EXPECT_EQ(pc.find(id(1)), nullptr);
+  pc.erase(id(1));  // idempotent
+}
+
+TEST(PointerCache, InvalidateThroughRouter) {
+  PointerCache pc(8);
+  pc.insert(id(1), 5, {0, 3, 5});
+  pc.insert(id(2), 6, {0, 4, 6});
+  pc.invalidate_through_router(3);
+  EXPECT_EQ(pc.find(id(1)), nullptr);
+  EXPECT_NE(pc.find(id(2)), nullptr);
+}
+
+TEST(PointerCache, InvalidateThroughLinkEitherDirection) {
+  PointerCache pc(8);
+  pc.insert(id(1), 5, {0, 3, 5});
+  pc.insert(id(2), 6, {5, 3, 0});  // same link, reversed
+  pc.insert(id(3), 7, {0, 4, 7});
+  pc.invalidate_through_link(3, 5);
+  EXPECT_EQ(pc.find(id(1)), nullptr);
+  EXPECT_EQ(pc.find(id(2)), nullptr);
+  EXPECT_NE(pc.find(id(3)), nullptr);
+}
+
+TEST(PointerCache, ShrinkCapacityEvicts) {
+  PointerCache pc(4);
+  for (std::uint64_t i = 0; i < 4; ++i) pc.insert(id(i), 1, {});
+  pc.set_capacity(2);
+  EXPECT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc.capacity(), 2u);
+}
+
+TEST(PointerCache, HitMissAccounting) {
+  PointerCache pc(4);
+  EXPECT_EQ(pc.best_match(id(1)), nullptr);
+  EXPECT_EQ(pc.misses(), 1u);
+  pc.insert(id(1), 1, {});
+  (void)pc.best_match(id(1));
+  EXPECT_EQ(pc.hits(), 1u);
+}
+
+TEST(PointerCache, ClearEmptiesEverything) {
+  PointerCache pc(4);
+  pc.insert(id(1), 1, {});
+  pc.insert(id(2), 2, {});
+  pc.clear();
+  EXPECT_EQ(pc.size(), 0u);
+  pc.insert(id(3), 3, {});  // still usable
+  EXPECT_EQ(pc.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rofl::intra

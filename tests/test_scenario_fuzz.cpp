@@ -1,0 +1,198 @@
+// Randomized scenario fuzzing: apply long random sequences of protocol
+// operations and check the system invariants (DESIGN.md section 5) after
+// every step.  Each seed is an independent deterministic scenario; failures
+// reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interdomain/inter_network.hpp"
+#include "rofl/network.hpp"
+
+namespace rofl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// intradomain fuzz
+
+class IntraFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntraFuzz, InvariantsHoldUnderRandomOperations) {
+  const std::uint64_t seed = GetParam();
+  Rng trng(seed);
+  graph::IspParams params;
+  params.router_count = 30 + trng.below(30);
+  params.pop_count = 4 + trng.below(6);
+  graph::IspTopology topo = graph::make_isp_topology(params, trng);
+  intra::Config cfg;
+  cfg.successor_group = 2 + trng.below(4);
+  cfg.cache_capacity = trng.below(2) == 0 ? 0 : 512;
+  intra::Network net(&topo, cfg, seed * 3 + 1);
+
+  Rng op_rng(seed * 7 + 5);
+  std::vector<Identity> live;
+  std::set<graph::NodeIndex> downed_routers;
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> downed_links;
+
+  const int ops = 160;
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t pick = op_rng.below(100);
+    if (pick < 40 || live.size() < 5) {
+      // join (stable or ephemeral)
+      Identity ident = Identity::generate(net.rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      const auto cls = op_rng.chance(0.2) ? intra::HostClass::kEphemeral
+                                          : intra::HostClass::kStable;
+      if (net.join_host(ident, gw, cls).ok) live.push_back(ident);
+    } else if (pick < 60 && !live.empty()) {
+      // host failure or graceful leave
+      const std::size_t v = op_rng.index(live.size());
+      if (op_rng.chance(0.5)) {
+        (void)net.fail_host(live[v].id());
+      } else {
+        (void)net.leave_host(live[v].id());
+      }
+      live.erase(live.begin() + static_cast<long>(v));
+    } else if (pick < 72) {
+      // router failure (connectivity-preserving), sometimes restore later
+      const auto r = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      if (downed_routers.contains(r)) {
+        (void)net.restore_router(r);
+        downed_routers.erase(r);
+      } else if (topo.graph.node_up(r)) {
+        topo.graph.set_node_up(r, false);
+        const bool still = topo.graph.connected();
+        topo.graph.set_node_up(r, true);
+        if (still) {
+          (void)net.fail_router(r);
+          downed_routers.insert(r);
+          // Hosts whose gateway died were rehomed by the protocol; our
+          // mirror just keeps identities (directory is the truth).
+        }
+      }
+    } else if (pick < 86) {
+      // link flap (may partition; repair_partitions runs inside)
+      const auto u = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      if (topo.graph.neighbors(u).empty()) continue;
+      const auto& e = topo.graph.neighbors(
+          u)[op_rng.index(topo.graph.neighbors(u).size())];
+      if (topo.graph.link_up(u, e.to)) {
+        (void)net.fail_link(u, e.to);
+        downed_links.emplace_back(u, e.to);
+      }
+    } else if (!downed_links.empty()) {
+      const auto [u, v] = downed_links.back();
+      downed_links.pop_back();
+      (void)net.restore_link(u, v);
+    }
+
+    // --- invariants after every operation ---
+    std::string err;
+    ASSERT_TRUE(net.verify_rings(&err))
+        << "seed " << seed << " op " << op << ": " << err;
+  }
+
+  // End state: restore everything and require full reachability
+  // (invariant (a): a path exists => ROFL delivers).
+  for (const auto& [u, v] : downed_links) (void)net.restore_link(u, v);
+  for (const auto r : downed_routers) (void)net.restore_router(r);
+  (void)net.repair_partitions();
+  std::string err;
+  // After a full repair pass the state must be exactly canonical: complete
+  // successor groups and predecessors, not just succ0.
+  ASSERT_TRUE(net.verify_rings(&err, /*strict=*/true))
+      << "seed " << seed << " final: " << err;
+  graph::NodeIndex probe = 0;
+  for (const auto& [id, home] : net.directory()) {
+    EXPECT_TRUE(net.route(probe, id).delivered)
+        << "seed " << seed << " cannot reach " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntraFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
+                                           377, 610, 987));
+
+// ---------------------------------------------------------------------------
+// interdomain fuzz
+
+class InterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterFuzz, InvariantsHoldUnderRandomOperations) {
+  const std::uint64_t seed = GetParam();
+  Rng trng(seed + 1000);
+  graph::AsGenParams gp;
+  gp.tier1_count = 3;
+  gp.tier2_count = 6 + trng.below(6);
+  gp.tier3_count = 12 + trng.below(10);
+  gp.stub_count = 30 + trng.below(30);
+  gp.total_hosts = 5000;
+  const graph::AsTopology topo = graph::AsTopology::make_internet_like(gp, trng);
+
+  inter::InterConfig cfg;
+  cfg.peering_mode = (seed % 2 == 0) ? inter::PeeringMode::kVirtualAs
+                                     : inter::PeeringMode::kBloom;
+  cfg.fingers_per_id = (seed % 3 == 0) ? 24 : 0;
+  inter::InterNetwork net(&topo, cfg, seed * 11 + 3);
+
+  Rng op_rng(seed * 13 + 7);
+  std::vector<NodeId> live;
+  std::set<graph::AsIndex> downed;
+
+  const inter::JoinStrategy strategies[] = {
+      inter::JoinStrategy::kEphemeral, inter::JoinStrategy::kSingleHomed,
+      inter::JoinStrategy::kRecursiveMultihomed,
+      inter::JoinStrategy::kPeering};
+
+  const int ops = 90;
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t pick = op_rng.below(100);
+    if (pick < 55 || live.size() < 5) {
+      const auto js = net.join_random_host(
+          strategies[op_rng.index(4)]);
+      if (js.ok) live.push_back(net.directory().rbegin()->first);
+    } else if (pick < 75 && !live.empty()) {
+      const std::size_t v = op_rng.index(live.size());
+      (void)net.leave_host(live[v]);
+      live.erase(live.begin() + static_cast<long>(v));
+    } else if (pick < 90) {
+      // stub AS flap
+      const auto a = static_cast<graph::AsIndex>(
+          op_rng.index(topo.as_count()));
+      if (downed.contains(a)) {
+        (void)net.restore_as(a);
+        downed.erase(a);
+      } else if (net.base_topology().is_stub(a) &&
+                 net.base_topology().as_up(a)) {
+        (void)net.fail_as(a);
+        downed.insert(a);
+      }
+    } else if (!downed.empty()) {
+      const auto a = *downed.begin();
+      (void)net.restore_as(a);
+      downed.erase(a);
+    }
+  }
+  for (const auto a : downed) (void)net.restore_as(a);
+
+  std::string err;
+  ASSERT_TRUE(net.verify_rings(&err)) << "seed " << seed << ": " << err;
+  // Full reachability from a live transit AS.
+  graph::AsIndex probe = 0;
+  std::size_t delivered = 0, total = 0;
+  for (const auto& [id, home] : net.directory()) {
+    ++total;
+    if (net.route(probe, id).delivered) ++delivered;
+  }
+  EXPECT_EQ(delivered, total) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace rofl

@@ -1,0 +1,119 @@
+#include "rofl/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rofl::intra {
+namespace {
+
+struct Fix {
+  graph::IspTopology topo;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<SessionManager> sessions;
+
+  explicit Fix(SessionConfig scfg = {}, std::uint64_t seed = 71) {
+    Rng trng(seed);
+    graph::IspParams p;
+    p.router_count = 20;
+    p.pop_count = 4;
+    topo = graph::make_isp_topology(p, trng);
+    net = std::make_unique<Network>(&topo, Config{}, seed + 1);
+    sessions = std::make_unique<SessionManager>(*net, scfg);
+    for (int i = 0; i < 20; ++i) (void)net->join_random_host();
+  }
+};
+
+TEST(Session, LiveHostKeepsSendingKeepalives) {
+  Fix f;
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 3).ok);
+  f.sessions->track(ident.id(), [] { return true; });
+  f.net->simulator().run_until(10'500.0);  // 10 intervals
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  EXPECT_GE(f.sessions->keepalives_sent(), 10u);
+  EXPECT_TRUE(f.net->route(0, ident.id()).delivered);
+}
+
+TEST(Session, SilentHostTimesOutAndIsTornDown) {
+  Fix f;
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 3).ok);
+  bool alive = true;
+  f.sessions->track(ident.id(), [&alive] { return alive; });
+  f.net->simulator().run_until(2'500.0);
+  alive = false;  // the host dies silently at t=2.5s
+  f.net->simulator().run_until(10'000.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 1u);
+  EXPECT_FALSE(f.sessions->tracking(ident.id()));
+  // The teardown machinery ran: the ID is gone and the ring is whole.
+  EXPECT_FALSE(f.net->route(0, ident.id()).delivered);
+  std::string err;
+  EXPECT_TRUE(f.net->verify_rings(&err)) << err;
+}
+
+TEST(Session, TimeoutHonorsMissLimit) {
+  SessionConfig cfg;
+  cfg.keepalive_interval_ms = 100.0;
+  cfg.miss_limit = 5;
+  Fix f(cfg);
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 2).ok);
+  f.sessions->track(ident.id(), [] { return false; });  // dead from the start
+  // After 4 intervals: not yet declared dead.
+  f.net->simulator().run_until(450.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  // After the fifth miss: dead.
+  f.net->simulator().run_until(600.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 1u);
+}
+
+TEST(Session, UntrackPreventsTimeout) {
+  Fix f;
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 4).ok);
+  f.sessions->track(ident.id(), [] { return false; });
+  f.sessions->untrack(ident.id());
+  f.net->simulator().run_until(60'000.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  EXPECT_TRUE(f.net->route(0, ident.id()).delivered);
+}
+
+TEST(Session, RetrackResetsEpoch) {
+  Fix f;
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 4).ok);
+  int flips = 0;
+  f.sessions->track(ident.id(), [&flips] { return flips++ < 2; });
+  // Re-track with an always-alive callback before the first dies out.
+  f.sessions->track(ident.id(), [] { return true; });
+  f.net->simulator().run_until(30'000.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+}
+
+TEST(Session, ManyConcurrentSessions) {
+  SessionConfig cfg;
+  cfg.keepalive_interval_ms = 50.0;
+  Fix f(cfg);
+  std::vector<Identity> hosts;
+  std::vector<bool> alive(30, true);
+  for (int i = 0; i < 30; ++i) {
+    Identity ident = Identity::generate(f.net->rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        f.net->rng().index(f.net->router_count()));
+    ASSERT_TRUE(f.net->join_host(ident, gw).ok);
+    const std::size_t k = hosts.size();
+    f.sessions->track(ident.id(), [&alive, k] { return alive[k]; });
+    hosts.push_back(ident);
+  }
+  // A third of them die silently.
+  for (std::size_t k = 0; k < 30; k += 3) alive[k] = false;
+  f.net->simulator().run_until(5'000.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 10u);
+  std::string err;
+  EXPECT_TRUE(f.net->verify_rings(&err)) << err;
+  for (std::size_t k = 0; k < 30; ++k) {
+    EXPECT_EQ(f.net->route(0, hosts[k].id()).delivered, alive[k]) << k;
+  }
+}
+
+}  // namespace
+}  // namespace rofl::intra

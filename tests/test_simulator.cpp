@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rofl::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(5.0, [&] { order.push_back(2); });
+  s.schedule_in(1.0, [&] { order.push_back(1); });
+  s.schedule_in(9.0, [&] { order.push_back(3); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now_ms(), 9.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(1.0, [&] { order.push_back(1); });
+  s.schedule_in(1.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1.0, [&] {
+    ++fired;
+    s.schedule_in(1.0, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now_ms(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1.0, [&] { ++fired; });
+  s.schedule_in(10.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now_ms(), 5.0);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator s;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { s.schedule_in(1.0, loop); };
+  s.schedule_in(0.0, loop);
+  EXPECT_EQ(s.run(100), 100u);
+}
+
+TEST(Counters, PerCategoryAccounting) {
+  Counters c;
+  c.add(MsgCategory::kJoin, 3);
+  c.add(MsgCategory::kData);
+  EXPECT_EQ(c.get(MsgCategory::kJoin), 3u);
+  EXPECT_EQ(c.get(MsgCategory::kData), 1u);
+  EXPECT_EQ(c.get(MsgCategory::kTeardown), 0u);
+  EXPECT_EQ(c.total(), 4u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Counters, CategoryNames) {
+  EXPECT_EQ(to_string(MsgCategory::kJoin), "join");
+  EXPECT_EQ(to_string(MsgCategory::kRepair), "repair");
+}
+
+}  // namespace
+}  // namespace rofl::sim

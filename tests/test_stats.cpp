@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rofl {
+namespace {
+
+TEST(SampleSet, BasicMoments) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.118, 1e-3);
+}
+
+TEST(SampleSet, PercentileNearestRank) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfSeriesMonotone) {
+  SampleSet s;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform());
+  const auto series = s.cdf_series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GT(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(SampleSet, AddAfterQueryResorts) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAverage ma(3);
+  ma.add(3.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 3.0);
+  ma.add(6.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 4.5);
+  ma.add(9.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 6.0);
+  EXPECT_TRUE(ma.full());
+  ma.add(12.0);  // 3.0 falls out of the window
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+}
+
+TEST(MovingAverage, EmptyIsZero) {
+  MovingAverage ma(5);
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+  EXPECT_FALSE(ma.full());
+}
+
+TEST(Zipf, PmfSumsToOneAndDecays) {
+  ZipfSampler z(100, 1.2);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(50));
+}
+
+TEST(Zipf, SamplingMatchesPmfRoughly) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.pmf(0), 0.02);
+  EXPECT_GT(counts[0], counts[5]);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"x", "value"});
+  t.add_row({std::int64_t{1}, 3.25});
+  t.add_row({std::string("total"), 10.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("3.250"), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST(Table, CsvMirrorHonorsEnvToggle) {
+  Table t({"a"});
+  t.add_row({std::int64_t{7}});
+  setenv("ROFL_BENCH_CSV", "1", 1);
+  std::ostringstream with_csv;
+  t.print(with_csv);
+  unsetenv("ROFL_BENCH_CSV");
+  std::ostringstream without;
+  t.print(without);
+  EXPECT_NE(with_csv.str().find("--- csv ---"), std::string::npos);
+  EXPECT_EQ(without.str().find("--- csv ---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, std::string("x,y")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x;y\n");
+}
+
+}  // namespace
+}  // namespace rofl

@@ -1,0 +1,255 @@
+// Structural sweeps: behaviors that must hold across topology shapes and
+// scales, not just the fixtures the other suites use.
+#include <gtest/gtest.h>
+
+#include "interdomain/inter_network.hpp"
+#include "rofl/network.hpp"
+#include "util/stats.hpp"
+
+namespace rofl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Intradomain: join overhead tracks the diameter, not the router count.
+
+struct ScaleParam {
+  std::size_t routers;
+  std::size_t pops;
+};
+
+class IntraScale : public ::testing::TestWithParam<ScaleParam> {};
+
+TEST_P(IntraScale, JoinOverheadBoundedByDiameter) {
+  const auto [routers, pops] = GetParam();
+  Rng trng(routers * 31 + pops);
+  graph::IspParams p;
+  p.router_count = routers;
+  p.pop_count = pops;
+  const auto topo = graph::make_isp_topology(p, trng);
+  intra::Network net(&topo, intra::Config{}, routers + 1);
+  const auto diameter = topo.graph.diameter_hops(routers);
+
+  SampleSet msgs;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 120; ++i) {
+    Identity ident = Identity::generate(net.rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    const auto js = net.join_host(ident, gw);
+    if (!js.ok) continue;
+    ids.push_back(ident.id());
+    msgs.add(static_cast<double>(js.messages));
+  }
+  // The paper's law: overhead ~ c * diameter, c a small constant, however
+  // large the network is.
+  EXPECT_LT(msgs.mean(), 14.0 * diameter)
+      << routers << " routers, diameter " << diameter;
+  // And delivery holds everywhere.
+  for (int i = 0; i < 60; ++i) {
+    const NodeId dest = ids[net.rng().index(ids.size())];
+    const auto src = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    EXPECT_TRUE(net.route(src, dest).delivered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, IntraScale,
+                         ::testing::Values(ScaleParam{12, 2},
+                                           ScaleParam{30, 5},
+                                           ScaleParam{80, 10},
+                                           ScaleParam{200, 20}));
+
+// ---------------------------------------------------------------------------
+// Intradomain: degenerate topologies.
+
+TEST(IntraDegenerate, TwoRouterNetwork) {
+  Rng trng(2);
+  graph::IspParams p;
+  p.router_count = 2;
+  p.pop_count = 1;
+  const auto topo = graph::make_isp_topology(p, trng);
+  intra::Network net(&topo, intra::Config{}, 3);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 10; ++i) {
+    Identity ident = Identity::generate(net.rng());
+    if (net.join_host(ident, static_cast<graph::NodeIndex>(i % 2)).ok) {
+      ids.push_back(ident.id());
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(net.verify_rings(&err, /*strict=*/true)) << err;
+  for (const NodeId& id : ids) {
+    EXPECT_TRUE(net.route(0, id).delivered);
+    EXPECT_TRUE(net.route(1, id).delivered);
+  }
+}
+
+TEST(IntraDegenerate, SinglePopStar) {
+  // One PoP, mostly access routers: the ring must work on near-star graphs.
+  Rng trng(5);
+  graph::IspParams p;
+  p.router_count = 25;
+  p.pop_count = 1;
+  p.backbone_fraction = 0.08;  // 2 backbone routers
+  const auto topo = graph::make_isp_topology(p, trng);
+  intra::Network net(&topo, intra::Config{}, 7);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 40; ++i) {
+    Identity ident = Identity::generate(net.rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    if (net.join_host(ident, gw).ok) ids.push_back(ident.id());
+  }
+  std::string err;
+  EXPECT_TRUE(net.verify_rings(&err)) << err;
+  for (const NodeId& id : ids) EXPECT_TRUE(net.route(3, id).delivered);
+}
+
+TEST(IntraDegenerate, RouteFromDownedRouterFails) {
+  Rng trng(6);
+  graph::IspParams p;
+  p.router_count = 20;
+  p.pop_count = 4;
+  const auto topo = graph::make_isp_topology(p, trng);
+  intra::Network net(&topo, intra::Config{}, 8);
+  Identity ident = Identity::generate(net.rng());
+  ASSERT_TRUE(net.join_host(ident, 3).ok);
+  net.map().fail_node(5);
+  EXPECT_FALSE(net.route(5, ident.id()).delivered);
+}
+
+// ---------------------------------------------------------------------------
+// Interdomain: extreme hierarchy shapes.
+
+enum class Shape { kDeepChain, kWideStar, kHeavyMultihoming, kAllPeeringCore };
+
+class InterShape : public ::testing::TestWithParam<Shape> {};
+
+graph::AsTopology make_shape(Shape shape) {
+  using graph::AsRel;
+  using L = std::tuple<graph::AsIndex, graph::AsIndex, graph::AsRel>;
+  std::vector<L> links;
+  std::size_t n = 0;
+  switch (shape) {
+    case Shape::kDeepChain: {
+      // 0 <- 1 <- 2 <- ... <- 9: one provider chain, hosts at the tail.
+      n = 10;
+      for (graph::AsIndex i = 1; i < 10; ++i) {
+        links.push_back({i, static_cast<graph::AsIndex>(i - 1),
+                         AsRel::kProvider});
+      }
+      break;
+    }
+    case Shape::kWideStar: {
+      // One provider, twelve stubs.
+      n = 13;
+      for (graph::AsIndex i = 1; i < 13; ++i) {
+        links.push_back({i, 0, AsRel::kProvider});
+      }
+      break;
+    }
+    case Shape::kHeavyMultihoming: {
+      // Three cores (peered), six stubs each buying from ALL three.
+      n = 9;
+      links.push_back({0, 1, AsRel::kPeer});
+      links.push_back({1, 2, AsRel::kPeer});
+      links.push_back({0, 2, AsRel::kPeer});
+      for (graph::AsIndex s = 3; s < 9; ++s) {
+        for (graph::AsIndex c = 0; c < 3; ++c) {
+          links.push_back({s, c, AsRel::kProvider});
+        }
+      }
+      break;
+    }
+    case Shape::kAllPeeringCore: {
+      // Five-way tier-1 clique, one stub under each.
+      n = 10;
+      for (graph::AsIndex a = 0; a < 5; ++a) {
+        for (graph::AsIndex b = static_cast<graph::AsIndex>(a + 1); b < 5; ++b) {
+          links.push_back({a, b, AsRel::kPeer});
+        }
+        links.push_back({static_cast<graph::AsIndex>(a + 5), a,
+                         AsRel::kProvider});
+      }
+      break;
+    }
+  }
+  auto topo = graph::AsTopology::from_links(n, links);
+  for (graph::AsIndex a = 0; a < n; ++a) {
+    if (topo.is_stub(a)) topo.set_host_count(a, 20);
+  }
+  return topo;
+}
+
+TEST_P(InterShape, JoinsRouteAndIsolate) {
+  const auto topo = make_shape(GetParam());
+  for (const auto mode :
+       {inter::PeeringMode::kVirtualAs, inter::PeeringMode::kBloom}) {
+    inter::InterConfig cfg;
+    cfg.peering_mode = mode;
+    inter::InterNetwork net(&topo, cfg, 77);
+    std::vector<NodeId> ids;
+    for (graph::AsIndex a = 0; a < topo.as_count(); ++a) {
+      if (!topo.is_stub(a)) continue;
+      for (int i = 0; i < 4; ++i) {
+        Identity ident = Identity::generate(net.rng());
+        if (net.join_host(ident, a,
+                          inter::JoinStrategy::kRecursiveMultihomed)
+                .ok) {
+          ids.push_back(ident.id());
+        }
+      }
+    }
+    ASSERT_FALSE(ids.empty());
+    std::string err;
+    EXPECT_TRUE(net.verify_rings(&err)) << err;
+    for (const NodeId& dest : ids) {
+      for (const NodeId& src_id : ids) {
+        const auto src = net.home_of(src_id);
+        ASSERT_TRUE(src.has_value());
+        const auto rs = net.route(*src, dest);
+        EXPECT_TRUE(rs.delivered)
+            << "shape " << static_cast<int>(GetParam()) << " mode "
+            << static_cast<int>(mode);
+        EXPECT_TRUE(rs.isolation_held);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, InterShape,
+                         ::testing::Values(Shape::kDeepChain, Shape::kWideStar,
+                                           Shape::kHeavyMultihoming,
+                                           Shape::kAllPeeringCore));
+
+// ---------------------------------------------------------------------------
+// Cache-size monotonicity (the figure-6a law as a property).
+
+class CacheSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheSweep, DeliveryIndependentOfCacheSize) {
+  Rng trng(11);
+  graph::IspParams p;
+  p.router_count = 40;
+  p.pop_count = 6;
+  const auto topo = graph::make_isp_topology(p, trng);
+  intra::Config cfg;
+  cfg.cache_capacity = GetParam();
+  intra::Network net(&topo, cfg, 13);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 80; ++i) {
+    Identity ident = Identity::generate(net.rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    if (net.join_host(ident, gw).ok) ids.push_back(ident.id());
+  }
+  for (const NodeId& id : ids) {
+    EXPECT_TRUE(net.route(0, id).delivered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caches, CacheSweep,
+                         ::testing::Values(0, 1, 8, 64, 1024, 100000));
+
+}  // namespace
+}  // namespace rofl

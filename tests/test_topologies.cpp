@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "graph/as_topology.hpp"
+#include "graph/isp_topology.hpp"
+
+namespace rofl::graph {
+namespace {
+
+// -- ISP (Rocketfuel-like) topologies ---------------------------------------
+
+class IspPresets : public ::testing::TestWithParam<RocketfuelAs> {};
+
+TEST_P(IspPresets, MatchesPaperRouterCounts) {
+  Rng rng(1);
+  const IspTopology topo = make_rocketfuel_like(GetParam(), rng);
+  const IspParams params = rocketfuel_params(GetParam());
+  EXPECT_EQ(topo.router_count(), params.router_count);
+  EXPECT_EQ(topo.host_count, params.host_count);
+  EXPECT_EQ(topo.pop_count(), params.pop_count);
+  EXPECT_TRUE(topo.graph.connected());
+}
+
+TEST_P(IspPresets, EveryRouterBelongsToItsPop) {
+  Rng rng(2);
+  const IspTopology topo = make_rocketfuel_like(GetParam(), rng);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < topo.pop_count(); ++p) {
+    for (const NodeIndex r : topo.pops[p]) {
+      EXPECT_EQ(topo.pop_of[r], p);
+    }
+    total += topo.pops[p].size();
+  }
+  EXPECT_EQ(total, topo.router_count());
+}
+
+TEST_P(IspPresets, EveryPopHasABackboneRouter) {
+  Rng rng(3);
+  const IspTopology topo = make_rocketfuel_like(GetParam(), rng);
+  for (std::size_t p = 0; p < topo.pop_count(); ++p) {
+    bool has_bb = false;
+    for (const NodeIndex r : topo.pops[p]) has_bb |= topo.is_backbone[r];
+    EXPECT_TRUE(has_bb) << "PoP " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, IspPresets,
+                         ::testing::ValuesIn(all_rocketfuel_ases()));
+
+TEST(IspTopology, SurvivesSinglePopRemoval) {
+  // Figure 7 disconnects whole PoPs; the backbone ring must keep the rest
+  // connected when one PoP is taken out.
+  Rng rng(4);
+  const IspTopology topo = make_rocketfuel_like(RocketfuelAs::kAs3967, rng);
+  Graph g = topo.graph;  // copy
+  for (const NodeIndex r : topo.pops[topo.pop_count() / 2]) {
+    g.set_node_up(r, false);
+  }
+  // All remaining live routers form one component.
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(IspTopology, DeterministicUnderSeed) {
+  Rng a(5);
+  Rng b(5);
+  const IspTopology ta = make_rocketfuel_like(RocketfuelAs::kAs1221, a);
+  const IspTopology tb = make_rocketfuel_like(RocketfuelAs::kAs1221, b);
+  EXPECT_EQ(ta.graph.edge_count(), tb.graph.edge_count());
+}
+
+TEST(IspTopology, CustomParams) {
+  Rng rng(6);
+  IspParams p;
+  p.router_count = 40;
+  p.pop_count = 5;
+  const IspTopology topo = make_isp_topology(p, rng);
+  EXPECT_EQ(topo.router_count(), 40u);
+  EXPECT_TRUE(topo.graph.connected());
+}
+
+// -- AS-level topology -------------------------------------------------------
+
+AsGenParams small_params() {
+  AsGenParams p;
+  p.tier1_count = 4;
+  p.tier2_count = 10;
+  p.tier3_count = 20;
+  p.stub_count = 60;
+  p.total_hosts = 10'000;
+  return p;
+}
+
+TEST(AsTopology, TierOneIsAPeeringClique) {
+  Rng rng(7);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  for (AsIndex a = 0; a < 4; ++a) {
+    for (AsIndex b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.relationship(a, b), AsRel::kPeer);
+    }
+  }
+}
+
+TEST(AsTopology, EveryNonTier1HasAProvider) {
+  Rng rng(8);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    if (t.tier(a) == 1) continue;
+    EXPECT_FALSE(t.providers(a, /*include_backup=*/true).empty()) << "AS " << a;
+  }
+}
+
+TEST(AsTopology, RelationshipsAreSymmetricallyReversed) {
+  Rng rng(9);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    for (const auto& adj : t.adjacencies(a)) {
+      const auto back = t.relationship(adj.neighbor, a);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, reverse_rel(adj.rel));
+    }
+  }
+}
+
+TEST(AsTopology, UpHierarchyReachesTier1) {
+  Rng rng(10);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  // Every stub's up-hierarchy must contain at least one tier-1 AS.
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    if (!t.is_stub(a)) continue;
+    const UpHierarchy g = t.up_hierarchy(a, /*include_backup=*/true);
+    const bool has_t1 = std::any_of(g.nodes.begin(), g.nodes.end(),
+                                    [&](AsIndex x) { return t.tier(x) == 1; });
+    EXPECT_TRUE(has_t1) << "stub " << a;
+  }
+}
+
+TEST(AsTopology, UpHierarchyLevelsIncreaseFromRoot) {
+  Rng rng(11);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  const UpHierarchy g = t.up_hierarchy(t.as_count() - 1);
+  EXPECT_EQ(g.level.at(g.root), 0u);
+  for (const auto& [c, p] : g.edges) {
+    EXPECT_LE(g.level.at(p), g.level.at(c) + 1);
+  }
+}
+
+TEST(AsTopology, CustomerSubtreeContainsSelfAndCustomers) {
+  const AsTopology t = AsTopology::from_links(
+      4, {{1, 0, AsRel::kProvider},   // 1's provider is 0
+          {2, 1, AsRel::kProvider},   // 2's provider is 1
+          {3, 0, AsRel::kProvider}});
+  const auto sub = t.customer_subtree(0);
+  EXPECT_EQ(sub.size(), 4u);
+  const auto sub1 = t.customer_subtree(1);
+  EXPECT_EQ(sub1.size(), 2u);  // 1 and 2
+  EXPECT_TRUE(t.in_subtree(0, 2));
+  EXPECT_FALSE(t.in_subtree(1, 3));
+}
+
+TEST(AsTopology, CommonAncestorsOfSiblings) {
+  const AsTopology t = AsTopology::from_links(
+      3, {{1, 0, AsRel::kProvider}, {2, 0, AsRel::kProvider}});
+  const auto anc = t.common_ancestors(1, 2);
+  ASSERT_EQ(anc.size(), 1u);
+  EXPECT_EQ(anc[0], 0u);
+}
+
+TEST(AsTopology, FailedLinkDropsFromHierarchy) {
+  AsTopology t = AsTopology::from_links(
+      3, {{1, 0, AsRel::kProvider}, {2, 0, AsRel::kProvider}});
+  t.set_link_up(1, 0, false);
+  const UpHierarchy g = t.up_hierarchy(1);
+  EXPECT_FALSE(g.contains(0));
+  t.set_link_up(1, 0, true);
+  EXPECT_TRUE(t.up_hierarchy(1).contains(0));
+}
+
+TEST(AsTopology, HostCountsConcentratedAtEdge) {
+  Rng rng(12);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  std::uint64_t edge_hosts = 0;
+  std::uint64_t core_hosts = 0;
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    if (t.tier(a) <= 2) core_hosts += t.host_count(a);
+    else edge_hosts += t.host_count(a);
+  }
+  EXPECT_GT(edge_hosts, core_hosts);
+  EXPECT_GT(t.total_hosts(), 0u);
+}
+
+TEST(AsTopology, VirtualPeeringAsReplacesClique) {
+  // Two peers with one provider each -> one virtual AS providing both.
+  AsTopology t = AsTopology::from_links(
+      4, {{2, 0, AsRel::kProvider},
+          {3, 1, AsRel::kProvider},
+          {2, 3, AsRel::kPeer}});
+  std::vector<std::pair<AsIndex, std::vector<AsIndex>>> vmap;
+  const AsTopology converted = t.with_virtual_peering_ases(&vmap);
+  ASSERT_EQ(vmap.size(), 1u);
+  const AsIndex v = vmap[0].first;
+  EXPECT_TRUE(converted.is_virtual(v));
+  // Virtual AS is a provider of both peers.
+  EXPECT_EQ(converted.relationship(2, v), AsRel::kProvider);
+  EXPECT_EQ(converted.relationship(3, v), AsRel::kProvider);
+  // And a customer of each peer's providers.
+  EXPECT_EQ(converted.relationship(v, 0), AsRel::kProvider);
+  EXPECT_EQ(converted.relationship(v, 1), AsRel::kProvider);
+  // The original peering link is gone.
+  EXPECT_FALSE(converted.relationship(2, 3).has_value());
+}
+
+TEST(AsTopology, Tier1CliqueCollapsesToSingleVirtualAs) {
+  Rng rng(13);
+  AsGenParams p = small_params();
+  const AsTopology t = AsTopology::make_internet_like(p, rng);
+  std::vector<std::pair<AsIndex, std::vector<AsIndex>>> vmap;
+  (void)t.with_virtual_peering_ases(&vmap);
+  // The 4-AS tier-1 full mesh must map to exactly one virtual AS covering
+  // all four.
+  bool found_t1_clique = false;
+  for (const auto& [v, members] : vmap) {
+    if (members.size() == p.tier1_count) found_t1_clique = true;
+  }
+  EXPECT_TRUE(found_t1_clique);
+}
+
+TEST(AsTopology, DegreeInferenceRecoversCoreRoughly) {
+  Rng rng(14);
+  const AsTopology t = AsTopology::make_internet_like(small_params(), rng);
+  const auto inferred = t.infer_tiers_by_degree();
+  // Degree-based inference is approximate (as in the paper's source data):
+  // require that it recovers at least some of the true core, and that what
+  // it calls tier-1 is never a stub.
+  int hits = 0;
+  int t1 = 0;
+  for (AsIndex a = 0; a < t.as_count(); ++a) {
+    if (t.tier(a) == 1) {
+      ++t1;
+      if (inferred[a] == 1) ++hits;
+    }
+    if (inferred[a] == 1) {
+      EXPECT_FALSE(t.is_stub(a)) << "AS " << a;
+    }
+  }
+  EXPECT_GE(hits * 4, t1);
+}
+
+TEST(AsTopology, FailedAsExcludedFromSubtreeAndHierarchy) {
+  AsTopology t = AsTopology::from_links(
+      3, {{1, 0, AsRel::kProvider}, {2, 1, AsRel::kProvider}});
+  t.set_as_up(1, false);
+  EXPECT_EQ(t.customer_subtree(0).size(), 1u);
+  EXPECT_FALSE(t.up_hierarchy(2).contains(0));
+}
+
+}  // namespace
+}  // namespace rofl::graph

@@ -1,0 +1,165 @@
+#include "wire/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rofl::wire {
+namespace {
+
+TEST(ByteBuffer, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xABu);
+  EXPECT_EQ(r.u16(), 0x1234u);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, BigEndianOnWire) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(ByteBuffer, TruncatedReadsFailCleanly) {
+  const std::vector<std::uint8_t> short_buf{0x01, 0x02, 0x03};
+  ByteReader r(short_buf);
+  EXPECT_TRUE(r.u16().has_value());
+  EXPECT_FALSE(r.u16().has_value());  // only 1 byte left
+  ByteReader r2(short_buf);
+  EXPECT_FALSE(r2.u32().has_value());
+  EXPECT_FALSE(r2.u64().has_value());
+  ByteReader r3(short_buf);
+  EXPECT_FALSE(r3.bytes(4).has_value());
+}
+
+TEST(ByteBuffer, LengthPrefixedBytes) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  w.lp_bytes(data);
+  ByteReader r(w.data());
+  const auto back = r.lp_bytes();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::equal(back->begin(), back->end(), data.begin(), data.end()));
+}
+
+TEST(ByteBuffer, LpBytesTruncatedLengthFails) {
+  ByteWriter w;
+  w.u16(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.lp_bytes().has_value());
+}
+
+Packet sample_packet() {
+  Packet p;
+  p.type = PacketType::kData;
+  p.ttl = 17;
+  p.crossed_peering = true;
+  p.destination = NodeId(0x1111, 0x2222);
+  p.source = NodeId(0x3333, 0x4444);
+  p.as_path = {7, 42, 99};
+  p.payload = {0xde, 0xad};
+  return p;
+}
+
+TEST(Packet, EncodeDecodeRoundTrip) {
+  const Packet p = sample_packet();
+  const auto bytes = p.encode();
+  EXPECT_EQ(bytes.size(), p.wire_size());
+  const auto q = Packet::decode(bytes);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Packet, RoundTripWithCapability) {
+  Packet p = sample_packet();
+  CapabilityField cap;
+  cap.source = NodeId(5, 6);
+  cap.expiry_ms = 1234.5;
+  cap.token.fill(0x5A);
+  p.capability = cap;
+  const auto q = Packet::decode(p.encode());
+  ASSERT_TRUE(q.has_value());
+  ASSERT_TRUE(q->capability.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Packet, RoundTripWithFingers) {
+  Packet p = sample_packet();
+  p.type = PacketType::kJoinRequest;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    p.fingers.push_back(FingerField{NodeId(i, i * 7), i});
+  }
+  const auto q = Packet::decode(p.encode());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Packet, DecodeRejectsBadVersionAndType) {
+  Packet p = sample_packet();
+  auto bytes = p.encode();
+  bytes[0] = 99;  // version
+  EXPECT_FALSE(Packet::decode(bytes).has_value());
+  bytes = p.encode();
+  bytes[1] = 0;  // type below range
+  EXPECT_FALSE(Packet::decode(bytes).has_value());
+  bytes[1] = 200;  // type above range
+  EXPECT_FALSE(Packet::decode(bytes).has_value());
+}
+
+TEST(Packet, DecodeRejectsTruncation) {
+  const Packet p = sample_packet();
+  const auto bytes = p.encode();
+  // Every strict prefix must fail to decode, never crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(Packet::decode({bytes.data(), cut}).has_value())
+        << "prefix " << cut;
+  }
+}
+
+TEST(Packet, DecodeRejectsTrailingGarbage) {
+  auto bytes = sample_packet().encode();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(Packet::decode(bytes).has_value());
+}
+
+TEST(Packet, DecodeRandomBytesNeverCrashes) {
+  Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.index(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)Packet::decode(junk);  // must not crash / UB (ASAN-clean)
+  }
+}
+
+TEST(Packet, FragmentsAgainstMtu) {
+  Packet p;
+  EXPECT_EQ(p.fragments(1500), 1u);
+  // The paper's data point: a join carrying a large finger table spans
+  // multiple MTU-sized packets.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    p.fingers.push_back(FingerField{NodeId(i, i), i});
+  }
+  EXPECT_GT(p.wire_size(), 1500u);
+  EXPECT_EQ(p.fragments(1500), (p.wire_size() + 1499) / 1500);
+  EXPECT_GE(p.fragments(1500), 4u);
+}
+
+TEST(Packet, NodeIdSerialization) {
+  ByteWriter w;
+  const NodeId id(0xFFEEDDCCBBAA9988ull, 0x7766554433221100ull);
+  write_node_id(w, id);
+  EXPECT_EQ(w.size(), 16u);
+  ByteReader r(w.data());
+  EXPECT_EQ(read_node_id(r), id);
+}
+
+}  // namespace
+}  // namespace rofl::wire

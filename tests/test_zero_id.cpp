@@ -1,0 +1,132 @@
+#include "rofl/zero_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/isp_topology.hpp"
+#include "util/identity.hpp"
+
+namespace rofl::intra {
+namespace {
+
+NodeId id(std::uint64_t v) { return NodeId::from_u64(v); }
+
+graph::Graph line(std::size_t n) {
+  graph::Graph g(n);
+  for (graph::NodeIndex i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(ZeroId, ConvergesOnLine) {
+  const graph::Graph g = line(6);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(0, id(50));
+  z.set_local_min(3, id(10));
+  z.set_local_min(5, id(99));
+  const auto conv = z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  for (graph::NodeIndex r = 0; r < 6; ++r) {
+    EXPECT_EQ(z.belief(r), id(10)) << "router " << r;
+  }
+  // Convergence takes about the network radius in rounds (+1 to detect).
+  EXPECT_LE(conv.rounds, 6u);
+  EXPECT_GT(conv.messages, 0u);
+}
+
+TEST(ZeroId, PathLeadsToHost) {
+  const graph::Graph g = line(5);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(4, id(7));
+  (void)z.run_to_convergence();
+  const auto& path = z.belief_path(0);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 4u);
+  EXPECT_EQ(path.size(), 5u);
+}
+
+TEST(ZeroId, PartitionGivesPerComponentMinima) {
+  graph::Graph g = line(6);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(0, id(20));
+  z.set_local_min(5, id(30));
+  (void)z.run_to_convergence();
+  EXPECT_EQ(z.belief(5), id(20));  // one component: global min
+
+  g.set_link_up(2, 3, false);
+  const auto conv = z.run_to_convergence();
+  (void)conv;
+  EXPECT_TRUE(z.verify_consistent());
+  EXPECT_EQ(z.belief(0), id(20));
+  EXPECT_EQ(z.belief(2), id(20));
+  EXPECT_EQ(z.belief(3), id(30));  // stale 20 flushed by the path vector
+  EXPECT_EQ(z.belief(5), id(30));
+}
+
+TEST(ZeroId, HealReMergesBeliefs) {
+  graph::Graph g = line(4);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(0, id(5));
+  z.set_local_min(3, id(9));
+  g.set_link_up(1, 2, false);
+  (void)z.run_to_convergence();
+  EXPECT_EQ(z.belief(3), id(9));
+  g.set_link_up(1, 2, true);
+  (void)z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  EXPECT_EQ(z.belief(3), id(5));
+}
+
+TEST(ZeroId, HostDepartureFlushesEverywhere) {
+  const graph::Graph g = line(5);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(2, id(1));
+  z.set_local_min(4, id(8));
+  (void)z.run_to_convergence();
+  EXPECT_EQ(z.belief(0), id(1));
+  // The minimum's host loses it (host failure): beliefs must flush to the
+  // next minimum, not linger on the dead ID.
+  z.set_local_min(2, std::nullopt);
+  (void)z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  for (graph::NodeIndex r = 0; r < 5; ++r) {
+    EXPECT_EQ(z.belief(r), id(8)) << "router " << r;
+  }
+}
+
+TEST(ZeroId, EmptyNetworkHasNoBelief) {
+  const graph::Graph g = line(3);
+  ZeroIdProtocol z(&g);
+  (void)z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  EXPECT_EQ(z.belief(1), std::nullopt);
+}
+
+TEST(ZeroId, DownRoutersExcluded) {
+  graph::Graph g = line(4);
+  ZeroIdProtocol z(&g);
+  z.set_local_min(0, id(3));
+  z.set_local_min(3, id(4));
+  g.set_node_up(0, false);
+  (void)z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  EXPECT_EQ(z.belief(1), id(4));
+  EXPECT_EQ(z.belief(0), std::nullopt);  // down: no belief
+}
+
+TEST(ZeroId, RealIspTopologyConverges) {
+  Rng rng(3);
+  const auto topo = graph::make_rocketfuel_like(graph::RocketfuelAs::kAs3257,
+                                                rng);
+  ZeroIdProtocol z(&topo.graph);
+  Rng ids(4);
+  for (graph::NodeIndex r = 0; r < topo.router_count(); r += 3) {
+    z.set_local_min(r, NodeId(ids.next_u64(), ids.next_u64()));
+  }
+  const auto conv = z.run_to_convergence();
+  EXPECT_TRUE(z.verify_consistent());
+  // Rounds bounded by diameter + 2 (one to detect stability).
+  EXPECT_LE(conv.rounds, topo.graph.diameter_hops(64) + 3u);
+}
+
+}  // namespace
+}  // namespace rofl::intra

@@ -1,0 +1,307 @@
+// roflsim -- command-line driver for the ROFL library.
+//
+// Runs self-contained experiments from the shell without writing C++:
+//
+//   roflsim topology  [--isp NAME | --internet] [--seed S]
+//   roflsim intra     [--isp NAME] [--hosts N] [--routes N] [--cache N]
+//                     [--seed S]
+//   roflsim inter     [--ids N] [--strategy eph|single|multi|peering]
+//                     [--fingers N] [--bloom] [--routes N] [--seed S]
+//   roflsim partition [--isp NAME] [--ids-per-pop N] [--seed S]
+//
+// Every run prints its seed; identical invocations reproduce exactly.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/cmu_ethernet.hpp"
+#include "interdomain/inter_network.hpp"
+#include "rofl/network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rofl;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& k) const { return kv.contains(k); }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& k, std::uint64_t dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stoull(it->second);
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "";
+    }
+  }
+  return a;
+}
+
+graph::IspTopology isp_from_args(const Args& a, Rng& rng) {
+  const std::string name = a.str("isp", "as3967");
+  for (const auto which : graph::all_rocketfuel_ases()) {
+    const auto params = graph::rocketfuel_params(which);
+    std::string lower = params.name;
+    for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name || params.name == name) {
+      return graph::make_rocketfuel_like(which, rng);
+    }
+  }
+  std::cerr << "unknown --isp '" << name
+            << "' (expected as1221|as1239|as3257|as3967); using a generic "
+               "60-router ISP\n";
+  graph::IspParams p;
+  p.router_count = 60;
+  p.pop_count = 8;
+  return graph::make_isp_topology(p, rng);
+}
+
+int cmd_topology(const Args& a) {
+  Rng rng(a.num("seed", 1));
+  if (a.flag("internet")) {
+    graph::AsGenParams p;
+    const auto topo = graph::AsTopology::make_internet_like(p, rng);
+    std::size_t stubs = 0, peerings = 0, backups = 0;
+    for (graph::AsIndex x = 0; x < topo.as_count(); ++x) {
+      if (topo.is_stub(x)) ++stubs;
+      peerings += topo.peers(x).size();
+      for (const auto& adj : topo.adjacencies(x)) {
+        if (adj.rel == graph::AsRel::kBackupProvider) ++backups;
+      }
+    }
+    Table t({"metric", "value"});
+    t.add_row({std::string("ASes"), static_cast<std::int64_t>(topo.as_count())});
+    t.add_row({std::string("stubs"), static_cast<std::int64_t>(stubs)});
+    t.add_row({std::string("peering links"),
+               static_cast<std::int64_t>(peerings / 2)});
+    t.add_row({std::string("backup provider links"),
+               static_cast<std::int64_t>(backups)});
+    t.add_row({std::string("total hosts (model)"),
+               static_cast<std::int64_t>(topo.total_hosts())});
+    t.print(std::cout);
+    return 0;
+  }
+  const auto topo = isp_from_args(a, rng);
+  Table t({"metric", "value"});
+  t.add_row({std::string("name"), topo.name});
+  t.add_row({std::string("routers"),
+             static_cast<std::int64_t>(topo.router_count())});
+  t.add_row({std::string("links"),
+             static_cast<std::int64_t>(topo.graph.edge_count())});
+  t.add_row({std::string("PoPs"), static_cast<std::int64_t>(topo.pop_count())});
+  t.add_row({std::string("diameter [hops]"),
+             static_cast<std::int64_t>(topo.graph.diameter_hops(64))});
+  t.add_row({std::string("host population (model)"),
+             static_cast<std::int64_t>(topo.host_count)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_intra(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  Rng rng(seed);
+  const auto topo = isp_from_args(a, rng);
+  intra::Config cfg;
+  cfg.cache_capacity = a.num("cache", 2048);
+  intra::Network net(&topo, cfg, seed + 1);
+
+  const std::size_t hosts = a.num("hosts", 1000);
+  const std::size_t routes = a.num("routes", 500);
+  SampleSet join_msgs, join_lat;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    Identity ident = Identity::generate(net.rng());
+    const auto gw = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    const auto js = net.join_host(ident, gw);
+    if (!js.ok) continue;
+    ids.push_back(ident.id());
+    join_msgs.add(static_cast<double>(js.messages));
+    join_lat.add(js.latency_ms);
+  }
+  SampleSet stretch;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < routes && !ids.empty(); ++i) {
+    const NodeId dest = ids[net.rng().index(ids.size())];
+    const auto src = static_cast<graph::NodeIndex>(
+        net.rng().index(net.router_count()));
+    const auto rs = net.route(src, dest);
+    if (rs.delivered) {
+      ++delivered;
+      if (rs.shortest_hops > 0) stretch.add(rs.stretch());
+    }
+  }
+  std::string err;
+  const bool rings_ok = net.verify_rings(&err);
+
+  std::cout << "[seed " << seed << "] " << topo.name << ", " << ids.size()
+            << " hosts joined\n";
+  Table t({"metric", "value"});
+  t.add_row({std::string("join overhead p50/p99 [packets]"),
+             std::to_string(static_cast<int>(join_msgs.percentile(0.5))) + " / " +
+                 std::to_string(static_cast<int>(join_msgs.percentile(0.99)))});
+  t.add_row({std::string("join latency p50/p99 [ms]"),
+             std::to_string(join_lat.percentile(0.5)) + " / " +
+                 std::to_string(join_lat.percentile(0.99))});
+  t.add_row({std::string("delivery"), std::to_string(delivered) + "/" +
+                                          std::to_string(routes)});
+  t.add_row({std::string("mean stretch"),
+             stretch.empty() ? 0.0 : stretch.mean()});
+  t.add_row({std::string("mean state entries/router"),
+             net.mean_state_entries()});
+  t.add_row({std::string("ring verified"), std::string(rings_ok ? "yes" : err)});
+  t.print(std::cout);
+  return rings_ok ? 0 : 1;
+}
+
+int cmd_inter(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  Rng rng(seed);
+  graph::AsGenParams gp;
+  const auto topo = graph::AsTopology::make_internet_like(gp, rng);
+
+  inter::InterConfig cfg;
+  cfg.fingers_per_id = a.num("fingers", 0);
+  if (a.flag("bloom")) cfg.peering_mode = inter::PeeringMode::kBloom;
+
+  const std::string sname = a.str("strategy", "multi");
+  inter::JoinStrategy strategy = inter::JoinStrategy::kRecursiveMultihomed;
+  if (sname == "eph") strategy = inter::JoinStrategy::kEphemeral;
+  else if (sname == "single") strategy = inter::JoinStrategy::kSingleHomed;
+  else if (sname == "peering") strategy = inter::JoinStrategy::kPeering;
+  else if (sname != "multi") {
+    std::cerr << "unknown --strategy '" << sname
+              << "' (eph|single|multi|peering); using multi\n";
+  }
+
+  inter::InterNetwork net(&topo, cfg, seed + 1);
+  const std::size_t ids = a.num("ids", 1000);
+  const std::size_t routes = a.num("routes", 500);
+  SampleSet join_msgs;
+  for (std::size_t i = 0; i < ids; ++i) {
+    const auto js = net.join_random_host(strategy);
+    if (js.ok) join_msgs.add(static_cast<double>(js.messages));
+  }
+  std::vector<NodeId> joined;
+  for (const auto& [id, home] : net.directory()) joined.push_back(id);
+
+  SampleSet stretch;
+  std::size_t delivered = 0, violations = 0;
+  for (std::size_t i = 0; i < routes && !joined.empty(); ++i) {
+    const NodeId dest = joined[net.rng().index(joined.size())];
+    const auto src = net.home_of(joined[net.rng().index(joined.size())]);
+    if (!src.has_value()) continue;
+    const auto rs = net.route(*src, dest);
+    if (rs.delivered) {
+      ++delivered;
+      if (!rs.isolation_held) ++violations;
+      if (rs.bgp_hops > 0) stretch.add(rs.stretch());
+    }
+  }
+  std::string err;
+  const bool rings_ok = net.verify_rings(&err);
+
+  std::cout << "[seed " << seed << "] " << topo.as_count() << " ASes, "
+            << joined.size() << " IDs (" << sname << ", "
+            << (a.flag("bloom") ? "bloom" : "virtual-AS") << " peering)\n";
+  Table t({"metric", "value"});
+  t.add_row({std::string("join overhead mean [packets]"), join_msgs.mean()});
+  t.add_row({std::string("delivery"), std::to_string(delivered) + "/" +
+                                          std::to_string(routes)});
+  t.add_row({std::string("mean stretch vs BGP"),
+             stretch.empty() ? 0.0 : stretch.mean()});
+  t.add_row({std::string("isolation violations"),
+             static_cast<std::int64_t>(violations)});
+  t.add_row({std::string("fingers/id"),
+             joined.empty() ? 0.0
+                            : static_cast<double>(net.total_finger_count()) /
+                                  static_cast<double>(joined.size())});
+  t.add_row({std::string("rings verified"), std::string(rings_ok ? "yes" : err)});
+  t.print(std::cout);
+  return rings_ok ? 0 : 1;
+}
+
+int cmd_partition(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  Rng rng(seed);
+  graph::IspTopology topo = isp_from_args(a, rng);
+  intra::Network net(&topo, intra::Config{}, seed + 1);
+  const std::size_t per_pop = a.num("ids-per-pop", 50);
+  for (std::size_t p = 0; p < topo.pop_count(); ++p) {
+    for (std::size_t i = 0; i < per_pop; ++i) {
+      const auto& members = topo.pops[p];
+      Identity ident = Identity::generate(net.rng());
+      (void)net.join_host(ident, members[net.rng().index(members.size())]);
+    }
+  }
+  const std::size_t victim = topo.pop_count() / 2;
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> cut;
+  for (const auto r : topo.pops[victim]) {
+    for (const auto& e : topo.graph.neighbors(r)) {
+      bool internal = false;
+      for (const auto m : topo.pops[victim]) internal |= (m == e.to);
+      if (!internal) cut.emplace_back(r, e.to);
+    }
+  }
+  for (const auto& [u, v] : cut) net.map().fail_link(u, v);
+  const auto split = net.repair_partitions();
+  for (const auto& [u, v] : cut) net.map().restore_link(u, v);
+  const auto heal = net.repair_partitions();
+  std::string err;
+  const bool ok = net.verify_rings(&err);
+  std::cout << "[seed " << seed << "] " << topo.name << ": cut PoP " << victim
+            << " (" << topo.pops[victim].size() << " routers, " << cut.size()
+            << " links, " << per_pop << " IDs/PoP)\n";
+  Table t({"phase", "repair packets"});
+  t.add_row({std::string("disconnect"),
+             static_cast<std::int64_t>(split.messages)});
+  t.add_row({std::string("reconnect"),
+             static_cast<std::int64_t>(heal.messages)});
+  t.print(std::cout);
+  std::cout << "reconverged: " << (ok ? "yes" : err) << "\n";
+  return ok ? 0 : 1;
+}
+
+void usage() {
+  std::cout <<
+      "roflsim -- ROFL (Routing on Flat Labels) experiment driver\n\n"
+      "  roflsim topology  [--isp as1221|as1239|as3257|as3967 | --internet]\n"
+      "  roflsim intra     [--isp NAME] [--hosts N] [--routes N] [--cache N]\n"
+      "  roflsim inter     [--ids N] [--strategy eph|single|multi|peering]\n"
+      "                    [--fingers N] [--bloom] [--routes N]\n"
+      "  roflsim partition [--isp NAME] [--ids-per-pop N]\n\n"
+      "All commands accept --seed S (default 1); runs are reproducible.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  if (cmd == "topology") return cmd_topology(args);
+  if (cmd == "intra") return cmd_intra(args);
+  if (cmd == "inter") return cmd_inter(args);
+  if (cmd == "partition") return cmd_partition(args);
+  usage();
+  return 2;
+}
