@@ -1,0 +1,122 @@
+// emit_json.hpp -- a drop-in benchmark reporter that, in addition to the
+// normal console table, accumulates every iteration-level run and writes a
+// compact JSON summary for scripts/bench_trajectory.py.
+//
+// The file (default BENCH_datapath.json next to the working directory,
+// overridable via the ROFL_BENCH_JSON environment variable; set it to the
+// empty string to suppress emission) maps each benchmark name to its
+// per-iteration real time in nanoseconds:
+//
+//   {
+//     "schema": "rofl-bench-v1",
+//     "benchmarks": {
+//       "BM_VnBestMatch": {"ns_per_op": 41.2, "iterations": 16384000},
+//       ...
+//     }
+//   }
+//
+// Aggregate rows (mean/median/stddev from --benchmark_repetitions) and
+// errored runs are skipped so the trajectory comparison always sees one
+// representative number per benchmark instance.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rofl::bench {
+
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double ns = run.GetAdjustedRealTime() *
+                        to_nanoseconds_factor(run.time_unit);
+      results_.emplace_back(run.benchmark_name(),
+                            Entry{ns, static_cast<double>(run.iterations)});
+    }
+  }
+
+  /// Writes the accumulated results.  Returns the path written, or an empty
+  /// string when emission was suppressed or the file could not be opened.
+  std::string write_json(const std::string& default_path) const {
+    std::string path = default_path;
+    if (const char* env = std::getenv("ROFL_BENCH_JSON")) path = env;
+    if (path.empty()) return {};
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "emit_json: cannot open " << path << "\n";
+      return {};
+    }
+    out << "{\n  \"schema\": \"rofl-bench-v1\",\n  \"benchmarks\": {\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out << "    \"" << escape(results_[i].first) << "\": {\"ns_per_op\": "
+          << results_[i].second.ns_per_op
+          << ", \"iterations\": " << results_[i].second.iterations << "}";
+      out << (i + 1 < results_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    return path;
+  }
+
+ private:
+  struct Entry {
+    double ns_per_op = 0.0;
+    double iterations = 0.0;
+  };
+
+  static double to_nanoseconds_factor(benchmark::TimeUnit unit) {
+    switch (unit) {
+      case benchmark::kNanosecond:
+        return 1.0;
+      case benchmark::kMicrosecond:
+        return 1e3;
+      case benchmark::kMillisecond:
+        return 1e6;
+      case benchmark::kSecond:
+        return 1e9;
+    }
+    return 1.0;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, Entry>> results_;
+};
+
+/// The custom main body shared by bench binaries that emit trajectories:
+/// run everything through a JsonTrajectoryReporter and drop the JSON file.
+inline int run_with_json(int argc, char** argv,
+                         const std::string& default_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string written = reporter.write_json(default_path);
+  if (!written.empty()) {
+    std::cout << "JSON trajectory written to " << written << "\n";
+  }
+  return 0;
+}
+
+}  // namespace rofl::bench

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Run the datapath microbenchmarks and track their trajectory over time.
+
+Stdlib-only driver around build/bench/micro_datapath, which writes
+BENCH_datapath.json (see bench/emit_json.hpp).  Three subcommands:
+
+  run      -- execute the bench binary, emit the JSON, and print a summary
+              that pairs every *Baseline bench with its flat-datapath
+              counterpart and reports the speedup factor.
+  compare  -- diff two BENCH_datapath.json files (e.g. from two commits)
+              and print per-benchmark deltas.
+  summary  -- re-print the pairing table for an existing JSON file.
+
+Typical trajectory workflow:
+
+  python3 scripts/bench_trajectory.py run --out before.json   # at HEAD~1
+  python3 scripts/bench_trajectory.py run --out after.json    # at HEAD
+  python3 scripts/bench_trajectory.py compare before.json after.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_BENCH = os.path.join("build", "bench", "micro_datapath")
+DEFAULT_JSON = "BENCH_datapath.json"
+
+# Baseline benches encode their flat counterpart in their name.
+BASELINE_REWRITES = [
+    ("PriorityQueueBaseline", "Simulator"),
+    ("MapBaseline", ""),
+]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rofl-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {name: row["ns_per_op"] for name, row in doc["benchmarks"].items()}
+
+
+def flat_counterpart(name):
+    """Maps a *Baseline bench name to its flat-datapath bench, or None."""
+    for marker, replacement in BASELINE_REWRITES:
+        if marker in name:
+            return name.replace(marker, replacement)
+    return None
+
+
+def print_summary(results):
+    rows = []
+    for name, ns in sorted(results.items()):
+        flat = flat_counterpart(name)
+        if flat is None or flat not in results:
+            continue
+        rows.append((flat, results[flat], name, ns, ns / results[flat]))
+    if not rows:
+        print("no baseline/flat pairs found")
+        return
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'flat bench':<{width}}  {'flat ns':>10}  {'baseline ns':>12}  "
+          f"{'speedup':>8}")
+    for flat, flat_ns, _, base_ns, speedup in rows:
+        print(f"{flat:<{width}}  {flat_ns:>10.1f}  {base_ns:>12.1f}  "
+              f"{speedup:>7.2f}x")
+
+
+def cmd_run(args):
+    if not os.path.exists(args.bench):
+        sys.exit(f"bench binary not found: {args.bench} (build it first)")
+    cmd = [args.bench, f"--benchmark_min_time={args.min_time}"]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    env = dict(os.environ, ROFL_BENCH_JSON=args.out)
+    subprocess.run(cmd, env=env, check=True)
+    print_summary(load(args.out))
+
+
+def cmd_summary(args):
+    print_summary(load(args.json))
+
+
+def cmd_compare(args):
+    old, new = load(args.old), load(args.new)
+    common = sorted(set(old) & set(new))
+    if not common:
+        sys.exit("no common benchmarks between the two files")
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'old ns':>10}  {'new ns':>10}  {'delta':>8}")
+    regressions = 0
+    for name in common:
+        delta = (new[name] - old[name]) / old[name] * 100.0
+        flag = ""
+        if delta > args.tolerance:
+            regressions += 1
+            flag = "  <-- regression"
+        print(f"{name:<{width}}  {old[name]:>10.1f}  {new[name]:>10.1f}  "
+              f"{delta:>+7.1f}%{flag}")
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {args.old}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+    if regressions:
+        print(f"\n{regressions} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0f}%")
+        sys.exit(1)
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    run = sub.add_parser("run", help="run micro_datapath and summarize")
+    run.add_argument("--bench", default=DEFAULT_BENCH)
+    run.add_argument("--out", default=DEFAULT_JSON)
+    run.add_argument("--filter", default="",
+                     help="--benchmark_filter regex passed through")
+    run.add_argument("--min-time", default="0.1",
+                     help="--benchmark_min_time seconds (default 0.1)")
+    run.set_defaults(fn=cmd_run)
+
+    summ = sub.add_parser("summary", help="pairing table for an existing JSON")
+    summ.add_argument("json", nargs="?", default=DEFAULT_JSON)
+    summ.set_defaults(fn=cmd_summary)
+
+    comp = sub.add_parser("compare", help="diff two BENCH_datapath.json files")
+    comp.add_argument("old")
+    comp.add_argument("new")
+    comp.add_argument("--tolerance", type=float, default=10.0,
+                      help="flag regressions beyond this percent (default 10)")
+    comp.set_defaults(fn=cmd_compare)
+
+    args = p.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
-# Full verification: release build + tests, sanitizer build + tests, benches.
+# Full verification: release build + tests, ASan+UBSan build + tests, and a
+# bench smoke run that emits BENCH_datapath.json.  Set ROFL_CHECK_FULL=1 to
+# also run every figure bench at full length (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Use whatever generator the existing build trees were configured with;
+# default to the CMake default on fresh checkouts.
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
 
-cmake -B build-asan -G Ninja \
+cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
-cmake --build build-asan
-ctest --test-dir build-asan --output-on-failure
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
 
-for b in build/bench/*; do
-  [ -x "$b" ] && "$b"
-done
+# Datapath bench smoke: short run, but long enough for stable ns/op, and it
+# exercises the JSON trajectory plumbing end to end.
+python3 scripts/bench_trajectory.py run --min-time 0.05
+
+if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then
+      "$b"
+    fi
+  done
+fi

@@ -5,21 +5,56 @@
 namespace rofl::linkstate {
 
 LinkStateMap::LinkStateMap(graph::Graph* g, sim::Simulator* sim)
-    : graph_(g), sim_(sim) {
+    : graph_(g), sim_(sim),
+      spf_threads_(util::ThreadPool::default_threads()) {
   assert(g != nullptr);
   spf_cache_.resize(g->node_count());
 }
 
-const graph::ShortestPaths& LinkStateMap::spf(NodeIndex src) const {
+void LinkStateMap::refresh_cache_epoch() const {
   if (spf_cache_version_ != version_) {
     for (auto& entry : spf_cache_) entry.reset();
     spf_cache_.resize(graph_->node_count());
     spf_cache_version_ = version_;
   }
+}
+
+const graph::ShortestPaths& LinkStateMap::spf(NodeIndex src) const {
+  refresh_cache_epoch();
   if (!spf_cache_[src].has_value()) {
     spf_cache_[src] = graph_->dijkstra(src);
   }
   return *spf_cache_[src];
+}
+
+void LinkStateMap::set_spf_threads(std::size_t threads) {
+  if (threads == spf_threads_) return;
+  spf_threads_ = threads;
+  pool_.reset();  // rebuilt at the new width on next recompute
+}
+
+void LinkStateMap::recompute_all_spf() const {
+  refresh_cache_epoch();
+  const std::size_t n = graph_->node_count();
+  // Deterministic merge: worker i writes only slot i, so the filled cache
+  // is independent of scheduling.  Tiny topologies skip the pool -- the
+  // fan-out overhead would dominate the Dijkstra runs themselves.
+  if (spf_threads_ == 0 || n < 64) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!spf_cache_[i].has_value()) {
+        spf_cache_[i] = graph_->dijkstra(static_cast<NodeIndex>(i));
+      }
+    }
+    return;
+  }
+  if (pool_ == nullptr || pool_->thread_count() != spf_threads_) {
+    pool_ = std::make_unique<util::ThreadPool>(spf_threads_);
+  }
+  pool_->parallel_for(n, [this](std::size_t i) {
+    if (!spf_cache_[i].has_value()) {
+      spf_cache_[i] = graph_->dijkstra(static_cast<NodeIndex>(i));
+    }
+  });
 }
 
 std::optional<NodeIndex> LinkStateMap::next_hop(NodeIndex u, NodeIndex v) const {

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rofl::linkstate {
 
@@ -79,8 +81,27 @@ class LinkStateMap {
   /// anywhere in the system can use it for invalidation.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  // -- all-routers SPF recomputation ----------------------------------------
+  /// Worker threads used by recompute_all_spf (0 = serial).  The default is
+  /// ThreadPool::default_threads(); runs are byte-identical for every
+  /// setting (see the determinism contract below).
+  void set_spf_threads(std::size_t threads);
+  [[nodiscard]] std::size_t spf_threads() const { return spf_threads_; }
+
+  /// Recomputes the SPF for every router whose cache slot is stale, fanning
+  /// the per-source Dijkstra runs across the worker pool.  Determinism
+  /// contract: worker `i` writes only cache slot `i`, each Dijkstra depends
+  /// only on the (shared, read-only) graph, and no counters or listeners
+  /// fire -- so routing tables, figure CSVs, and seeded runs are
+  /// byte-identical to the serial path regardless of thread count or OS
+  /// scheduling.  Called by the repair machinery after topology changes;
+  /// on-demand spf() queries then hit warm slots.
+  void recompute_all_spf() const;
+
  private:
   [[nodiscard]] const graph::ShortestPaths& spf(NodeIndex src) const;
+  /// Drops stale cache slots if the topology version moved.
+  void refresh_cache_epoch() const;
   void bump_version_and_notify(const TopologyEvent& ev);
 
   graph::Graph* graph_;
@@ -88,6 +109,8 @@ class LinkStateMap {
   std::uint64_t version_ = 1;
   std::vector<Listener> listeners_;
 
+  std::size_t spf_threads_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;  // built on first use
   mutable std::vector<std::optional<graph::ShortestPaths>> spf_cache_;
   mutable std::uint64_t spf_cache_version_ = 0;
 };

@@ -6,35 +6,6 @@
 #include <sstream>
 
 namespace rofl::intra {
-namespace {
-
-/// Orders `p` into `owner`'s successor group (nearest in clockwise distance
-/// first) and truncates to `k`.  Refreshes the host if the ID is already
-/// present.
-void insert_sorted_successor(VirtualNode& owner, const NeighborPtr& p,
-                             std::size_t k) {
-  if (p.id == owner.id) return;
-  for (auto& s : owner.successors) {
-    if (s.id == p.id) {
-      s.host = p.host;
-      return;
-    }
-  }
-  const NodeId d_new = NodeId::distance_cw(owner.id, p.id);
-  auto it = owner.successors.begin();
-  for (; it != owner.successors.end(); ++it) {
-    if (d_new < NodeId::distance_cw(owner.id, it->id)) break;
-  }
-  owner.successors.insert(it, p);
-  if (owner.successors.size() > k) owner.successors.resize(k);
-}
-
-void remove_successor(VirtualNode& owner, const NodeId& id) {
-  std::erase_if(owner.successors,
-                [&](const NeighborPtr& s) { return s.id == id; });
-}
-
-}  // namespace
 
 Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
     : topo_(topo), cfg_(cfg), rng_(seed) {
@@ -43,6 +14,7 @@ Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
   // flags through this pointer.
   map_ = std::make_unique<linkstate::LinkStateMap>(
       const_cast<graph::Graph*>(&topo_->graph), &sim_);
+  if (cfg_.spf_threads.has_value()) map_->set_spf_threads(*cfg_.spf_threads);
 
   routers_.reserve(topo_->router_count());
   for (NodeIndex i = 0; i < topo_->router_count(); ++i) {
@@ -599,6 +571,11 @@ std::uint32_t Network::tear_unreachable_pointers() {
 
 RepairStats Network::repair_partitions() {
   RepairStats stats;
+  // The repair pass below queries reachability/paths from essentially every
+  // live router; recompute the whole SPF set up front (parallel across the
+  // worker pool, deterministic merge) instead of filling the cache one
+  // serial Dijkstra at a time.
+  map_->recompute_all_spf();
   stats.pointers_torn = tear_unreachable_pointers();
 
   // Zero-ID convergence (section 3.2): routers distribute the smallest ID

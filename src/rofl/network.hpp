@@ -71,6 +71,11 @@ struct Config {
   std::size_t max_resident_ids_per_router = 0;
   /// Forwarding loop guard.
   std::uint32_t max_forwarding_hops = 100'000;
+  /// Worker threads for the all-routers SPF recomputation that follows a
+  /// topology change (linkstate::LinkStateMap::recompute_all_spf).  The
+  /// result is byte-identical for any value; nullopt picks a machine-sized
+  /// default, 0 forces the serial reference path.
+  std::optional<std::size_t> spf_threads;
 };
 
 class Network {

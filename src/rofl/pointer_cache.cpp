@@ -2,53 +2,132 @@
 
 #include <algorithm>
 
+#include "util/branchless_search.hpp"
+
 namespace rofl::intra {
+
+std::size_t PointerCache::index_lower_bound(const NodeId& id) const {
+  return util::lower_bound_index(
+      index_.data(), index_.size(), id,
+      [](const IndexEntry& e, const NodeId& key) { return e.id < key; });
+}
+
+std::size_t PointerCache::index_find(const NodeId& id) const {
+  const std::size_t pos = index_lower_bound(id);
+  if (pos < index_.size() && index_[pos].id == id) return pos;
+  return index_.size();
+}
+
+void PointerCache::lru_unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.lru_prev != kNil) {
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = kNil;
+  s.lru_next = kNil;
+}
+
+void PointerCache::lru_push_front(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.lru_prev = kNil;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNil) lru_tail_ = slot;
+}
+
+void PointerCache::touch(std::uint32_t slot) {
+  if (lru_head_ == slot) return;
+  lru_unlink(slot);
+  lru_push_front(slot);
+}
 
 void PointerCache::insert(const NodeId& id, NodeIndex host, SourceRoute path) {
   if (capacity_ == 0) return;
-  auto [it, inserted] = entries_.insert_or_assign(
-      id, CacheEntry{id, host, std::move(path)});
-  (void)it;
-  if (inserted && entries_.size() > capacity_) evict_lru();
-  touch(id);
+  const std::size_t pos = index_lower_bound(id);
+  if (pos < index_.size() && index_[pos].id == id) {
+    // Refresh in place.
+    const std::uint32_t slot = index_[pos].slot;
+    slots_[slot].entry.host = host;
+    slots_[slot].entry.path = std::move(path);
+    touch(slot);
+    return;
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].entry = CacheEntry{id, host, std::move(path)};
+  index_.insert(index_.begin() + static_cast<std::ptrdiff_t>(pos),
+                IndexEntry{id, slot});
+  lru_push_front(slot);
+  if (index_.size() > capacity_) evict_lru();
 }
 
 const CacheEntry* PointerCache::best_match(const NodeId& dest) {
-  if (entries_.empty()) {
+  if (index_.empty()) {
     ++misses_;
     return nullptr;
   }
   // Largest key <= dest in ring order == minimal clockwise distance to dest.
-  auto it = entries_.upper_bound(dest);
-  if (it == entries_.begin()) it = entries_.end();
-  --it;
+  std::size_t pos = index_lower_bound(dest);
+  if (pos < index_.size() && index_[pos].id == dest) {
+    // exact hit: dest itself
+  } else if (pos == 0) {
+    pos = index_.size() - 1;  // wrap to the numerically largest entry
+  } else {
+    --pos;
+  }
   ++hits_;
-  touch(it->first);
-  return &it->second;
+  const std::uint32_t slot = index_[pos].slot;
+  touch(slot);
+  return &slots_[slot].entry;
 }
 
 const CacheEntry* PointerCache::find(const NodeId& id) const {
-  const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second;
+  const std::size_t pos = index_find(id);
+  if (pos == index_.size()) return nullptr;
+  return &slots_[index_[pos].slot].entry;
+}
+
+void PointerCache::erase_at(std::size_t index_pos) {
+  const std::uint32_t slot = index_[index_pos].slot;
+  lru_unlink(slot);
+  slots_[slot].entry = CacheEntry{};  // release the path's heap buffer
+  free_slots_.push_back(slot);
+  index_.erase(index_.begin() + static_cast<std::ptrdiff_t>(index_pos));
 }
 
 void PointerCache::erase(const NodeId& id) {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  entries_.erase(it);
-  const auto tick_it = tick_of_.find(id);
-  if (tick_it != tick_of_.end()) {
-    by_tick_.erase(tick_it->second);
-    tick_of_.erase(tick_it);
-  }
+  const std::size_t pos = index_find(id);
+  if (pos == index_.size()) return;
+  erase_at(pos);
+}
+
+void PointerCache::evict_lru() {
+  if (lru_tail_ == kNil) return;
+  const std::uint32_t victim = lru_tail_;
+  const std::size_t pos = index_find(slots_[victim].entry.id);
+  erase_at(pos);
 }
 
 void PointerCache::invalidate_through_router(NodeIndex router) {
   std::vector<NodeId> dead;
-  for (const auto& [id, entry] : entries_) {
-    if (std::find(entry.path.begin(), entry.path.end(), router) !=
-        entry.path.end()) {
-      dead.push_back(id);
+  for (const IndexEntry& ie : index_) {
+    const SourceRoute& p = slots_[ie.slot].entry.path;
+    if (std::find(p.begin(), p.end(), router) != p.end()) {
+      dead.push_back(ie.id);
     }
   }
   for (const NodeId& id : dead) erase(id);
@@ -56,11 +135,11 @@ void PointerCache::invalidate_through_router(NodeIndex router) {
 
 void PointerCache::invalidate_through_link(NodeIndex u, NodeIndex v) {
   std::vector<NodeId> dead;
-  for (const auto& [id, entry] : entries_) {
-    for (std::size_t i = 0; i + 1 < entry.path.size(); ++i) {
-      if ((entry.path[i] == u && entry.path[i + 1] == v) ||
-          (entry.path[i] == v && entry.path[i + 1] == u)) {
-        dead.push_back(id);
+  for (const IndexEntry& ie : index_) {
+    const SourceRoute& p = slots_[ie.slot].entry.path;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if ((p[i] == u && p[i + 1] == v) || (p[i] == v && p[i + 1] == u)) {
+        dead.push_back(ie.id);
         break;
       }
     }
@@ -69,30 +148,46 @@ void PointerCache::invalidate_through_link(NodeIndex u, NodeIndex v) {
 }
 
 void PointerCache::clear() {
-  entries_.clear();
-  by_tick_.clear();
-  tick_of_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  index_.clear();
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
 }
 
 void PointerCache::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
-  while (entries_.size() > capacity_) evict_lru();
+  while (index_.size() > capacity_) evict_lru();
 }
 
-void PointerCache::touch(const NodeId& id) {
-  const auto tick_it = tick_of_.find(id);
-  if (tick_it != tick_of_.end()) by_tick_.erase(tick_it->second);
-  by_tick_[next_tick_] = id;
-  tick_of_[id] = next_tick_;
-  ++next_tick_;
-}
-
-void PointerCache::evict_lru() {
-  if (by_tick_.empty()) return;
-  const auto oldest = by_tick_.begin();
-  entries_.erase(oldest->second);
-  tick_of_.erase(oldest->second);
-  by_tick_.erase(oldest);
+bool PointerCache::invariants_ok() const {
+  // Index sorted strictly ascending, slots in range, ids match slab.
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    if (i > 0 && !(index_[i - 1].id < index_[i].id)) return false;
+    if (index_[i].slot >= slots_.size()) return false;
+    if (slots_[index_[i].slot].entry.id != index_[i].id) return false;
+  }
+  // LRU chain: consistent back-links, visits exactly the indexed slots.
+  std::vector<bool> indexed(slots_.size(), false);
+  for (const IndexEntry& ie : index_) indexed[ie.slot] = true;
+  std::size_t walked = 0;
+  std::uint32_t prev = kNil;
+  for (std::uint32_t cur = lru_head_; cur != kNil;
+       cur = slots_[cur].lru_next) {
+    if (cur >= slots_.size() || !indexed[cur]) return false;
+    if (slots_[cur].lru_prev != prev) return false;
+    prev = cur;
+    if (++walked > index_.size()) return false;  // cycle
+  }
+  if (walked != index_.size()) return false;
+  if (lru_tail_ != prev) return false;
+  // Free slots disjoint from indexed slots; everything accounted for.
+  std::size_t free_count = 0;
+  for (const std::uint32_t s : free_slots_) {
+    if (s >= slots_.size() || indexed[s]) return false;
+    ++free_count;
+  }
+  return index_.size() + free_count == slots_.size();
 }
 
 }  // namespace rofl::intra

@@ -6,11 +6,18 @@
 // cache is the knob behind figure 6a: bigger caches shortcut greedy routing
 // and cut stretch.  Eviction is LRU; ring pointers owned by virtual nodes
 // never live here, so precedence is structural.
+//
+// Layout (flat datapath, DESIGN.md "Datapath performance"): entries live in
+// a slab with stable slot numbers; recency is an intrusive doubly-linked
+// list threaded through the slots (O(1) touch and O(1) unlink, replacing
+// the old tick->id / id->tick double-map whose halves could desynchronize);
+// and a sorted {id, slot} vector provides the binary-search best_match that
+// per-packet forwarding runs.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "rofl/types.hpp"
 
@@ -50,28 +57,55 @@ class PointerCache {
 
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void set_capacity(std::size_t capacity);
 
-  [[nodiscard]] const std::map<NodeId, CacheEntry>& entries() const {
-    return entries_;
+  /// Calls fn(const CacheEntry&) for every entry in ascending ID order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const IndexEntry& ie : index_) fn(slots_[ie.slot].entry);
   }
 
   // -- cache-effectiveness accounting (benches) -----------------------------
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
+  /// Structural self-check for tests: the sorted index, the slab, and the
+  /// LRU list must describe the same entry set, the index must be sorted,
+  /// and the LRU list must be a consistent doubly-linked chain.
+  [[nodiscard]] bool invariants_ok() const;
+
  private:
-  void touch(const NodeId& id);
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    CacheEntry entry;
+    std::uint32_t lru_prev = kNil;  // toward most-recently-used
+    std::uint32_t lru_next = kNil;  // toward least-recently-used
+  };
+  struct IndexEntry {
+    NodeId id;
+    std::uint32_t slot;
+  };
+
+  /// Sorted position of `id` in index_ (first element with key >= id).
+  [[nodiscard]] std::size_t index_lower_bound(const NodeId& id) const;
+  /// index_ position holding exactly `id`, or index_.size().
+  [[nodiscard]] std::size_t index_find(const NodeId& id) const;
+
+  void lru_unlink(std::uint32_t slot);
+  void lru_push_front(std::uint32_t slot);
+  void touch(std::uint32_t slot);
   void evict_lru();
+  void erase_at(std::size_t index_pos);
 
   std::size_t capacity_;
-  std::map<NodeId, CacheEntry> entries_;
-  // LRU bookkeeping: tick -> id and id -> tick.
-  std::map<std::uint64_t, NodeId> by_tick_;
-  std::map<NodeId, std::uint64_t> tick_of_;
-  std::uint64_t next_tick_ = 0;
+  std::vector<Slot> slots_;             // slab; slot numbers are stable
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<IndexEntry> index_;       // sorted by id
+  std::uint32_t lru_head_ = kNil;       // most recently used
+  std::uint32_t lru_tail_ = kNil;       // eviction candidate
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "rofl/router.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rofl::intra {
@@ -10,46 +11,41 @@ Router::Router(NodeIndex index, Identity identity, std::size_t cache_capacity)
 VirtualNode* Router::add_vnode(VirtualNode vn) {
   vn.home = index_;
   const NodeId id = vn.id;
-  auto [it, inserted] = vnodes_.emplace(id, std::move(vn));
+  auto [stored, inserted] = vnodes_.try_emplace(id, std::move(vn));
   if (!inserted) return nullptr;
   // Ephemeral hosts never serve as anyone's successor or predecessor
   // (section 2.2), so they stay out of the greedy index entirely; packets
   // for them stop at the predecessor's backpointer.
-  if (it->second.host_class != HostClass::kEphemeral) {
+  if (stored->host_class != HostClass::kEphemeral) {
     index_ptr(id, index_, /*resident=*/true);
-    for (const NeighborPtr& s : it->second.successors) {
+    for (const NeighborPtr& s : stored->successors) {
       index_ptr(s.id, s.host, /*resident=*/false);
     }
   }
-  return &it->second;
+  return stored;
 }
 
 void Router::remove_vnode(const NodeId& id) {
-  const auto it = vnodes_.find(id);
-  if (it == vnodes_.end()) return;
-  vnodes_.erase(it);
+  if (!vnodes_.erase(id)) return;
   // Full rebuild keeps the resident flag exact even when the removed ID was
   // also some co-resident vnode's successor.
   reindex_vnode(id);
 }
 
-VirtualNode* Router::find_vnode(const NodeId& id) {
-  const auto it = vnodes_.find(id);
-  return it == vnodes_.end() ? nullptr : &it->second;
-}
+VirtualNode* Router::find_vnode(const NodeId& id) { return vnodes_.find(id); }
 
 const VirtualNode* Router::find_vnode(const NodeId& id) const {
-  const auto it = vnodes_.find(id);
-  return it == vnodes_.end() ? nullptr : &it->second;
+  return vnodes_.find(id);
 }
 
 void Router::reindex_vnode(const NodeId& id) {
   // Successor sets are small (successor-group size), so rebuild the whole
   // index contribution of this vnode: drop all non-resident refs we can't
-  // attribute, which requires a full rebuild of known_.  Cheaper: rebuild
+  // attribute, which requires a full rebuild of the index.  Cheaper: rebuild
   // from scratch over all vnodes -- still O(resident * group) and only done
   // on ring maintenance, not on forwarding.
-  known_.clear();
+  known_ids_.clear();
+  known_ptrs_.clear();
   for (const auto& [vid, vn] : vnodes_) {
     if (vn.host_class == HostClass::kEphemeral) continue;
     index_ptr(vid, index_, /*resident=*/true);
@@ -61,7 +57,7 @@ void Router::reindex_vnode(const NodeId& id) {
 }
 
 void Router::add_ephemeral_backpointer(const NodeId& id, NodeIndex gateway) {
-  ephemerals_[id] = gateway;
+  ephemerals_.insert_or_assign(id, gateway);
 }
 
 void Router::remove_ephemeral_backpointer(const NodeId& id) {
@@ -69,22 +65,53 @@ void Router::remove_ephemeral_backpointer(const NodeId& id) {
 }
 
 std::optional<NodeIndex> Router::ephemeral_gateway(const NodeId& id) const {
-  const auto it = ephemerals_.find(id);
-  if (it == ephemerals_.end()) return std::nullopt;
-  return it->second;
+  const NodeIndex* gw = ephemerals_.find(id);
+  if (gw == nullptr) return std::nullopt;
+  return *gw;
+}
+
+void Router::eytz_fill(std::size_t& next_sorted, std::size_t k) const {
+  if (k >= eytz_ids_.size()) return;
+  eytz_fill(next_sorted, 2 * k);
+  eytz_ids_[k] = known_ids_[next_sorted];
+  eytz_pos_[k] = static_cast<std::uint32_t>(next_sorted);
+  ++next_sorted;
+  eytz_fill(next_sorted, 2 * k + 1);
+}
+
+void Router::rebuild_eytzinger() const {
+  eytz_ids_.resize(known_ids_.size() + 1);
+  eytz_pos_.resize(known_ids_.size() + 1);
+  std::size_t next_sorted = 0;
+  eytz_fill(next_sorted, 1);
+  eytz_dirty_ = false;
 }
 
 std::optional<Candidate> Router::vn_best_match(const NodeId& dest) const {
-  if (known_.empty()) return std::nullopt;
-  auto it = known_.upper_bound(dest);
-  if (it == known_.begin()) it = known_.end();
-  --it;
-  return Candidate{it->first, it->second.host, it->second.resident};
+  const std::size_t n = known_ids_.size();
+  if (n == 0) return std::nullopt;
+  if (eytz_dirty_) rebuild_eytzinger();
+  // Largest indexed ID <= dest, wrapping to the largest overall: the ID
+  // with minimal clockwise distance to dest.  Branch-free Eytzinger
+  // descent: remember the last node we stepped right past.
+  const NodeId* t = eytz_ids_.data();
+  std::size_t k = 1;
+  std::size_t best = 0;  // eytz index of largest id <= dest; 0 = none yet
+  while (k <= n) {
+#if defined(__GNUC__) || defined(__clang__)
+    // Grandchildren 4k..4k+3 are contiguous: one line of 16-byte NodeIds.
+    __builtin_prefetch(t + ((4 * k < n) ? 4 * k : 0));
+#endif
+    const bool le = !(dest < t[k]);
+    best = le ? k : best;
+    k = 2 * k + static_cast<std::size_t>(le);
+  }
+  const std::size_t pos = (best == 0) ? n - 1 : eytz_pos_[best];
+  const IndexedPtr& p = known_ptrs_[pos];
+  return Candidate{known_ids_[pos], p.host, p.resident};
 }
 
-bool Router::hosts(const NodeId& dest) const {
-  return vnodes_.contains(dest);
-}
+bool Router::hosts(const NodeId& dest) const { return vnodes_.contains(dest); }
 
 VirtualNode* Router::predecessor_vnode_of(const NodeId& id) {
   for (auto& [vid, vn] : vnodes_) {
@@ -106,14 +133,21 @@ std::size_t Router::state_entries() const {
 }
 
 void Router::index_ptr(const NodeId& id, NodeIndex host, bool resident) {
-  auto [it, inserted] = known_.try_emplace(id, IndexedPtr{host, resident, 1});
-  if (!inserted) {
-    ++it->second.refs;
+  const auto it = std::lower_bound(known_ids_.begin(), known_ids_.end(), id);
+  const std::size_t pos = static_cast<std::size_t>(it - known_ids_.begin());
+  if (it != known_ids_.end() && *it == id) {
+    IndexedPtr& p = known_ptrs_[pos];
+    ++p.refs;
     if (resident) {
-      it->second.resident = true;
-      it->second.host = host;
+      p.resident = true;
+      p.host = host;
     }
+    return;
   }
+  known_ids_.insert(it, id);
+  known_ptrs_.insert(known_ptrs_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     IndexedPtr{host, resident, 1});
+  eytz_dirty_ = true;  // sorted positions shifted; mirror rebuilt on lookup
 }
 
 }  // namespace rofl::intra

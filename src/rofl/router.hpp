@@ -6,14 +6,21 @@
 // pointer cache.  The router keeps a sorted index of every ID it can make
 // greedy progress toward (resident IDs plus all their successors); Algorithm
 // 2's VN.best_match is a lookup in that index.
+//
+// All per-router tables are flat sorted vectors (util::FlatMap and a
+// struct-of-arrays greedy index) rather than red-black trees: the
+// per-packet operations -- hosts(), vn_best_match(), ephemeral_gateway() --
+// are binary searches over contiguous keys, while the O(n) insertion
+// memmove only runs on ring maintenance.  Mutating the vnode table
+// (add/remove_vnode) invalidates VirtualNode pointers previously returned
+// by find_vnode/add_vnode, like any vector.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "rofl/pointer_cache.hpp"
 #include "rofl/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace rofl::intra {
 
@@ -26,6 +33,9 @@ struct Candidate {
 
 class Router {
  public:
+  using VnodeTable = util::FlatMap<NodeId, VirtualNode>;
+  using EphemeralTable = util::FlatMap<NodeId, NodeIndex>;
+
   Router(NodeIndex index, Identity identity, std::size_t cache_capacity);
 
   [[nodiscard]] NodeIndex index() const { return index_; }
@@ -39,9 +49,7 @@ class Router {
   void remove_vnode(const NodeId& id);
   [[nodiscard]] VirtualNode* find_vnode(const NodeId& id);
   [[nodiscard]] const VirtualNode* find_vnode(const NodeId& id) const;
-  [[nodiscard]] const std::map<NodeId, VirtualNode>& vnodes() const {
-    return vnodes_;
-  }
+  [[nodiscard]] const VnodeTable& vnodes() const { return vnodes_; }
   [[nodiscard]] std::size_t resident_count() const { return vnodes_.size(); }
 
   /// Re-indexes a vnode's successor set after the caller mutated it.
@@ -53,7 +61,7 @@ class Router {
   void add_ephemeral_backpointer(const NodeId& id, NodeIndex gateway);
   void remove_ephemeral_backpointer(const NodeId& id);
   [[nodiscard]] std::optional<NodeIndex> ephemeral_gateway(const NodeId& id) const;
-  [[nodiscard]] const std::map<NodeId, NodeIndex>& ephemeral_backpointers() const {
+  [[nodiscard]] const EphemeralTable& ephemeral_backpointers() const {
     return ephemerals_;
   }
 
@@ -87,19 +95,35 @@ class Router {
 
   NodeIndex index_;
   Identity identity_;
-  std::map<NodeId, VirtualNode> vnodes_;
-  std::map<NodeId, NodeIndex> ephemerals_;
+  VnodeTable vnodes_;
+  EphemeralTable ephemerals_;
   PointerCache cache_;
   std::uint64_t traversals_ = 0;
 
-  // Greedy index over {resident IDs} U {their successors}.  Values carry a
-  // refcount because several vnodes can share a successor ID.
+  // Greedy index over {resident IDs} U {their successors}, kept sorted by
+  // ID.  Struct-of-arrays: vn_best_match searches the contiguous key vector
+  // (the per-packet hot loop) and only dereferences the value lane once, at
+  // the final position.  Values carry a refcount because several vnodes can
+  // share a successor ID.
   struct IndexedPtr {
     NodeIndex host;
     bool resident;
     int refs;
   };
-  std::map<NodeId, IndexedPtr> known_;
+  std::vector<NodeId> known_ids_;
+  std::vector<IndexedPtr> known_ptrs_;
+
+  // Eytzinger (BFS-order) mirror of known_ids_, rebuilt lazily on the first
+  // lookup after a mutation: node k's children sit at 2k/2k+1, so each probe
+  // level shares cache lines and the next level can be prefetched while the
+  // current compare retires.  eytz_pos_[k] maps back to the sorted position.
+  // Lazy rebuild mutates these under a const lookup; Router lookups are not
+  // thread-safe (routers are per-simulation objects, never shared).
+  void rebuild_eytzinger() const;
+  void eytz_fill(std::size_t& next_sorted, std::size_t k) const;
+  mutable std::vector<NodeId> eytz_ids_;        // 1-indexed; [0] unused
+  mutable std::vector<std::uint32_t> eytz_pos_;
+  mutable bool eytz_dirty_ = false;
 };
 
 }  // namespace rofl::intra

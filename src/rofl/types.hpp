@@ -1,6 +1,7 @@
 // types.hpp -- shared vocabulary of the intradomain ROFL protocol (section 2.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -54,6 +55,35 @@ struct VirtualNode {
     return successors.empty() ? nullptr : &successors.front();
   }
 };
+
+/// Orders `p` into `owner`'s successor group (nearest in clockwise distance
+/// first) and truncates to `k`.  Refreshes the host if the ID is already
+/// present.  One binary-search pass: the group is sorted by clockwise
+/// distance from owner.id, and distance from a fixed origin is injective,
+/// so the insertion point found by lower_bound is also the only position a
+/// duplicate of p.id could occupy.
+inline void insert_sorted_successor(VirtualNode& owner, const NeighborPtr& p,
+                                    std::size_t k) {
+  if (p.id == owner.id) return;
+  const NodeId d_new = NodeId::distance_cw(owner.id, p.id);
+  const auto it = std::lower_bound(
+      owner.successors.begin(), owner.successors.end(), d_new,
+      [&owner](const NeighborPtr& s, const NodeId& d) {
+        return NodeId::distance_cw(owner.id, s.id) < d;
+      });
+  if (it != owner.successors.end() && it->id == p.id) {
+    it->host = p.host;
+    return;
+  }
+  owner.successors.insert(it, p);
+  if (owner.successors.size() > k) owner.successors.resize(k);
+}
+
+/// Drops every successor with the given ID from `owner`'s group.
+inline void remove_successor(VirtualNode& owner, const NodeId& id) {
+  std::erase_if(owner.successors,
+                [&](const NeighborPtr& s) { return s.id == id; });
+}
 
 /// Outcome of a join (figures 5a/5b/5c).
 struct JoinStats {

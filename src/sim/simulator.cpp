@@ -28,18 +28,26 @@ void Simulator::schedule_in(double delay_ms, Action action) {
 
 void Simulator::schedule_at(double when_ms, Action action) {
   assert(when_ms >= now_ms_);
-  queue_.push(Item{when_ms, next_seq_++, std::move(action)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(action);
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(action));
+  }
+  queue_.push(HeapItem{when_ms, next_seq_++, slot});
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the action must be moved out before
-  // pop, so copy the metadata and move the closure via const_cast -- the
-  // item is popped immediately after.
-  auto& top = const_cast<Item&>(queue_.top());
-  now_ms_ = top.when;
-  Action action = std::move(top.action);
-  queue_.pop();
+  const HeapItem item = queue_.pop();
+  now_ms_ = item.when;
+  // Move the payload out and recycle the slot before running it: the action
+  // may schedule further events (growing or reusing the slab).
+  Action action = std::move(slab_[item.slot]);
+  free_slots_.push_back(item.slot);
   action();
   return true;
 }

@@ -6,14 +6,22 @@
 // the packet counts the paper's figures plot.  Event ordering is
 // deterministic: ties on the timestamp are broken by insertion sequence, so
 // a fixed seed reproduces a run exactly.
+//
+// Hot-path layout: event callables live in a slab of recycled slots, with
+// captures up to kActionBufferBytes embedded inline (util::InlineFunction);
+// the 4-ary heap orders 24-byte {when, seq, slot} records only.  Scheduling
+// and dispatching an event therefore performs no heap allocation in the
+// common case, and heap sifts move small PODs instead of payloads.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
 #include <string_view>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/inline_function.hpp"
 
 namespace rofl::sim {
 
@@ -48,9 +56,13 @@ class Counters {
   std::array<std::uint64_t, kMsgCategoryCount> counts_{};
 };
 
+/// Captures up to this size are stored inline in the event slab; larger
+/// closures fall back to one heap cell each.
+inline constexpr std::size_t kActionBufferBytes = 48;
+
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = util::InlineFunction<void(), kActionBufferBytes>;
 
   [[nodiscard]] double now_ms() const { return now_ms_; }
 
@@ -75,21 +87,17 @@ class Simulator {
   const Counters& counters() const { return counters_; }
 
  private:
-  struct Item {
+  struct HeapItem {
     double when;
     std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;  // payload position in slab_
   };
 
   double now_ms_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  EventQueue<HeapItem> queue_;
+  std::vector<Action> slab_;              // callables; slots are recycled
+  std::vector<std::uint32_t> free_slots_;
   Counters counters_;
 };
 

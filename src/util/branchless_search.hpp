@@ -1,0 +1,62 @@
+// branchless_search.hpp -- binary search over a sorted contiguous key lane,
+// tuned for the per-packet lookups of the flat datapath.
+//
+// std::lower_bound compiles to a compare-and-branch per probe; on random
+// keys the branch is unpredictable, so every probe costs a misprediction on
+// top of its cache miss.  The loop below keeps the range as (base, n) and
+// advances base with a conditional move instead of a branch, and prefetches
+// both possible next probe addresses so the memory system works one level
+// ahead of the comparison.  Semantics match std::lower_bound/upper_bound.
+#pragma once
+
+#include <cstddef>
+
+namespace rofl::util {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ROFL_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define ROFL_PREFETCH(addr) ((void)0)
+#endif
+
+/// Index of the first element not less than `key`, where `lt(elem, key)`
+/// orders elements before the key (std::lower_bound semantics).
+template <typename T, typename Key, typename ElemLessKey>
+std::size_t lower_bound_index(const T* data, std::size_t n, const Key& key,
+                              ElemLessKey lt) {
+  const T* base = data;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    ROFL_PREFETCH(base + half / 2);
+    ROFL_PREFETCH(base + half + half / 2);
+    base = lt(base[half - 1], key) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && lt(*base, key)) ++base;
+  return static_cast<std::size_t>(base - data);
+}
+
+template <typename T, typename Key>
+std::size_t lower_bound_index(const T* data, std::size_t n, const Key& key) {
+  return lower_bound_index(
+      data, n, key, [](const T& a, const Key& b) { return a < b; });
+}
+
+/// Index of the first element greater than `key` (std::upper_bound).
+template <typename T, typename Key>
+std::size_t upper_bound_index(const T* data, std::size_t n, const Key& key) {
+  const T* base = data;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    ROFL_PREFETCH(base + half / 2);
+    ROFL_PREFETCH(base + half + half / 2);
+    base = !(key < base[half - 1]) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && !(key < *base)) ++base;
+  return static_cast<std::size_t>(base - data);
+}
+
+#undef ROFL_PREFETCH
+
+}  // namespace rofl::util

@@ -1,0 +1,108 @@
+// flat_map.hpp -- sorted-vector associative container for datapath state.
+//
+// The per-packet structures of the forwarder (vnode tables, ephemeral
+// backpointers, greedy indices) are read-mostly and small-to-medium sized;
+// a contiguous sorted vector beats a red-black tree on every lookup because
+// the binary search touches O(log n) cache lines with no pointer chasing,
+// and iteration is a linear scan.  Mutation (join/leave/repair) pays an
+// O(n) memmove, which is cheap at these sizes and off the forwarding path.
+//
+// The interface mirrors the subset of std::map the datapath uses: find /
+// contains / try_emplace / insert_or_assign / erase / range-for over
+// std::pair<Key, Value>.  Iteration order is ascending key order, exactly
+// like std::map, so code (and tests) that rely on sorted traversal keep
+// working.  Pointers and iterators are invalidated by mutation, like any
+// vector.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rofl::util {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  [[nodiscard]] iterator begin() { return items_.begin(); }
+  [[nodiscard]] iterator end() { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+
+  [[nodiscard]] bool contains(const Key& k) const {
+    const auto it = lower(k);
+    return it != items_.end() && it->first == k;
+  }
+
+  [[nodiscard]] Value* find(const Key& k) {
+    const auto it = lower(k);
+    return (it != items_.end() && it->first == k) ? &it->second : nullptr;
+  }
+  [[nodiscard]] const Value* find(const Key& k) const {
+    const auto it = lower(k);
+    return (it != items_.end() && it->first == k) ? &it->second : nullptr;
+  }
+
+  /// First element with key > k (std::map::upper_bound semantics).
+  [[nodiscard]] const_iterator upper_bound(const Key& k) const {
+    return std::upper_bound(
+        items_.begin(), items_.end(), k,
+        [](const Key& key, const value_type& item) { return key < item.first; });
+  }
+
+  /// Inserts {k, Value(args...)} if absent.  Returns {pointer, inserted}.
+  template <typename... Args>
+  std::pair<Value*, bool> try_emplace(const Key& k, Args&&... args) {
+    auto it = lower(k);
+    if (it != items_.end() && it->first == k) return {&it->second, false};
+    it = items_.emplace(it, std::piecewise_construct, std::forward_as_tuple(k),
+                        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {&it->second, true};
+  }
+
+  /// Inserts or overwrites.  Returns {pointer, inserted}.
+  std::pair<Value*, bool> insert_or_assign(const Key& k, Value v) {
+    auto it = lower(k);
+    if (it != items_.end() && it->first == k) {
+      it->second = std::move(v);
+      return {&it->second, false};
+    }
+    it = items_.emplace(it, k, std::move(v));
+    return {&it->second, true};
+  }
+
+  /// Removes k if present; returns true when an element was erased.
+  bool erase(const Key& k) {
+    const auto it = lower(k);
+    if (it == items_.end() || it->first != k) return false;
+    items_.erase(it);
+    return true;
+  }
+
+ private:
+  [[nodiscard]] iterator lower(const Key& k) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& item, const Key& key) { return item.first < key; });
+  }
+  [[nodiscard]] const_iterator lower(const Key& k) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& item, const Key& key) { return item.first < key; });
+  }
+
+  storage_type items_;
+};
+
+}  // namespace rofl::util

@@ -1,0 +1,135 @@
+// inline_function.hpp -- small-buffer-optimized move-only callable.
+//
+// The simulator schedules millions of events per run; wrapping every event
+// closure in a std::function heap-allocates whenever the capture outgrows
+// the library's tiny internal buffer (two pointers on libstdc++).  This
+// callable embeds captures up to `BufSize` bytes directly in the object, so
+// event payloads live inline in the event-queue slab and the hot scheduling
+// path performs zero allocations.  Oversized captures (rare; asserted
+// against in debug builds of the simulator hot path) degrade gracefully to
+// a single heap cell.
+//
+// Move-only by design: events are consumed exactly once, and copyability
+// would force every capture to be copyable.  Construction accepts any
+// callable (including copyable ones, e.g. a std::function lvalue).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rofl::util {
+
+template <typename Signature, std::size_t BufSize = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t BufSize>
+class InlineFunction<R(Args...), BufSize> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= BufSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &inline_vtable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &boxed_vtable<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when the callable is stored inline (no heap cell).
+  [[nodiscard]] bool is_inline() const {
+    return vt_ != nullptr && vt_->inline_storage;
+  }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr VTable inline_vtable{
+      [](void* p, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(p)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename D>
+  static constexpr VTable boxed_vtable{
+      [](void* p, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(p)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        // The source pointer slot is trivially destructible; stealing the
+        // pointee is the whole relocation.
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[BufSize];
+};
+
+}  // namespace rofl::util

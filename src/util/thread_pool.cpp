@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rofl::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 0;  // single core: inline execution is strictly better
+  return std::min<std::size_t>(hw - 1, 8);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_ = 0;
+    in_flight_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread chips in rather than idling.
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_index_ >= job_size_) break;
+      i = next_index_++;
+      ++in_flight_;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return next_index_ >= job_size_ && in_flight_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::size_t i;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ ||
+               (job_ != nullptr && generation_ != seen_generation) ||
+               (job_ != nullptr && next_index_ < job_size_);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      if (next_index_ >= job_size_) continue;
+      i = next_index_++;
+      ++in_flight_;
+      fn = job_;
+    }
+    (*fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (next_index_ >= job_size_ && in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rofl::util

@@ -1,0 +1,57 @@
+// thread_pool.hpp -- persistent worker pool for deterministic fan-out.
+//
+// Used by the link-state substrate to recompute all-routers SPF in parallel
+// after a topology change.  The pool only offers a blocking parallel_for:
+// workers pull indices from a shared atomic counter (dynamic scheduling),
+// and the call returns once every index has been processed.  Determinism
+// contract: callers must make iteration `i` write only to slot `i` of a
+// pre-sized output -- then the result is bit-identical regardless of thread
+// count or scheduling, and a fixed seed reproduces a run exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rofl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers.  0 is allowed: parallel_for then runs inline
+  /// on the calling thread (the deterministic serial reference path).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, across the workers plus the
+  /// calling thread; blocks until all calls have returned.  Not reentrant.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// A sensible default worker count for background recomputation: leaves a
+  /// core for the event loop, capped so wide machines don't oversubscribe
+  /// the small SPF jobs.
+  [[nodiscard]] static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t in_flight_ = 0;   // indices handed out but not yet completed
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rofl::util

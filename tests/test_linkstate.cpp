@@ -99,6 +99,81 @@ TEST(LinkState, RouteValidTracksTopology) {
   EXPECT_FALSE(m.route_valid(route));
 }
 
+// Random-ish connected graph, big enough to cross the parallel-recompute
+// threshold in recompute_all_spf.
+graph::Graph make_mesh(std::size_t n) {
+  graph::Graph g(n);
+  std::uint64_t x = 7;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<graph::NodeIndex>(i),
+               static_cast<graph::NodeIndex>(next() % i),
+               1.0 + static_cast<double>(next() % 10),
+               1.0 + static_cast<double>(next() % 5));
+  }
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    const auto u = static_cast<graph::NodeIndex>(next() % n);
+    const auto v = static_cast<graph::NodeIndex>(next() % n);
+    if (u != v) g.add_edge(u, v, 1.0 + static_cast<double>(next() % 10));
+  }
+  return g;
+}
+
+TEST(LinkState, ParallelSpfMatchesSerialByteForByte) {
+  // Determinism contract of recompute_all_spf: the full routing state --
+  // dist, latency, parent, hops for every (src, dst) -- must be identical
+  // between the serial path and any worker-pool width.
+  graph::Graph g_serial = make_mesh(150);
+  graph::Graph g_par = make_mesh(150);
+  sim::Simulator sim;
+  LinkStateMap serial(&g_serial, &sim);
+  LinkStateMap parallel(&g_par, &sim);
+  serial.set_spf_threads(0);
+  parallel.set_spf_threads(4);
+
+  const auto compare_all = [&] {
+    serial.recompute_all_spf();
+    parallel.recompute_all_spf();
+    for (graph::NodeIndex u = 0; u < g_serial.node_count(); ++u) {
+      for (graph::NodeIndex v = 0; v < g_serial.node_count(); ++v) {
+        ASSERT_EQ(serial.next_hop(u, v), parallel.next_hop(u, v))
+            << u << "->" << v;
+        ASSERT_EQ(serial.path(u, v), parallel.path(u, v)) << u << "->" << v;
+        ASSERT_EQ(serial.hop_distance(u, v), parallel.hop_distance(u, v));
+        ASSERT_EQ(serial.latency_ms(u, v), parallel.latency_ms(u, v));
+      }
+    }
+  };
+  compare_all();
+  // Identical topology mutations on both sides; tables must track.
+  serial.fail_node(13);
+  parallel.fail_node(13);
+  serial.fail_link(2, g_serial.neighbors(2).front().to);
+  parallel.fail_link(2, g_par.neighbors(2).front().to);
+  compare_all();
+}
+
+TEST(LinkState, RecomputeAllWarmsTheOnDemandCache) {
+  graph::Graph g = make_mesh(100);
+  LinkStateMap m(&g, nullptr);
+  m.set_spf_threads(2);
+  m.recompute_all_spf();
+  // Warmed slots answer immediately and consistently with a cold map.
+  graph::Graph g2 = make_mesh(100);
+  LinkStateMap cold(&g2, nullptr);
+  cold.set_spf_threads(0);
+  for (graph::NodeIndex u = 0; u < g.node_count(); u += 7) {
+    for (graph::NodeIndex v = 0; v < g.node_count(); v += 11) {
+      EXPECT_EQ(m.hop_distance(u, v), cold.hop_distance(u, v));
+    }
+  }
+}
+
 TEST(LinkState, NullSimAllowed) {
   graph::Graph g(2);
   g.add_edge(0, 1);

@@ -114,6 +114,88 @@ TEST(PointerCache, HitMissAccounting) {
   EXPECT_EQ(pc.hits(), 1u);
 }
 
+TEST(PointerCache, LruChainSurvivesInsertTouchEvictHammer) {
+  // Regression for the old two-map (tick->id / id->tick) bookkeeping, whose
+  // halves could desynchronize: hammer insert/touch/evict/erase cycles and
+  // check the slab, sorted index, and intrusive LRU chain agree after every
+  // mutation.
+  PointerCache pc(16);
+  std::uint64_t x = 42;
+  const auto next = [&x] {  // xorshift; deterministic and seedless
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int iter = 0; iter < 5000; ++iter) {
+    const NodeId key = id(next() % 64);
+    switch (next() % 4) {
+      case 0:
+        pc.insert(key, static_cast<NodeIndex>(next() % 8), {0, 1});
+        break;
+      case 1:
+        (void)pc.best_match(key);  // touch
+        break;
+      case 2:
+        pc.erase(key);
+        break;
+      case 3:
+        (void)pc.find(key);  // must not disturb LRU state
+        break;
+    }
+    ASSERT_TRUE(pc.invariants_ok()) << "iteration " << iter;
+    ASSERT_LE(pc.size(), pc.capacity());
+  }
+  // Capacity churn exercises eviction from both full and shrunken states.
+  pc.set_capacity(4);
+  ASSERT_TRUE(pc.invariants_ok());
+  ASSERT_LE(pc.size(), 4u);
+  pc.set_capacity(16);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    pc.insert(id(1000 + i), 1, {0, 1});
+    ASSERT_TRUE(pc.invariants_ok());
+  }
+  EXPECT_EQ(pc.size(), 16u);
+}
+
+TEST(PointerCache, EvictionOrderIsExactLru) {
+  PointerCache pc(3);
+  pc.insert(id(1), 1, {});
+  pc.insert(id(2), 2, {});
+  pc.insert(id(3), 3, {});
+  // Recency now 3 > 2 > 1.  Touch 1 via exact best_match, then 2: 2 > 1 > 3.
+  (void)pc.best_match(id(1));
+  (void)pc.best_match(id(2));
+  pc.insert(id(4), 4, {});  // evicts 3
+  EXPECT_EQ(pc.find(id(3)), nullptr);
+  pc.insert(id(5), 5, {});  // evicts 1 (oldest surviving)
+  EXPECT_EQ(pc.find(id(1)), nullptr);
+  EXPECT_NE(pc.find(id(2)), nullptr);
+  EXPECT_NE(pc.find(id(4)), nullptr);
+  EXPECT_NE(pc.find(id(5)), nullptr);
+  EXPECT_TRUE(pc.invariants_ok());
+}
+
+TEST(PointerCache, RefreshDoesNotGrowOrLeakSlots) {
+  PointerCache pc(4);
+  for (int i = 0; i < 100; ++i) {
+    pc.insert(id(7), static_cast<NodeIndex>(i), {0, 1});
+    ASSERT_EQ(pc.size(), 1u);
+    ASSERT_TRUE(pc.invariants_ok());
+  }
+  EXPECT_EQ(pc.find(id(7))->host, 99u);
+}
+
+TEST(PointerCache, ForEachVisitsAscendingIdOrder) {
+  PointerCache pc(8);
+  pc.insert(id(30), 1, {});
+  pc.insert(id(10), 2, {});
+  pc.insert(id(20), 3, {});
+  std::vector<NodeId> seen;
+  pc.for_each([&](const CacheEntry& e) { seen.push_back(e.id); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{id(10), id(20), id(30)}));
+}
+
 TEST(PointerCache, ClearEmptiesEverything) {
   PointerCache pc(4);
   pc.insert(id(1), 1, {});

@@ -1,0 +1,92 @@
+// Unit tests for the successor-group ordering helpers in rofl/types.hpp:
+// insert_sorted_successor must keep the group sorted by clockwise distance
+// from the owner with one binary-search pass, refresh duplicates in place,
+// and truncate to the group size k.
+#include "rofl/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rofl::intra {
+namespace {
+
+NodeId id(std::uint64_t v) { return NodeId::from_u64(v); }
+
+VirtualNode owner_at(std::uint64_t v) {
+  VirtualNode vn;
+  vn.id = id(v);
+  return vn;
+}
+
+std::vector<std::uint64_t> ids_of(const VirtualNode& vn) {
+  std::vector<std::uint64_t> out;
+  for (const NeighborPtr& s : vn.successors) out.push_back(s.id.lo());
+  return out;
+}
+
+TEST(RingOps, InsertKeepsClockwiseDistanceOrder) {
+  VirtualNode vn = owner_at(100);
+  insert_sorted_successor(vn, {id(300), 3}, 8);
+  insert_sorted_successor(vn, {id(150), 1}, 8);
+  insert_sorted_successor(vn, {id(200), 2}, 8);
+  EXPECT_EQ(ids_of(vn), (std::vector<std::uint64_t>{150, 200, 300}));
+}
+
+TEST(RingOps, InsertHandlesRingWraparound) {
+  // Owner at the very top of the 128-bit ring: numerically tiny IDs wrap
+  // past zero and are clockwise *nearer* than a large ID halfway around.
+  VirtualNode vn;
+  vn.id = NodeId(0xFFFF'FFFF'FFFF'FFFFull, 0xFFFF'FFFF'FFFF'FFF0ull);
+  const NodeId halfway(0x8000'0000'0000'0000ull, 0);
+  insert_sorted_successor(vn, {id(50), 1}, 8);  // wraps: distance 0x42
+  insert_sorted_successor(vn, {id(5), 2}, 8);   // wraps: distance 0x15
+  insert_sorted_successor(vn, {halfway, 3}, 8);
+  EXPECT_EQ(vn.successors[0].id, id(5));
+  EXPECT_EQ(vn.successors[1].id, id(50));
+  EXPECT_EQ(vn.successors[2].id, halfway);
+}
+
+TEST(RingOps, DuplicateIdReinsertRefreshesHostWithoutGrowth) {
+  VirtualNode vn = owner_at(100);
+  insert_sorted_successor(vn, {id(150), 1}, 8);
+  insert_sorted_successor(vn, {id(200), 2}, 8);
+  insert_sorted_successor(vn, {id(150), 9}, 8);  // same ID, new host
+  ASSERT_EQ(vn.successors.size(), 2u);
+  EXPECT_EQ(vn.successors[0].id, id(150));
+  EXPECT_EQ(vn.successors[0].host, 9u);
+  EXPECT_EQ(vn.successors[1].host, 2u);
+}
+
+TEST(RingOps, GroupTruncatesToKKeepingNearest) {
+  VirtualNode vn = owner_at(0);
+  for (std::uint64_t v = 10; v <= 60; v += 10) {
+    insert_sorted_successor(vn, {id(v), 1}, 4);
+  }
+  EXPECT_EQ(ids_of(vn), (std::vector<std::uint64_t>{10, 20, 30, 40}));
+  // A nearer ID still displaces the group tail once full.
+  insert_sorted_successor(vn, {id(5), 2}, 4);
+  EXPECT_EQ(ids_of(vn), (std::vector<std::uint64_t>{5, 10, 20, 30}));
+  // A farther-than-tail ID is dropped by the truncation.
+  insert_sorted_successor(vn, {id(99), 3}, 4);
+  EXPECT_EQ(ids_of(vn), (std::vector<std::uint64_t>{5, 10, 20, 30}));
+}
+
+TEST(RingOps, OwnersOwnIdIsRejected) {
+  VirtualNode vn = owner_at(100);
+  insert_sorted_successor(vn, {id(100), 7}, 8);
+  EXPECT_TRUE(vn.successors.empty());
+}
+
+TEST(RingOps, RemoveSuccessorDropsAllMatches) {
+  VirtualNode vn = owner_at(0);
+  insert_sorted_successor(vn, {id(10), 1}, 8);
+  insert_sorted_successor(vn, {id(20), 2}, 8);
+  remove_successor(vn, id(10));
+  EXPECT_EQ(ids_of(vn), (std::vector<std::uint64_t>{20}));
+  remove_successor(vn, id(999));  // absent: no-op
+  EXPECT_EQ(vn.successors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rofl::intra

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
 #include <vector>
 
 namespace rofl::sim {
@@ -61,6 +64,106 @@ TEST(Simulator, MaxEventsBoundsRun) {
   std::function<void()> loop = [&] { s.schedule_in(1.0, loop); };
   s.schedule_in(0.0, loop);
   EXPECT_EQ(s.run(100), 100u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator s;
+  std::vector<int> fired;
+  s.schedule_in(4.9, [&] { fired.push_back(1); });
+  s.schedule_in(5.0, [&] { fired.push_back(2); });  // exactly t_ms
+  s.schedule_in(5.0, [&] { fired.push_back(3); });  // tie at t_ms
+  s.schedule_in(5.1, [&] { fired.push_back(4); });
+  EXPECT_EQ(s.run_until(5.0), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now_ms(), 5.0);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilRunsZeroDelayChainsSpawnedAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  // An event at exactly t_ms reschedules itself with zero delay; run_until
+  // must keep draining those same-timestamp events, not strand them.
+  s.schedule_in(5.0, [&] {
+    ++fired;
+    s.schedule_in(0.0, [&] {
+      ++fired;
+      s.schedule_in(0.0, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(s.run_until(5.0), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(s.now_ms(), 5.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator s;
+  EXPECT_EQ(s.run_until(7.5), 0u);
+  EXPECT_DOUBLE_EQ(s.now_ms(), 7.5);
+  // A second, earlier deadline never moves the clock backwards.
+  EXPECT_EQ(s.run_until(2.0), 0u);
+  EXPECT_DOUBLE_EQ(s.now_ms(), 7.5);
+}
+
+TEST(Simulator, ManyEventsStayHeapOrderedAcrossMixedSchedules) {
+  // Exercises the 4-ary heap with interleaved push/pop and duplicate
+  // timestamps; execution must be globally (when, insertion-seq) ordered.
+  Simulator s;
+  std::vector<double> executed;
+  for (int i = 0; i < 200; ++i) {
+    const double when = static_cast<double>((i * 37) % 50);
+    s.schedule_in(when, [&executed, when] { executed.push_back(when); });
+  }
+  EXPECT_EQ(s.run(), 200u);
+  ASSERT_EQ(executed.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(executed.begin(), executed.end()));
+}
+
+TEST(Simulator, SmallCapturesStoreInline) {
+  // The event hot path is allocation-free for captures up to the SBO budget;
+  // larger closures take the boxed fallback but still execute correctly.
+  struct Big {
+    char pad[kActionBufferBytes + 16] = {};
+  };
+  int hits = 0;
+  std::array<char, 40> small_payload{};
+  Simulator::Action small_action([&hits, small_payload] {
+    ++hits;
+    (void)small_payload;
+  });
+  EXPECT_TRUE(small_action.is_inline());
+  Big big_payload;
+  Simulator::Action big_action([&hits, big_payload] {
+    ++hits;
+    (void)big_payload;
+  });
+  EXPECT_FALSE(big_action.is_inline());
+  small_action();
+  big_action();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Counters, AllSixCategoriesAccumulateIndependently) {
+  Simulator s;
+  const std::array<MsgCategory, kMsgCategoryCount> cats{
+      MsgCategory::kJoin,      MsgCategory::kTeardown, MsgCategory::kRepair,
+      MsgCategory::kLinkState, MsgCategory::kData,     MsgCategory::kControl};
+  // Charge category i with i+1 messages from inside events.
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    s.schedule_in(static_cast<double>(i), [&s, &cats, i] {
+      s.counters().add(cats[i], i + 1);
+    });
+  }
+  s.run();
+  std::uint64_t expect_total = 0;
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    EXPECT_EQ(s.counters().get(cats[i]), i + 1) << to_string(cats[i]);
+    expect_total += i + 1;
+  }
+  EXPECT_EQ(s.counters().total(), expect_total);
+  s.counters().reset();
+  for (const MsgCategory c : cats) EXPECT_EQ(s.counters().get(c), 0u);
 }
 
 TEST(Counters, PerCategoryAccounting) {
