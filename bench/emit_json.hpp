@@ -12,8 +12,14 @@
 //     "benchmarks": {
 //       "BM_VnBestMatch": {"ns_per_op": 41.2, "iterations": 16384000},
 //       ...
-//     }
+//     },
+//     "metrics": { ... }   // optional obs::Registry snapshot (see below)
 //   }
+//
+// A bench binary may pass run_with_json a snapshot callback; whatever JSON
+// object it returns (typically obs::Registry::to_json) is embedded under
+// "metrics", so every BENCH_*.json carries the protocol counters of the run
+// that produced it alongside the timings.
 //
 // Aggregate rows (mean/median/stddev from --benchmark_repetitions) and
 // errored runs are skipped so the trajectory comparison always sees one
@@ -24,6 +30,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -48,9 +55,12 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  /// Writes the accumulated results.  Returns the path written, or an empty
-  /// string when emission was suppressed or the file could not be opened.
-  std::string write_json(const std::string& default_path) const {
+  /// Writes the accumulated results.  `metrics_json`, when non-empty, must
+  /// be a JSON object and is embedded verbatim under "metrics".  Returns the
+  /// path written, or an empty string when emission was suppressed or the
+  /// file could not be opened.
+  std::string write_json(const std::string& default_path,
+                         const std::string& metrics_json = {}) const {
     std::string path = default_path;
     if (const char* env = std::getenv("ROFL_BENCH_JSON")) path = env;
     if (path.empty()) return {};
@@ -66,7 +76,9 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
           << ", \"iterations\": " << results_[i].second.iterations << "}";
       out << (i + 1 < results_.size() ? ",\n" : "\n");
     }
-    out << "  }\n}\n";
+    out << "  }";
+    if (!metrics_json.empty()) out << ",\n  \"metrics\": " << metrics_json;
+    out << "\n}\n";
     return path;
   }
 
@@ -105,14 +117,18 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
 
 /// The custom main body shared by bench binaries that emit trajectories:
 /// run everything through a JsonTrajectoryReporter and drop the JSON file.
-inline int run_with_json(int argc, char** argv,
-                         const std::string& default_path) {
+/// `metrics_snapshot`, when set, runs after the benchmarks and its JSON
+/// object lands under "metrics" (e.g. the fixture registry's to_json).
+inline int run_with_json(int argc, char** argv, const std::string& default_path,
+                         const std::function<std::string()>& metrics_snapshot =
+                             {}) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTrajectoryReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  const std::string written = reporter.write_json(default_path);
+  const std::string written = reporter.write_json(
+      default_path, metrics_snapshot ? metrics_snapshot() : std::string{});
   if (!written.empty()) {
     std::cout << "JSON trajectory written to " << written << "\n";
   }

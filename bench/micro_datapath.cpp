@@ -434,9 +434,25 @@ void BM_AllRoutersSpf(benchmark::State& state) {
 }
 BENCHMARK(BM_AllRoutersSpf)->Arg(0)->Arg(2)->Arg(4);
 
+// Snapshot of the warm fixture's metrics registry for the JSON emitter.
+// The pointer-cache totals (hit/miss/eviction over every router) are folded
+// in as registry counters first, so BENCH_datapath.json records cache
+// effectiveness for the workload that produced the timings.
+std::string warm_metrics_snapshot() {
+  WarmNetwork& w = warm();
+  const intra::Network::CacheTotals totals = w.net->cache_totals();
+  obs::Registry& m = w.net->simulator().metrics();
+  m.set_counter(m.counter("rofl.cache.hits"), totals.hits);
+  m.set_counter(m.counter("rofl.cache.misses"), totals.misses);
+  m.set_counter(m.counter("rofl.cache.evictions"), totals.evictions);
+  m.set_counter(m.counter("rofl.cache.entries"), totals.entries);
+  return m.to_json(2);
+}
+
 }  // namespace
 }  // namespace rofl
 
 int main(int argc, char** argv) {
-  return rofl::bench::run_with_json(argc, argv, "BENCH_datapath.json");
+  return rofl::bench::run_with_json(argc, argv, "BENCH_datapath.json",
+                                    rofl::warm_metrics_snapshot);
 }

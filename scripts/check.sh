@@ -21,6 +21,12 @@ ctest --test-dir build-asan --output-on-failure -j
 # exercises the JSON trajectory plumbing end to end.
 python3 scripts/bench_trajectory.py run --min-time 0.05
 
+# Observability smoke: a small sim with the trace sink + flight recorder on
+# must emit a timeline that chrome://tracing / Perfetto would accept.
+build/tools/roflsim intra --hosts 200 --routes 100 --seed 7 \
+  --trace build/trace_smoke.json --traceroute --metrics > /dev/null
+python3 scripts/validate_trace.py build/trace_smoke.json --min-events 50
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then

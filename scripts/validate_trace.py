@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file emitted by rofl::obs::Tracer.
+
+Usage: validate_trace.py trace.json [--min-events N]
+
+Checks (exit 1 with a message on the first failure):
+  * the file is well-formed JSON with a non-empty "traceEvents" list
+  * every event has the required keys for its phase
+    ("name", "cat", "ph", "ts", "pid", "tid"; complete events also "dur";
+    instant events also "s")
+  * phases are ones the exporter emits ('X', 'i', 'M')
+  * timestamps are finite, non-negative, and non-decreasing in file order
+    across non-metadata events (the exporter clamps, so a violation means
+    the clamp regressed)
+  * durations are finite and non-negative
+
+This is the per-PR smoke gate scripts/check.sh runs against a small
+simulation; it is intentionally strict about the invariants Perfetto and
+chrome://tracing rely on and silent about everything else.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to trace.json")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="require at least this many non-metadata events")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail('"traceEvents" missing, not a list, or empty')
+
+    last_ts = -math.inf
+    real_events = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail(f"event {i} ({ev.get('name', '?')!r}) missing {key!r}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"event {i} has unknown phase {ph!r}")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            fail(f"event {i} has bad ts {ts!r}")
+        if ph == "M":
+            continue
+        real_events += 1
+        if ts < last_ts:
+            fail(f"event {i} ts {ts} < previous {last_ts} (non-monotonic)")
+        last_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if (not isinstance(dur, (int, float)) or not math.isfinite(dur)
+                    or dur < 0):
+                fail(f"complete event {i} has bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            fail(f"instant event {i} has bad scope {ev.get('s')!r}")
+
+    if real_events < args.min_events:
+        fail(f"only {real_events} non-metadata events "
+             f"(need >= {args.min_events})")
+
+    print(f"validate_trace: OK: {args.trace}: {real_events} events, "
+          f"{len(events) - real_events} metadata records, "
+          f"ts spans [0, {last_ts}] us")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,11 @@ InterNetwork::InterNetwork(const graph::AsTopology* base, InterConfig cfg,
     work_ = base_copy_;
   }
   nodes_.resize(work_.as_count());
+  routes_id_ = sim_.metrics().counter("inter.routes");
+  delivered_id_ = sim_.metrics().counter("inter.routes.delivered");
+  peer_crossings_id_ = sim_.metrics().counter("inter.peer_crossings");
+  backtracks_id_ = sim_.metrics().counter("inter.backtracks");
+  probes_id_ = sim_.metrics().counter("inter.escalation_probes");
   // Subtree bloom filters: required for the bloom peering rule and for
   // guarding pointer caches; build them whenever either feature is on.
   if (cfg_.peering_mode == PeeringMode::kBloom ||
@@ -485,6 +490,12 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
 
   sim_.counters().add(sim::MsgCategory::kJoin, stats.messages);
   stats.ok = true;
+  if (obs::Tracer* t = sim_.tracer()) {
+    t->instant("inter.join", "interdomain", sim_.now_ms() * 1000.0,
+               /*track=*/3,
+               {obs::TraceArg{"home", std::uint64_t{home}},
+                obs::TraceArg{"messages", stats.messages}});
+  }
   return stats;
 }
 
@@ -662,17 +673,37 @@ void InterNetwork::cache_insert(AsIndex as, const NodeId& id, AsIndex home) {
   node.cache_fifo.push_back(id);
 }
 
+void InterNetwork::record_hop(std::uint64_t trace_id, obs::HopKind kind,
+                              AsIndex as, const NodeId& chased) {
+  if (recorder_ == nullptr) return;
+  recorder_->record(obs::HopRecord{
+      .trace_id = trace_id,
+      .t_ms = sim_.now_ms(),
+      .domain = obs::HopDomain::kInter,
+      .node = as,
+      .category = static_cast<std::uint8_t>(sim::MsgCategory::kData),
+      .kind = kind,
+      .chased = chased});
+}
+
 InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
-                                    std::vector<AsIndex>* traversed) {
+                                    std::vector<AsIndex>* traversed,
+                                    std::uint64_t trace_id) {
   std::vector<AsIndex> local_trace;
   std::vector<AsIndex>* trace = traversed != nullptr ? traversed : &local_trace;
   trace->push_back(src_as);
   InterRouteStats stats;
+  sim_.metrics().add(routes_id_);
+  if (recorder_ != nullptr) {
+    stats.trace_id = trace_id != 0 ? trace_id : recorder_->new_trace();
+  }
+  record_hop(stats.trace_id, obs::HopKind::kStart, src_as, dest);
 
   std::vector<AsIndex> crossed_peers;
   if (work_.as_up(src_as)) {
     if (nodes_[src_as].hosted.contains(dest)) {
       stats.delivered = true;
+      record_hop(stats.trace_id, obs::HopKind::kDeliver, src_as, dest);
     } else {
       // Canon-style level escalation: walk the source's up-hierarchy in BFS
       // (level) order and commit to the first ancestor whose ring registers
@@ -689,8 +720,9 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
         ++probes;
         if (nodes_[a].ring.contains(dest) ||
             (a == src_as && nodes_[a].hosted.contains(dest))) {
+          record_hop(stats.trace_id, obs::HopKind::kLevelEscalate, a, dest);
           const InterRouteStats sub =
-              route_constrained(src_as, dest, a, trace);
+              route_constrained(src_as, dest, a, trace, stats.trace_id);
           stats.as_hops += sub.as_hops;
           stats.segments += sub.segments;
           if (sub.delivered) {
@@ -719,7 +751,10 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
           }
           trace->push_back(peer);
           crossed_peers.push_back(peer);
-          const InterRouteStats sub = route_constrained(peer, dest, peer, trace);
+          sim_.metrics().add(peer_crossings_id_);
+          record_hop(stats.trace_id, obs::HopKind::kPeeringCross, peer, dest);
+          const InterRouteStats sub =
+              route_constrained(peer, dest, peer, trace, stats.trace_id);
           stats.as_hops += sub.as_hops;
           stats.segments += sub.segments;
           if (sub.delivered) {
@@ -731,11 +766,18 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
           // escalation continues (both directions charged).
           stats.as_hops += sub.as_hops + climb_hops;
           ++stats.backtracks;
+          sim_.metrics().add(backtracks_id_);
         }
         if (delivered_via_peer) break;
       }
       sim_.counters().add(sim::MsgCategory::kControl, probes);
+      sim_.metrics().add(probes_id_, probes);
     }
+  }
+  if (stats.delivered) {
+    sim_.metrics().add(delivered_id_);
+  } else {
+    record_hop(stats.trace_id, obs::HopKind::kDrop, src_as, dest);
   }
 
   // Stretch baseline: shortest valley-free BGP path on the raw topology.
@@ -812,9 +854,11 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
 
 InterRouteStats InterNetwork::route_constrained(
     AsIndex src_as, const NodeId& dest, std::optional<AsIndex> within,
-    std::vector<AsIndex>* traversed, std::uint32_t depth) {
+    std::vector<AsIndex>* traversed, std::uint64_t trace_id,
+    std::uint32_t depth) {
   (void)depth;
   InterRouteStats stats;
+  stats.trace_id = trace_id;
   if (!work_.as_up(src_as)) return stats;
   AsIndex cur = src_as;
   NodeId committed = max_distance();
@@ -823,6 +867,7 @@ InterRouteStats InterNetwork::route_constrained(
   for (std::uint32_t seg = 0; seg < cfg_.max_segments; ++seg) {
     if (nodes_[cur].hosted.contains(dest)) {
       stats.delivered = true;
+      record_hop(trace_id, obs::HopKind::kDeliver, cur, dest);
       return stats;
     }
     const auto cand = best_candidate(cur, dest, within);
@@ -843,6 +888,7 @@ InterRouteStats InterNetwork::route_constrained(
           const auto [zid, zhome] = *ring.begin();
           auto boot = route_to_target(cur, *within, zid, zhome);
           if (boot.has_value() && route_live(work_, *boot)) {
+            record_hop(trace_id, obs::HopKind::kBootstrap, cur, zid);
             stats.as_hops += route_hops(*boot);
             ++stats.segments;
             for (std::size_t i = 1; i < boot->size(); ++i) {
@@ -860,10 +906,12 @@ InterRouteStats InterNetwork::route_constrained(
     }
 
     committed = NodeId::distance_cw(cand->id, dest);
+    record_hop(trace_id, obs::HopKind::kRingPointer, cur, cand->id);
     stats.as_hops += route_hops(cand->route);
     ++stats.segments;
     for (std::size_t i = 1; i < cand->route.size(); ++i) {
       traversed->push_back(cand->route[i]);
+      record_hop(trace_id, obs::HopKind::kForward, cand->route[i], cand->id);
     }
     cur = cand->home;
   }
@@ -924,6 +972,13 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
       }
     }
     if (touched) reindex_as(home);
+  }
+  if (obs::Tracer* t = sim_.tracer()) {
+    t->instant("inter.reanchor", "interdomain", sim_.now_ms() * 1000.0,
+               /*track=*/3,
+               {obs::TraceArg{"messages", stats.messages},
+                obs::TraceArg{"pointers_torn",
+                              std::uint64_t{stats.pointers_torn}}});
   }
 }
 

@@ -38,6 +38,7 @@
 
 #include "interdomain/inter_types.hpp"
 #include "interdomain/policy.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
@@ -86,9 +87,24 @@ class InterNetwork {
   // -- data plane -----------------------------------------------------------
   /// Routes a packet from (any host in) `src_as` toward flat label `dest`.
   /// When `traversed` is non-null the AS-level path is appended to it (used
-  /// by the failure-impact experiment).
+  /// by the failure-impact experiment).  With a flight recorder installed,
+  /// every decision is recorded under `trace_id` (0 = allocate a fresh id;
+  /// pass RouteStats::trace_id from an intradomain leg to stitch the legs
+  /// into one flight).
   InterRouteStats route(AsIndex src_as, const NodeId& dest,
-                        std::vector<AsIndex>* traversed = nullptr);
+                        std::vector<AsIndex>* traversed = nullptr,
+                        std::uint64_t trace_id = 0);
+
+  // -- observability --------------------------------------------------------
+  /// Installs (or removes, with nullptr) the per-packet hop recorder.  The
+  /// recorder must outlive the network; sharing one instance with an
+  /// intradomain Network keeps trace ids globally unique across layers.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return recorder_;
+  }
 
   // -- failures (section 6.3, "Failures") -----------------------------------
   InterRepairStats fail_as(AsIndex as);
@@ -212,7 +228,12 @@ class InterNetwork {
   InterRouteStats route_constrained(AsIndex src_as, const NodeId& dest,
                                     std::optional<AsIndex> within,
                                     std::vector<AsIndex>* traversed,
+                                    std::uint64_t trace_id = 0,
                                     std::uint32_t depth = 0);
+
+  /// Appends one hop record (no-op without a recorder).
+  void record_hop(std::uint64_t trace_id, obs::HopKind kind, AsIndex as,
+                  const NodeId& chased);
 
   const graph::AsTopology* base_;
   graph::AsTopology base_copy_;  // failures are applied here and to work_
@@ -220,6 +241,13 @@ class InterNetwork {
   InterConfig cfg_;
   sim::Simulator sim_;
   Rng rng_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Interdomain datapath metric ids in sim_.metrics().
+  obs::MetricId routes_id_ = 0;
+  obs::MetricId delivered_id_ = 0;
+  obs::MetricId peer_crossings_id_ = 0;
+  obs::MetricId backtracks_id_ = 0;
+  obs::MetricId probes_id_ = 0;
   std::vector<AsNode> nodes_;
   std::map<NodeId, AsIndex> directory_;
   std::map<NodeId, Identity> identities_;

@@ -105,6 +105,10 @@ struct InterRouteStats {
   bool isolation_held = true;      // stayed within subtree(LCA(src,dst))
   std::uint32_t peer_links_used = 0;
   std::uint32_t backtracks = 0;    // bloom false-positive reversals
+  /// Flight-recorder id (0 when no recorder installed); when the caller
+  /// passes the id from an intradomain RouteStats the whole flight shares
+  /// one trace.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] double stretch() const {
     if (!delivered || bgp_hops == 0) return 0.0;

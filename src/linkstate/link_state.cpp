@@ -1,6 +1,7 @@
 #include "linkstate/link_state.hpp"
 
 #include <cassert>
+#include <chrono>
 
 namespace rofl::linkstate {
 
@@ -9,6 +10,18 @@ LinkStateMap::LinkStateMap(graph::Graph* g, sim::Simulator* sim)
       spf_threads_(util::ThreadPool::default_threads()) {
   assert(g != nullptr);
   spf_cache_.resize(g->node_count());
+  if (sim_ != nullptr) {
+    obs::Registry& m = sim_->metrics();
+    spf_runs_id_ = m.counter("linkstate.spf.runs");
+    spf_recompute_ms_id_ = m.histogram(
+        "linkstate.spf.recompute_ms",
+        obs::Histogram::exponential_bounds(0.01, 2.0, 16));
+    flood_fanout_id_ = m.histogram(
+        "linkstate.flood.fanout",
+        obs::Histogram::exponential_bounds(4.0, 2.0, 14));
+    floods_id_ = m.counter("linkstate.floods");
+    topo_events_id_ = m.counter("linkstate.topology_events");
+  }
 }
 
 void LinkStateMap::refresh_cache_epoch() const {
@@ -23,6 +36,7 @@ const graph::ShortestPaths& LinkStateMap::spf(NodeIndex src) const {
   refresh_cache_epoch();
   if (!spf_cache_[src].has_value()) {
     spf_cache_[src] = graph_->dijkstra(src);
+    if (sim_ != nullptr) sim_->metrics().add(spf_runs_id_);
   }
   return *spf_cache_[src];
 }
@@ -34,8 +48,31 @@ void LinkStateMap::set_spf_threads(std::size_t threads) {
 }
 
 void LinkStateMap::recompute_all_spf() const {
+  // SPF duration is real computation, not virtual time: the wall-clock cost
+  // lands in the "linkstate.spf.recompute_ms" histogram and, when a tracer
+  // is installed, as a span at the current virtual timestamp.
+  const auto wall_start = std::chrono::steady_clock::now();
   refresh_cache_epoch();
   const std::size_t n = graph_->node_count();
+  std::size_t stale = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!spf_cache_[i].has_value()) ++stale;
+  }
+  const auto finish = [&] {
+    if (sim_ == nullptr) return;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    sim_->metrics().add(spf_runs_id_, stale);
+    sim_->metrics().observe(spf_recompute_ms_id_, wall_ms);
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->complete("spf.recompute_all", "linkstate", sim_->now_ms() * 1000.0,
+                  wall_ms * 1000.0, /*track=*/1,
+                  {obs::TraceArg{"sources", std::uint64_t{stale}},
+                   obs::TraceArg{"wall_ms", wall_ms}});
+    }
+  };
   // Deterministic merge: worker i writes only slot i, so the filled cache
   // is independent of scheduling.  Tiny topologies skip the pool -- the
   // fan-out overhead would dominate the Dijkstra runs themselves.
@@ -45,6 +82,7 @@ void LinkStateMap::recompute_all_spf() const {
         spf_cache_[i] = graph_->dijkstra(static_cast<NodeIndex>(i));
       }
     }
+    finish();
     return;
   }
   if (pool_ == nullptr || pool_->thread_count() != spf_threads_) {
@@ -55,6 +93,7 @@ void LinkStateMap::recompute_all_spf() const {
       spf_cache_[i] = graph_->dijkstra(static_cast<NodeIndex>(i));
     }
   });
+  finish();
 }
 
 std::optional<NodeIndex> LinkStateMap::next_hop(NodeIndex u, NodeIndex v) const {
@@ -126,10 +165,23 @@ void LinkStateMap::account_flood(sim::MsgCategory category) {
     live_directed_edges += graph_->live_degree(u);
   }
   sim_->counters().add(category, live_directed_edges);
+  sim_->metrics().add(floods_id_);
+  sim_->metrics().observe(flood_fanout_id_,
+                          static_cast<double>(live_directed_edges));
 }
 
 void LinkStateMap::bump_version_and_notify(const TopologyEvent& ev) {
   ++version_;
+  if (sim_ != nullptr) {
+    sim_->metrics().add(topo_events_id_);
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->instant("topology.change", "linkstate", sim_->now_ms() * 1000.0,
+                 /*track=*/1,
+                 {obs::TraceArg{"version", version_},
+                  obs::TraceArg{"a", std::uint64_t{ev.a}},
+                  obs::TraceArg{"b", std::uint64_t{ev.b}}});
+    }
+  }
   account_flood();
   for (const auto& listener : listeners_) listener(ev);
 }

@@ -91,10 +91,11 @@ class LinkStateMap {
   /// Recomputes the SPF for every router whose cache slot is stale, fanning
   /// the per-source Dijkstra runs across the worker pool.  Determinism
   /// contract: worker `i` writes only cache slot `i`, each Dijkstra depends
-  /// only on the (shared, read-only) graph, and no counters or listeners
-  /// fire -- so routing tables, figure CSVs, and seeded runs are
-  /// byte-identical to the serial path regardless of thread count or OS
-  /// scheduling.  Called by the repair machinery after topology changes;
+  /// only on the (shared, read-only) graph, and no listeners fire -- so
+  /// routing tables, figure CSVs, and seeded runs are byte-identical to the
+  /// serial path regardless of thread count or OS scheduling.  (Metric
+  /// updates happen once, after the pool drains, from the calling thread;
+  /// only the wall-clock SPF-duration histogram is machine-dependent.)  Called by the repair machinery after topology changes;
   /// on-demand spf() queries then hit warm slots.
   void recompute_all_spf() const;
 
@@ -108,6 +109,14 @@ class LinkStateMap {
   sim::Simulator* sim_;
   std::uint64_t version_ = 1;
   std::vector<Listener> listeners_;
+
+  // Observability ids in the simulator's registry (unset when sim_ == null):
+  // SPF work, flood fan-out, and topology churn.
+  obs::MetricId spf_runs_id_ = 0;
+  obs::MetricId spf_recompute_ms_id_ = 0;
+  obs::MetricId flood_fanout_id_ = 0;
+  obs::MetricId floods_id_ = 0;
+  obs::MetricId topo_events_id_ = 0;
 
   std::size_t spf_threads_;
   mutable std::unique_ptr<util::ThreadPool> pool_;  // built on first use

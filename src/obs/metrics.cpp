@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rofl::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> b;
+  b.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double step,
+                                             std::size_t count) {
+  std::vector<double> b;
+  b.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push_back(start + step * static_cast<double>(i));
+  }
+  return b;
+}
+
+void Histogram::record(double v) {
+  // First bound >= v: upper-inclusive buckets.  lower_bound keeps a value
+  // sitting exactly on bound[i] inside bucket i, not i+1.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  ++counts_[idx];  // bounds_.size() == overflow
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::cdf_at(double x) const {
+  if (count_ == 0) return 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (bounds_[i] > x) break;
+    cum += counts_[i];
+  }
+  if (x >= max_) return 1.0;
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank, mirroring util::SampleSet::percentile: the sample at
+  // ceil(p * n) in sorted order (1-based), i.e. the smallest value whose
+  // cumulative count reaches the rank.
+  const auto rank = static_cast<std::uint64_t>(std::max<double>(
+      1.0, std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] < rank) {
+      cum += counts_[i];
+      continue;
+    }
+    // Rank falls in bucket i.  Interpolate linearly across the bucket's
+    // span, then clamp to the observed range so sparse edge buckets (and
+    // the unbounded overflow bucket) never report values outside the data.
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac = counts_[i] == 0
+                            ? 1.0
+                            : static_cast<double>(rank - cum) /
+                                  static_cast<double>(counts_[i]);
+    return std::clamp(lo + (hi - lo) * frac, min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+namespace {
+
+template <typename Cells>
+MetricId find_or_append(Cells& cells, std::string_view name) {
+  for (MetricId i = 0; i < cells.size(); ++i) {
+    if (cells[i].name == name) return i;
+  }
+  cells.push_back({std::string(name), {}});
+  return static_cast<MetricId>(cells.size() - 1);
+}
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+MetricId Registry::counter(std::string_view name) {
+  return find_or_append(counters_, name);
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return find_or_append(gauges_, name);
+}
+
+MetricId Registry::histogram(std::string_view name,
+                             std::vector<double> bounds) {
+  for (MetricId i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return i;
+  }
+  histograms_.push_back(HistCell{std::string(name), Histogram(std::move(bounds))});
+  return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+std::string Registry::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "{\n";
+  os << pad << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"";
+    json_escape_into(os, counters_[i].name);
+    os << "\": " << counters_[i].value;
+  }
+  os << (counters_.empty() ? "" : "\n" + pad + "  ") << "},\n";
+  os << pad << "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"";
+    json_escape_into(os, gauges_[i].name);
+    os << "\": " << gauges_[i].value;
+  }
+  os << (gauges_.empty() ? "" : "\n" + pad + "  ") << "},\n";
+  os << pad << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i].hist;
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"";
+    json_escape_into(os, histograms_[i].name);
+    os << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+       << ", \"p50\": " << h.percentile(0.5)
+       << ", \"p90\": " << h.percentile(0.9)
+       << ", \"p99\": " << h.percentile(0.99) << "}";
+  }
+  os << (histograms_.empty() ? "" : "\n" + pad + "  ") << "}\n";
+  os << pad << "}";
+  return os.str();
+}
+
+void Registry::print_table(std::ostream& os) const {
+  for (const CounterCell& c : counters_) {
+    os << c.name << " = " << c.value << "\n";
+  }
+  for (const GaugeCell& g : gauges_) {
+    os << g.name << " = " << g.value << "\n";
+  }
+  for (const HistCell& h : histograms_) {
+    os << h.name << ": n=" << h.hist.count() << " mean=" << h.hist.mean()
+       << " p50=" << h.hist.percentile(0.5)
+       << " p99=" << h.hist.percentile(0.99) << " max=" << h.hist.max()
+       << "\n";
+  }
+}
+
+void Registry::reset() {
+  for (CounterCell& c : counters_) c.value = 0;
+  for (GaugeCell& g : gauges_) g.value = 0.0;
+  for (HistCell& h : histograms_) h.hist.reset();
+}
+
+}  // namespace rofl::obs

@@ -1,0 +1,155 @@
+// metrics.hpp -- named counters, gauges, and fixed-bucket histograms.
+//
+// The paper's entire evaluation is observation: join overhead in packets,
+// stretch per route, convergence traffic after a partition (figures 5-8).
+// Instead of every bench re-deriving its own ad-hoc measurements, the
+// protocol layers record into one Registry and the harness exports it.
+//
+// Hot-path contract: callers register a metric once (string lookup) and keep
+// the returned MetricId; recording is then a single indexed add on a
+// contiguous vector -- no hashing, no locks, no allocation.  A Registry is
+// owned by one simulation (one thread), matching the rest of the codebase;
+// it is not internally synchronized.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rofl::obs {
+
+/// Index into one of the registry's per-kind tables.  Ids are dense, stable
+/// for the registry's lifetime, and identical across two registries that
+/// performed the same registrations in the same order (so seeded runs agree).
+using MetricId = std::uint32_t;
+
+/// Fixed-bucket histogram.  Bucket i counts samples v with
+/// bound[i-1] < v <= bound[i] (upper-inclusive); samples above the last
+/// bound land in the overflow bucket.  Upper-inclusive boundaries make the
+/// cumulative count through bucket i exactly |{v : v <= bound[i]}|, i.e. the
+/// histogram CDF agrees with util::SampleSet::cdf_at at every boundary.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// `count` buckets spanning [start, start * factor^(count-1)].
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start,
+                                                              double factor,
+                                                              std::size_t count);
+  [[nodiscard]] static std::vector<double> linear_bounds(double start,
+                                                         double step,
+                                                         std::size_t count);
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Upper bound of bucket i; the overflow bucket has no finite bound.
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Fraction of samples <= x (x at or above the last bound counts all).
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// p in [0,1]; nearest-rank over buckets, linearly interpolated inside the
+  /// bucket holding the rank.  Clamped to the observed [min, max], so a rank
+  /// landing in the overflow bucket reports the true maximum rather than a
+  /// fictitious bound.
+  [[nodiscard]] double percentile(double p) const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;     // ascending upper bounds
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The registry: three per-kind tables addressed by MetricId.  Registration
+/// is get-or-create by name; recording is by id.
+class Registry {
+ public:
+  // -- registration (cold; one string scan) ---------------------------------
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  /// Re-registering an existing histogram name returns the existing id; the
+  /// bounds of the first registration win.
+  MetricId histogram(std::string_view name, std::vector<double> bounds);
+
+  // -- recording (hot; one indexed op) --------------------------------------
+  void add(MetricId id, std::uint64_t n = 1) { counters_[id].value += n; }
+  void set_counter(MetricId id, std::uint64_t v) { counters_[id].value = v; }
+  void set(MetricId id, double v) { gauges_[id].value = v; }
+  void observe(MetricId id, double v) { histograms_[id].hist.record(v); }
+
+  // -- reads ----------------------------------------------------------------
+  [[nodiscard]] std::uint64_t counter_value(MetricId id) const {
+    return counters_[id].value;
+  }
+  [[nodiscard]] double gauge_value(MetricId id) const {
+    return gauges_[id].value;
+  }
+  [[nodiscard]] const Histogram& histogram_at(MetricId id) const {
+    return histograms_[id].hist;
+  }
+
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
+  [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }
+  [[nodiscard]] std::size_t histogram_count() const {
+    return histograms_.size();
+  }
+  [[nodiscard]] const std::string& counter_name(MetricId id) const {
+    return counters_[id].name;
+  }
+  [[nodiscard]] const std::string& gauge_name(MetricId id) const {
+    return gauges_[id].name;
+  }
+  [[nodiscard]] const std::string& histogram_name(MetricId id) const {
+    return histograms_[id].name;
+  }
+
+  // -- export ---------------------------------------------------------------
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, p50, p90, p99}}}.
+  /// `indent` spaces prefix every emitted line (for embedding).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Human-readable table of every metric.
+  void print_table(std::ostream& os) const;
+
+  /// Zeroes every counter, gauge, and histogram; names and ids survive.
+  void reset();
+
+ private:
+  struct CounterCell {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeCell {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistCell {
+    std::string name;
+    Histogram hist;
+  };
+
+  std::vector<CounterCell> counters_;
+  std::vector<GaugeCell> gauges_;
+  std::vector<HistCell> histograms_;
+};
+
+}  // namespace rofl::obs

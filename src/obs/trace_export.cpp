@@ -1,0 +1,99 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace rofl::obs {
+
+namespace {
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void Tracer::push(Event ev) {
+  // The trace-event format wants non-decreasing timestamps; the protocol
+  // layers legitimately emit many events at one instant of virtual time
+  // (analytic phases), so clamp rather than assert.
+  if (ev.ph != 'M') {
+    ev.ts_us = std::max(ev.ts_us, last_ts_us_);
+    last_ts_us_ = ev.ts_us;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete(std::string_view name, std::string_view cat,
+                      double ts_us, double dur_us, std::uint32_t track,
+                      std::vector<TraceArg> args) {
+  push(Event{std::string(name), std::string(cat), 'X', ts_us,
+             std::max(dur_us, 0.0), track, std::move(args)});
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat, double ts_us,
+                     std::uint32_t track, std::vector<TraceArg> args) {
+  push(Event{std::string(name), std::string(cat), 'i', ts_us, 0.0, track,
+             std::move(args)});
+}
+
+void Tracer::name_track(std::uint32_t track, std::string_view name) {
+  push(Event{"thread_name", "__metadata", 'M', 0.0, 0.0, track,
+             {TraceArg{"name", std::string(name)}}});
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "  {\"name\": \"";
+    json_escape_into(os, e.name);
+    os << "\", \"cat\": \"";
+    json_escape_into(os, e.cat);
+    os << "\", \"ph\": \"" << e.ph << "\", \"ts\": " << e.ts_us;
+    if (e.ph == 'X') os << ", \"dur\": " << e.dur_us;
+    if (e.ph == 'i') os << ", \"s\": \"t\"";
+    os << ", \"pid\": 1, \"tid\": " << e.track;
+    if (!e.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << "\"";
+        json_escape_into(os, e.args[a].name);
+        os << "\": ";
+        if (const auto* d = std::get_if<double>(&e.args[a].value)) {
+          os << *d;
+        } else if (const auto* u = std::get_if<std::uint64_t>(&e.args[a].value)) {
+          os << *u;
+        } else {
+          os << "\"";
+          json_escape_into(os, std::get<std::string>(e.args[a].value));
+          os << "\"";
+        }
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < events_.size() ? ",\n" : "\n");
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return out.good();
+}
+
+void Tracer::clear() {
+  events_.clear();
+  last_ts_us_ = 0.0;
+}
+
+}  // namespace rofl::obs

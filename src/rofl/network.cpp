@@ -16,6 +16,11 @@ Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
       const_cast<graph::Graph*>(&topo_->graph), &sim_);
   if (cfg_.spf_threads.has_value()) map_->set_spf_threads(*cfg_.spf_threads);
 
+  joins_id_ = sim_.metrics().counter("rofl.joins");
+  routes_id_ = sim_.metrics().counter("rofl.routes");
+  delivered_id_ = sim_.metrics().counter("rofl.routes.delivered");
+  stale_ptrs_id_ = sim_.metrics().counter("rofl.stale_pointers");
+
   routers_.reserve(topo_->router_count());
   for (NodeIndex i = 0; i < topo_->router_count(); ++i) {
     routers_.push_back(
@@ -368,6 +373,13 @@ JoinStats Network::join_id(const NodeId& id, const PublicKey& pub,
   directory_[id] = gateway;
   host_class_[id] = host_class;
   stats.ok = true;
+  sim_.metrics().add(joins_id_);
+  if (obs::Tracer* t = sim_.tracer()) {
+    t->complete("join", "rofl", sim_.now_ms() * 1000.0,
+                stats.latency_ms * 1000.0, /*track=*/2,
+                {obs::TraceArg{"gateway", std::uint64_t{gateway}},
+                 obs::TraceArg{"messages", stats.messages}});
+  }
   return stats;
 }
 
@@ -686,6 +698,13 @@ RepairStats Network::repair_partitions() {
       }
     }
   }
+  if (obs::Tracer* t = sim_.tracer()) {
+    t->instant("repair", "rofl", sim_.now_ms() * 1000.0, /*track=*/2,
+               {obs::TraceArg{"messages", stats.messages},
+                obs::TraceArg{"ids_rejoined", std::uint64_t{stats.ids_rejoined}},
+                obs::TraceArg{"pointers_torn",
+                              std::uint64_t{stats.pointers_torn}}});
+  }
   return stats;
 }
 
@@ -771,11 +790,30 @@ RepairStats Network::restore_link(NodeIndex u, NodeIndex v) {
   return repair_partitions();
 }
 
-RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
+RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
+                          std::uint64_t trace_id) {
   RouteStats stats;
   if (src_router >= routers_.size() || !topo_->graph.node_up(src_router)) {
     return stats;
   }
+  sim_.metrics().add(routes_id_);
+  // Hot path stays one null check when no recorder is installed; with one,
+  // every forwarding decision becomes a ring write keyed by the trace id.
+  if (recorder_ != nullptr) {
+    stats.trace_id = trace_id != 0 ? trace_id : recorder_->new_trace();
+  }
+  const auto rec = [&](obs::HopKind kind, NodeIndex node, const NodeId& chased) {
+    if (recorder_ == nullptr) return;
+    recorder_->record(obs::HopRecord{
+        .trace_id = stats.trace_id,
+        .t_ms = sim_.now_ms() + stats.latency_ms,
+        .domain = obs::HopDomain::kIntra,
+        .node = node,
+        .category = static_cast<std::uint8_t>(sim::MsgCategory::kData),
+        .kind = kind,
+        .chased = chased});
+  };
+  rec(obs::HopKind::kStart, src_router, dest);
   // Oracle: the IGP distance to the destination's hosting router, for the
   // stretch metric.  Not consulted by forwarding.
   if (const auto host = hosting_router(dest)) {
@@ -797,6 +835,8 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
     // Delivery checks: resident vnode, or ephemeral backpointer here.
     if (r.hosts(dest)) {
       stats.delivered = true;
+      sim_.metrics().add(delivered_id_);
+      rec(obs::HopKind::kDeliver, cur, dest);
       // Optional data-plane snooping: traversed routers cache the
       // destination now that its location is confirmed.
       if (cfg_.cache_data_paths) {
@@ -805,6 +845,7 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
       return stats;
     }
     if (const auto egw = r.ephemeral_gateway(dest)) {
+      rec(obs::HopKind::kEphemeralGateway, cur, dest);
       const auto path = map_->path(cur, *egw);
       if (!path.empty()) {
         for (std::size_t i = 1; i < path.size(); ++i) {
@@ -815,8 +856,11 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
         stats.latency_ms += map_->latency_ms(cur, *egw).value_or(0.0);
         sim_.counters().add(sim::MsgCategory::kData, hops);
         stats.delivered = true;
+        sim_.metrics().add(delivered_id_);
+        rec(obs::HopKind::kDeliver, *egw, dest);
         return stats;
       }
+      rec(obs::HopKind::kDrop, cur, dest);
       return stats;
     }
 
@@ -846,10 +890,16 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
         committed_dist = d;
         ++stats.ring_hops;
         switched = true;
+        rec(from_cache ? obs::HopKind::kCachePointer
+                       : obs::HopKind::kRingPointer,
+            cur, c.id);
         break;
       }
     }
-    if (!chasing.has_value()) return stats;  // no way to make progress
+    if (!chasing.has_value()) {
+      rec(obs::HopKind::kDrop, cur, dest);
+      return stats;  // no way to make progress
+    }
     if (!switched && cur == chasing->host) {
       if (r.hosts(chasing->id)) {
         // The chased ID is alive here and offers no further progress: the
@@ -862,6 +912,8 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
       // path -- at the router whose cache supplied it (invariant (b) of
       // section 3.2).  Forwarding restarts from ring state; each reset
       // removes stale entries, so this terminates.
+      sim_.metrics().add(stale_ptrs_id_);
+      rec(obs::HopKind::kStalePointer, cur, chasing->id);
       r.cache().erase(chasing->id);
       dead_this_walk.insert(chasing->id);
       if (chasing_origin != graph::kInvalidNode && chasing_origin != cur) {
@@ -896,8 +948,22 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest) {
     routers_[cur]->count_traversal();
     ++stats.physical_hops;
     sim_.counters().add(sim::MsgCategory::kData, 1);
+    rec(obs::HopKind::kForward, cur, chasing->id);
   }
+  rec(obs::HopKind::kDrop, cur, dest);
   return stats;
+}
+
+Network::CacheTotals Network::cache_totals() const {
+  CacheTotals t;
+  for (const auto& r : routers_) {
+    const PointerCache& c = r->cache();
+    t.hits += c.hits();
+    t.misses += c.misses();
+    t.evictions += c.evictions();
+    t.entries += c.size();
+  }
+  return t;
 }
 
 std::optional<NodeIndex> Network::hosting_router(const NodeId& id) const {

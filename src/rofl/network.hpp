@@ -41,6 +41,7 @@
 
 #include "graph/isp_topology.hpp"
 #include "linkstate/link_state.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rofl/router.hpp"
 #include "rofl/types.hpp"
 #include "rofl/zero_id.hpp"
@@ -147,7 +148,32 @@ class Network {
 
   // -- data plane -----------------------------------------------------------
   /// Algorithm 2 forwarding from `src_router` toward flat label `dest`.
-  RouteStats route(NodeIndex src_router, const NodeId& dest);
+  /// With a flight recorder installed, every forwarding decision is recorded
+  /// under `trace_id` (0 = allocate a fresh id); the id used lands in
+  /// RouteStats::trace_id.
+  RouteStats route(NodeIndex src_router, const NodeId& dest,
+                   std::uint64_t trace_id = 0);
+
+  // -- observability --------------------------------------------------------
+  /// Installs (or removes, with nullptr) the per-packet hop recorder.  The
+  /// recorder must outlive the network; it may be shared with other engines
+  /// so trace ids stay globally unique.  Forwarding cost when absent is one
+  /// null check per decision.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return recorder_;
+  }
+
+  /// Pointer-cache effectiveness summed over live routers.
+  struct CacheTotals {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+  [[nodiscard]] CacheTotals cache_totals() const;
 
   // -- oracle & verification (test/bench support; not used by the protocol) -
   /// Live host/router IDs -> hosting router.
@@ -232,6 +258,12 @@ class Network {
   const graph::IspTopology* topo_;
   Config cfg_;
   sim::Simulator sim_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Protocol-level metric ids in sim_.metrics().
+  obs::MetricId joins_id_ = 0;
+  obs::MetricId routes_id_ = 0;
+  obs::MetricId delivered_id_ = 0;
+  obs::MetricId stale_ptrs_id_ = 0;
   std::unique_ptr<linkstate::LinkStateMap> map_;
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;

@@ -120,6 +120,7 @@ void PointerCache::evict_lru() {
   const std::uint32_t victim = lru_tail_;
   const std::size_t pos = index_find(slots_[victim].entry.id);
   erase_at(pos);
+  ++evictions_;
 }
 
 void PointerCache::invalidate_through_router(NodeIndex router) {

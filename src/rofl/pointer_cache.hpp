@@ -70,6 +70,9 @@ class PointerCache {
   // -- cache-effectiveness accounting (benches) -----------------------------
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Capacity-pressure evictions only (LRU victims); entries dropped by
+  /// erase/invalidate/clear are not counted.
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
   /// Structural self-check for tests: the sorted index, the slab, and the
   /// LRU list must describe the same entry set, the index must be sorted,
@@ -108,6 +111,7 @@ class PointerCache {
   std::uint32_t lru_tail_ = kNil;       // eviction candidate
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rofl::intra

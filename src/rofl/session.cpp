@@ -3,7 +3,11 @@
 namespace rofl::intra {
 
 SessionManager::SessionManager(Network& net, SessionConfig cfg)
-    : net_(&net), cfg_(cfg) {}
+    : net_(&net), cfg_(cfg) {
+  obs::Registry& m = net_->simulator().metrics();
+  keepalives_id_ = m.counter("session.keepalives");
+  timeouts_id_ = m.counter("session.timeouts");
+}
 
 void SessionManager::track(const NodeId& id, std::function<bool()> alive) {
   auto [it, inserted] =
@@ -33,6 +37,7 @@ void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
     net_->simulator().counters().add(sim::MsgCategory::kControl,
                                      ka.fragments());
     ++keepalives_;
+    net_->simulator().metrics().add(keepalives_id_);
     s.missed = 0;
     schedule_tick(id, epoch);
     return;
@@ -41,6 +46,7 @@ void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
     // Session timeout: the gateway runs the section-3.2 host-failure
     // machinery (teardowns + directed flood).
     ++timeouts_;
+    net_->simulator().metrics().add(timeouts_id_);
     sessions_.erase(it);
     (void)net_->fail_host(id);
     return;

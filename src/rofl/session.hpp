@@ -61,6 +61,9 @@ class SessionManager {
   std::map<NodeId, Session> sessions_;
   std::uint64_t timeouts_ = 0;
   std::uint64_t keepalives_ = 0;
+  // Mirrors of the counts above in the simulator's metrics registry.
+  obs::MetricId keepalives_id_ = 0;
+  obs::MetricId timeouts_id_ = 0;
 };
 
 }  // namespace rofl::intra

@@ -99,6 +99,10 @@ struct RouteStats {
   std::uint32_t ring_hops = 0;      // pointer switches en route
   double latency_ms = 0.0;
   std::uint32_t shortest_hops = 0;  // IGP shortest path for the same pair
+  /// Flight-recorder id of this packet (0 when no recorder was installed);
+  /// pass it to FlightRecorder::format_trace, or to InterNetwork::route to
+  /// stitch an intradomain leg onto an interdomain flight.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] double stretch() const {
     if (!delivered || shortest_hops == 0) return 0.0;

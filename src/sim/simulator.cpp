@@ -1,7 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <numeric>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
 
 namespace rofl::sim {
 
@@ -17,8 +19,30 @@ std::string_view to_string(MsgCategory c) {
   return "?";
 }
 
+// HopRecord carries MsgCategory as a raw byte; obs::category_name must keep
+// printing the same names in the same order.
+static_assert(kMsgCategoryCount == 6);
+static_assert(obs::category_name(static_cast<std::uint8_t>(
+                  MsgCategory::kJoin)) == "join");
+static_assert(obs::category_name(static_cast<std::uint8_t>(
+                  MsgCategory::kControl)) == "control");
+
+Counters::Counters(obs::Registry* registry) : registry_(registry) {
+  assert(registry != nullptr);
+  for (std::size_t c = 0; c < kMsgCategoryCount; ++c) {
+    ids_[c] = registry_->counter(
+        "msgs." + std::string(to_string(static_cast<MsgCategory>(c))));
+  }
+}
+
 std::uint64_t Counters::total() const {
-  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  std::uint64_t sum = 0;
+  for (const obs::MetricId id : ids_) sum += registry_->counter_value(id);
+  return sum;
+}
+
+void Counters::reset() {
+  for (const obs::MetricId id : ids_) registry_->set_counter(id, 0);
 }
 
 void Simulator::schedule_in(double delay_ms, Action action) {
@@ -48,6 +72,11 @@ bool Simulator::step() {
   // may schedule further events (growing or reusing the slab).
   Action action = std::move(slab_[item.slot]);
   free_slots_.push_back(item.slot);
+  metrics_.add(events_id_);
+  if (tracer_ != nullptr) {
+    tracer_->instant("dispatch", "sim", now_ms_ * 1000.0, /*track=*/0,
+                     {obs::TraceArg{"seq", item.seq}});
+  }
   action();
   return true;
 }

@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/event_queue.hpp"
 #include "util/inline_function.hpp"
 
@@ -41,19 +43,28 @@ inline constexpr std::size_t kMsgCategoryCount = 6;
 /// Per-category message counters.  A "message" here is one network-level
 /// transmission (one hop), matching how the paper counts join overhead in
 /// packets.
+///
+/// Since the observability refactor this is a thin client of the
+/// obs::Registry owned by the enclosing Simulator: each category is a named
+/// registry counter ("msgs.join", ...), so metric exports and the legacy
+/// add/get/total/reset API read the same cells.  add() stays one indexed
+/// increment -- the ids are registered once at construction.
 class Counters {
  public:
+  explicit Counters(obs::Registry* registry);
+
   void add(MsgCategory c, std::uint64_t n = 1) {
-    counts_[static_cast<std::size_t>(c)] += n;
+    registry_->add(ids_[static_cast<std::size_t>(c)], n);
   }
   [[nodiscard]] std::uint64_t get(MsgCategory c) const {
-    return counts_[static_cast<std::size_t>(c)];
+    return registry_->counter_value(ids_[static_cast<std::size_t>(c)]);
   }
   [[nodiscard]] std::uint64_t total() const;
-  void reset() { counts_.fill(0); }
+  void reset();
 
  private:
-  std::array<std::uint64_t, kMsgCategoryCount> counts_{};
+  obs::Registry* registry_;
+  std::array<obs::MetricId, kMsgCategoryCount> ids_{};
 };
 
 /// Captures up to this size are stored inline in the event slab; larger
@@ -63,6 +74,14 @@ inline constexpr std::size_t kActionBufferBytes = 48;
 class Simulator {
  public:
   using Action = util::InlineFunction<void(), kActionBufferBytes>;
+
+  Simulator() = default;
+  // Counters (and any layer-held MetricId user) points into this simulator's
+  // registry, so the simulator must stay put for its lifetime.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&&) = delete;
+  Simulator& operator=(Simulator&&) = delete;
 
   [[nodiscard]] double now_ms() const { return now_ms_; }
 
@@ -86,6 +105,23 @@ class Simulator {
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
 
+  /// The simulation-wide metrics registry.  The Counters above are backed by
+  /// it; protocol layers register their own counters/gauges/histograms here.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Installs (or removes, with nullptr) a timeline sink.  The tracer is not
+  /// owned and must outlive its installation.  With no sink installed every
+  /// instrumentation site reduces to one null-pointer check.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Events dispatched over this simulator's lifetime (the "sim.events"
+  /// registry counter).
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return metrics_.counter_value(events_id_);
+  }
+
  private:
   struct HeapItem {
     double when;
@@ -98,7 +134,10 @@ class Simulator {
   EventQueue<HeapItem> queue_;
   std::vector<Action> slab_;              // callables; slots are recycled
   std::vector<std::uint32_t> free_slots_;
-  Counters counters_;
+  obs::Registry metrics_;                  // must precede counters_
+  obs::MetricId events_id_ = metrics_.counter("sim.events");
+  Counters counters_{&metrics_};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace rofl::sim

@@ -33,6 +33,7 @@ std::vector<std::uint8_t> Packet::encode() const {
   w.u8(flags);
   write_node_id(w, destination);
   write_node_id(w, source);
+  w.u64(trace_id);
   w.u16(static_cast<std::uint16_t>(as_path.size()));
   for (const std::uint32_t as : as_path) w.u32(as);
   if (capability.has_value()) {
@@ -76,6 +77,10 @@ std::optional<Packet> Packet::decode(std::span<const std::uint8_t> data) {
   if (!dest.has_value() || !src.has_value()) return std::nullopt;
   p.destination = *dest;
   p.source = *src;
+
+  const auto trace_id = r.u64();
+  if (!trace_id.has_value()) return std::nullopt;
+  p.trace_id = *trace_id;
 
   const auto path_len = r.u16();
   if (!path_len.has_value()) return std::nullopt;
@@ -123,7 +128,7 @@ std::optional<Packet> Packet::decode(std::span<const std::uint8_t> data) {
 }
 
 std::size_t Packet::wire_size() const {
-  std::size_t n = 4 + 16 + 16 + 2 + 4 * as_path.size();
+  std::size_t n = 4 + 16 + 16 + 8 + 2 + 4 * as_path.size();
   if (capability.has_value()) n += 16 + 8 + capability->token.size();
   n += 2 + 20 * fingers.size();
   n += 2 + payload.size();

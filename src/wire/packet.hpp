@@ -60,6 +60,10 @@ struct Packet {
   bool crossed_peering = false;
   NodeId destination;
   NodeId source;
+  /// Flight-recorder trace id (obs::FlightRecorder); 0 = untraced.  Carried
+  /// on the wire so one id names a packet's whole flight across the
+  /// intradomain -> interdomain handoff.
+  std::uint64_t trace_id = 0;
   /// AS-level source route accumulated as the packet travels (section 2.3).
   std::vector<std::uint32_t> as_path;
   std::optional<CapabilityField> capability;

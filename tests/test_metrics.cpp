@@ -1,0 +1,228 @@
+// Unit tests for the observability metrics layer (src/obs): histogram
+// bucket/percentile math cross-checked against util::SampleSet on the same
+// samples, registry id stability and export, and the trace-event exporter's
+// format invariants.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/trace_export.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rofl::obs {
+namespace {
+
+// -- histogram --------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 finite + overflow
+
+  h.record(0.5);   // <= 1         -> bucket 0
+  h.record(1.0);   // == bound[0]  -> bucket 0 (upper-inclusive)
+  h.record(1.001); // (1, 2]       -> bucket 1
+  h.record(2.0);   // == bound[1]  -> bucket 1
+  h.record(4.0);   // == bound[2]  -> bucket 2
+  h.record(4.001); // > last bound -> overflow
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, OverflowBucketReportsObservedMaxNotAFictitiousBound) {
+  Histogram h(std::vector<double>{10.0});
+  h.record(100.0);
+  h.record(250.0);
+  h.record(400.0);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), 3u);
+  // Every rank lands in the unbounded overflow bucket; percentile must stay
+  // clamped to the observed range rather than inventing a finite bound.
+  EXPECT_GE(h.percentile(0.0), 100.0);
+  EXPECT_LE(h.percentile(0.5), 400.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 400.0);
+  EXPECT_DOUBLE_EQ(h.max(), 400.0);
+  EXPECT_DOUBLE_EQ(h.min(), 100.0);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  Histogram h(Histogram::linear_bounds(1.0, 1.0, 4));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(2.0), 0.0);
+}
+
+TEST(Histogram, BoundGeneratorsProduceAscendingBounds) {
+  const auto lin = Histogram::linear_bounds(2.0, 3.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.front(), 2.0);
+  EXPECT_DOUBLE_EQ(lin.back(), 14.0);
+  const auto exp = Histogram::exponential_bounds(0.5, 2.0, 6);
+  ASSERT_EQ(exp.size(), 6u);
+  EXPECT_DOUBLE_EQ(exp.front(), 0.5);
+  EXPECT_DOUBLE_EQ(exp.back(), 16.0);
+  for (std::size_t i = 1; i < exp.size(); ++i) EXPECT_GT(exp[i], exp[i - 1]);
+}
+
+TEST(Histogram, CdfAgreesWithSampleSetAtEveryBucketBoundary) {
+  // Upper-inclusive buckets exist precisely so the histogram CDF matches the
+  // empirical CDF at boundaries: both count |{v : v <= bound}|.
+  Histogram h(Histogram::linear_bounds(5.0, 5.0, 20));  // 5,10,...,100
+  SampleSet s;
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    // A mix of smooth values and values sitting exactly on boundaries.
+    const double v = (i % 7 == 0)
+                         ? 5.0 * static_cast<double>(1 + rng.index(20))
+                         : rng.uniform() * 110.0;
+    h.record(v);
+    s.add(v);
+  }
+  for (const double bound : h.bounds()) {
+    EXPECT_DOUBLE_EQ(h.cdf_at(bound), s.cdf_at(bound)) << "at " << bound;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), s.min());
+  EXPECT_DOUBLE_EQ(h.max(), s.max());
+  // Sums accumulate in different orders (SampleSet may sum sorted samples),
+  // so compare with a relative tolerance rather than bit-exactly.
+  EXPECT_NEAR(h.sum(), s.sum(), 1e-9 * s.sum());
+  EXPECT_EQ(h.count(), s.count());
+}
+
+TEST(Histogram, PercentilesTrackSampleSetWithinOneBucketWidth) {
+  // The histogram only retains bucket counts, so its percentile can drift
+  // from the exact nearest-rank answer by at most one bucket span (plus the
+  // clamp at the extremes).
+  constexpr double kBucket = 2.0;
+  Histogram h(Histogram::linear_bounds(kBucket, kBucket, 50));  // 2..100
+  SampleSet s;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.uniform() * 100.0;
+    h.record(v);
+    s.add(v);
+  }
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_NEAR(h.percentile(p), s.percentile(p), kBucket) << "p=" << p;
+  }
+}
+
+TEST(Histogram, ResetClearsCountsButKeepsBounds) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.record(0.5);
+  h.record(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket_count(), 3u);
+  h.record(1.5);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+// -- registry ---------------------------------------------------------------
+
+TEST(Registry, RegistrationIsGetOrCreateAndIdsAreDense) {
+  Registry r;
+  const MetricId a = r.counter("a");
+  const MetricId b = r.counter("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(r.counter("a"), a);  // re-registration returns the same id
+  EXPECT_EQ(r.counter_count(), 2u);
+
+  const MetricId h1 = r.histogram("h", Histogram::linear_bounds(1, 1, 4));
+  const MetricId h2 = r.histogram("h", Histogram::linear_bounds(99, 1, 2));
+  EXPECT_EQ(h1, h2);  // first registration's bounds win
+  EXPECT_EQ(r.histogram_at(h1).bucket_count(), 5u);
+}
+
+TEST(Registry, IdsAreIdenticalAcrossIdenticallyBuiltRegistries) {
+  // Seeded-run determinism leans on this: two simulations registering the
+  // same names in the same order agree on every id.
+  Registry r1, r2;
+  for (const char* name : {"x", "y", "z"}) {
+    EXPECT_EQ(r1.counter(name), r2.counter(name));
+  }
+}
+
+TEST(Registry, RecordingAndReadback) {
+  Registry r;
+  const MetricId c = r.counter("pkts");
+  const MetricId g = r.gauge("depth");
+  const MetricId h = r.histogram("lat", std::vector<double>{1.0, 10.0});
+  r.add(c);
+  r.add(c, 4);
+  r.set(g, 2.5);
+  r.observe(h, 0.5);
+  r.observe(h, 99.0);
+  EXPECT_EQ(r.counter_value(c), 5u);
+  EXPECT_DOUBLE_EQ(r.gauge_value(g), 2.5);
+  EXPECT_EQ(r.histogram_at(h).count(), 2u);
+  EXPECT_EQ(r.counter_name(c), "pkts");
+
+  r.reset();
+  EXPECT_EQ(r.counter_value(c), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge_value(g), 0.0);
+  EXPECT_EQ(r.histogram_at(h).count(), 0u);
+  EXPECT_EQ(r.counter_count(), 1u);  // names/ids survive reset
+}
+
+TEST(Registry, JsonAndTableExportContainEveryMetric) {
+  Registry r;
+  r.add(r.counter("msgs.join"), 7);
+  r.set(r.gauge("ring.size"), 42.0);
+  r.observe(r.histogram("spf.ms", std::vector<double>{1.0}), 0.25);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"msgs.join\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"ring.size\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"spf.ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  std::ostringstream table;
+  r.print_table(table);
+  EXPECT_NE(table.str().find("msgs.join = 7"), std::string::npos);
+  EXPECT_NE(table.str().find("spf.ms:"), std::string::npos);
+}
+
+// -- trace exporter ---------------------------------------------------------
+
+TEST(Tracer, TimestampsAreClampedNonDecreasing) {
+  Tracer t;
+  t.complete("a", "sim", 10.0, 5.0);
+  t.instant("b", "sim", 4.0);  // earlier than the last event: clamped to 10
+  t.complete("c", "sim", 12.0, -3.0);  // negative duration: clamped to 0
+  const std::string json = t.to_json();
+  EXPECT_EQ(json.find("\"ts\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 0"), std::string::npos);
+  EXPECT_EQ(t.event_count(), 3u);
+}
+
+TEST(Tracer, JsonCarriesArgsTracksAndMetadata) {
+  Tracer t;
+  t.name_track(2, "rofl-intra");
+  t.instant("join", "rofl", 1.0, /*track=*/2,
+            {TraceArg{"messages", std::uint64_t{12}},
+             TraceArg{"note", std::string("he said \"hi\"")}});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"messages\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);  // escaped quote
+
+  t.clear();
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rofl::obs

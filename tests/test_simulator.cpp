@@ -167,7 +167,8 @@ TEST(Counters, AllSixCategoriesAccumulateIndependently) {
 }
 
 TEST(Counters, PerCategoryAccounting) {
-  Counters c;
+  obs::Registry registry;
+  Counters c(&registry);
   c.add(MsgCategory::kJoin, 3);
   c.add(MsgCategory::kData);
   EXPECT_EQ(c.get(MsgCategory::kJoin), 3u);

@@ -9,6 +9,13 @@
 //                     [--fingers N] [--bloom] [--routes N] [--seed S]
 //   roflsim partition [--isp NAME] [--ids-per-pop N] [--seed S]
 //
+// Observability flags (intra / inter / partition):
+//   --trace FILE   write a Chrome trace-event timeline (open in
+//                  https://ui.perfetto.dev or chrome://tracing)
+//   --traceroute   record per-packet hops and print the traceroute-style
+//                  dump of the last delivered route
+//   --metrics      print the full metrics registry after the run
+//
 // Every run prints its seed; identical invocations reproduce exactly.
 #include <cstring>
 #include <iostream>
@@ -17,6 +24,8 @@
 
 #include "baselines/cmu_ethernet.hpp"
 #include "interdomain/inter_network.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "rofl/network.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -72,6 +81,56 @@ graph::IspTopology isp_from_args(const Args& a, Rng& rng) {
   return graph::make_isp_topology(p, rng);
 }
 
+// Observability hooks shared by the experiment commands: a timeline tracer
+// (--trace FILE), a per-packet flight recorder (--traceroute), and a metrics
+// dump (--metrics).  Declare before the Network so it outlives installation.
+struct ObsSession {
+  obs::Tracer tracer;
+  obs::FlightRecorder recorder{1 << 16};
+  std::string trace_path;
+  bool want_trace;
+  bool want_route_dump;
+  bool want_metrics;
+
+  explicit ObsSession(const Args& a)
+      : trace_path(a.str("trace", "")),
+        want_trace(!a.str("trace", "").empty()),
+        want_route_dump(a.flag("traceroute")),
+        want_metrics(a.flag("metrics")) {}
+
+  void install(sim::Simulator& sim) {
+    if (!want_trace) return;
+    tracer.name_track(0, "simulator");
+    tracer.name_track(1, "linkstate");
+    tracer.name_track(2, "rofl-intra");
+    tracer.name_track(3, "interdomain");
+    sim.set_tracer(&tracer);
+  }
+
+  /// `last_trace` is the flight to pretty-print (0 = none delivered).
+  void finish(sim::Simulator& sim, std::uint64_t last_trace) {
+    if (want_route_dump) {
+      if (last_trace != 0) {
+        std::cout << "\n" << recorder.format_trace(last_trace);
+      } else {
+        std::cout << "\n(no delivered route to trace)\n";
+      }
+    }
+    if (want_metrics) {
+      std::cout << "\n-- metrics --\n";
+      sim.metrics().print_table(std::cout);
+    }
+    if (want_trace) {
+      if (tracer.write(trace_path)) {
+        std::cout << "trace written to " << trace_path << " ("
+                  << tracer.event_count() << " events)\n";
+      } else {
+        std::cerr << "cannot write trace to " << trace_path << "\n";
+      }
+    }
+  }
+};
+
 int cmd_topology(const Args& a) {
   Rng rng(a.num("seed", 1));
   if (a.flag("internet")) {
@@ -119,7 +178,10 @@ int cmd_intra(const Args& a) {
   const auto topo = isp_from_args(a, rng);
   intra::Config cfg;
   cfg.cache_capacity = a.num("cache", 2048);
+  ObsSession watch(a);
   intra::Network net(&topo, cfg, seed + 1);
+  watch.install(net.simulator());
+  if (watch.want_route_dump) net.set_flight_recorder(&watch.recorder);
 
   const std::size_t hosts = a.num("hosts", 1000);
   const std::size_t routes = a.num("routes", 500);
@@ -137,6 +199,7 @@ int cmd_intra(const Args& a) {
   }
   SampleSet stretch;
   std::size_t delivered = 0;
+  std::uint64_t last_trace = 0;
   for (std::size_t i = 0; i < routes && !ids.empty(); ++i) {
     const NodeId dest = ids[net.rng().index(ids.size())];
     const auto src = static_cast<graph::NodeIndex>(
@@ -144,6 +207,7 @@ int cmd_intra(const Args& a) {
     const auto rs = net.route(src, dest);
     if (rs.delivered) {
       ++delivered;
+      if (rs.trace_id != 0) last_trace = rs.trace_id;
       if (rs.shortest_hops > 0) stretch.add(rs.stretch());
     }
   }
@@ -167,6 +231,7 @@ int cmd_intra(const Args& a) {
              net.mean_state_entries()});
   t.add_row({std::string("ring verified"), std::string(rings_ok ? "yes" : err)});
   t.print(std::cout);
+  watch.finish(net.simulator(), last_trace);
   return rings_ok ? 0 : 1;
 }
 
@@ -190,7 +255,10 @@ int cmd_inter(const Args& a) {
               << "' (eph|single|multi|peering); using multi\n";
   }
 
+  ObsSession watch(a);
   inter::InterNetwork net(&topo, cfg, seed + 1);
+  watch.install(net.simulator());
+  if (watch.want_route_dump) net.set_flight_recorder(&watch.recorder);
   const std::size_t ids = a.num("ids", 1000);
   const std::size_t routes = a.num("routes", 500);
   SampleSet join_msgs;
@@ -203,6 +271,7 @@ int cmd_inter(const Args& a) {
 
   SampleSet stretch;
   std::size_t delivered = 0, violations = 0;
+  std::uint64_t last_trace = 0;
   for (std::size_t i = 0; i < routes && !joined.empty(); ++i) {
     const NodeId dest = joined[net.rng().index(joined.size())];
     const auto src = net.home_of(joined[net.rng().index(joined.size())]);
@@ -210,6 +279,7 @@ int cmd_inter(const Args& a) {
     const auto rs = net.route(*src, dest);
     if (rs.delivered) {
       ++delivered;
+      if (rs.trace_id != 0) last_trace = rs.trace_id;
       if (!rs.isolation_held) ++violations;
       if (rs.bgp_hops > 0) stretch.add(rs.stretch());
     }
@@ -234,6 +304,7 @@ int cmd_inter(const Args& a) {
                                   static_cast<double>(joined.size())});
   t.add_row({std::string("rings verified"), std::string(rings_ok ? "yes" : err)});
   t.print(std::cout);
+  watch.finish(net.simulator(), last_trace);
   return rings_ok ? 0 : 1;
 }
 
@@ -241,7 +312,9 @@ int cmd_partition(const Args& a) {
   const std::uint64_t seed = a.num("seed", 1);
   Rng rng(seed);
   graph::IspTopology topo = isp_from_args(a, rng);
+  ObsSession watch(a);
   intra::Network net(&topo, intra::Config{}, seed + 1);
+  watch.install(net.simulator());
   const std::size_t per_pop = a.num("ids-per-pop", 50);
   for (std::size_t p = 0; p < topo.pop_count(); ++p) {
     for (std::size_t i = 0; i < per_pop; ++i) {
@@ -275,6 +348,7 @@ int cmd_partition(const Args& a) {
              static_cast<std::int64_t>(heal.messages)});
   t.print(std::cout);
   std::cout << "reconverged: " << (ok ? "yes" : err) << "\n";
+  watch.finish(net.simulator(), 0);
   return ok ? 0 : 1;
 }
 
@@ -286,7 +360,11 @@ void usage() {
       "  roflsim inter     [--ids N] [--strategy eph|single|multi|peering]\n"
       "                    [--fingers N] [--bloom] [--routes N]\n"
       "  roflsim partition [--isp NAME] [--ids-per-pop N]\n\n"
-      "All commands accept --seed S (default 1); runs are reproducible.\n";
+      "All commands accept --seed S (default 1); runs are reproducible.\n"
+      "Observability (intra/inter/partition):\n"
+      "  --trace FILE   write a Perfetto/chrome://tracing timeline\n"
+      "  --traceroute   print the hop-by-hop dump of the last delivered route\n"
+      "  --metrics      print the metrics registry after the run\n";
 }
 
 }  // namespace
