@@ -27,6 +27,17 @@ build/tools/roflsim intra --hosts 200 --routes 100 --seed 7 \
   --trace build/trace_smoke.json --traceroute --metrics > /dev/null
 python3 scripts/validate_trace.py build/trace_smoke.json --min-events 50
 
+# Fault-matrix smoke: churn under 5% loss with link flaps must converge to
+# canonical rings (roflsim exits nonzero otherwise), and two same-seed runs
+# must produce byte-identical metrics -- the determinism contract that makes
+# faulty runs debuggable.
+build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.05 --flaps 3 \
+  --seed 11 --metrics-json build/faults_run1.json > /dev/null
+build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.05 --flaps 3 \
+  --seed 11 --metrics-json build/faults_run2.json > /dev/null
+cmp build/faults_run1.json build/faults_run2.json
+grep -q '"faults.dropped"' build/faults_run1.json
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then

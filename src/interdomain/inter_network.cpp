@@ -344,6 +344,31 @@ std::uint64_t InterNetwork::simulate_lookup(AsIndex from, const NodeId& target,
   return msgs;
 }
 
+std::uint64_t InterNetwork::reliable_exchange(std::uint64_t msgs, bool* ok) {
+  if (faults_ == nullptr || !faults_->message_faults_enabled() || msgs == 0) {
+    *ok = true;
+    return msgs;  // zero-cost when faults are off
+  }
+  // The interdomain model is message-count-abstract, so loss applies per
+  // AS-level transmission: an attempt survives only if every one of its
+  // `msgs` legs does.  Lost attempts charge the legs transmitted before the
+  // drop, then back off and retry (InterConfig::retry).
+  const unsigned attempts = std::max(1u, cfg_.retry.max_attempts);
+  std::uint64_t charged = 0;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) faults_->note_retry();
+    const sim::PathDecision d = faults_->on_path(msgs);
+    charged += d.transmissions;
+    if (!d.dropped) {
+      *ok = true;
+      return charged;
+    }
+  }
+  faults_->note_retry_exhausted();
+  *ok = false;
+  return charged;
+}
+
 // ---------------------------------------------------------------------------
 // fingers
 
@@ -428,26 +453,40 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
   vn.via_provider = via_provider;
   const auto anchors = anchors_for(home, strategy, via_provider);
   if (anchors.empty()) return stats;
-  for (const Anchor& a : anchors) vn.anchors.emplace_back(a.as, a.level);
 
   // Locate the predecessor at each level (Algorithm 3), bottom-up, charging
   // the walk unless the level's successor repeats the previous one and the
-  // redundant-lookup optimization is on (section 6.3).
+  // redundant-lookup optimization is on (section 6.3).  Under a fault
+  // injector each level's exchange runs through retry-with-backoff; a level
+  // whose retries are exhausted is skipped -- the ID joins the rings it
+  // could reach, and the next repair() pass re-drives the missing levels.
   std::optional<NodeId> prev_succ;
   bool prev_valid = false;
+  std::vector<Anchor> joined;
+  joined.reserve(anchors.size());
   for (const Anchor& a : anchors) {
     const auto s = ring_succ(a.as, id);
     const bool redundant = cfg_.prune_redundant_lookups && prev_valid &&
                            s.has_value() && prev_succ.has_value() &&
                            s->first == *prev_succ;
     if (!redundant) {
-      stats.messages += simulate_lookup(home, id, a.as);
-      stats.messages += 1;  // join reply / pointer ack
+      bool exchanged = true;
+      stats.messages +=
+          reliable_exchange(simulate_lookup(home, id, a.as) + 1, &exchanged);
+      if (!exchanged) continue;
     }
     prev_succ = s.has_value() ? std::optional<NodeId>(s->first) : std::nullopt;
     prev_valid = true;
     nodes_[a.as].ring[id] = home;
+    joined.push_back(a);
   }
+  if (joined.empty()) {
+    // Every level was lost: the join failed outright, leaving no partial
+    // state behind.  The retransmission traffic is still charged.
+    sim_.counters().add(sim::MsgCategory::kJoin, stats.messages);
+    return stats;
+  }
+  for (const Anchor& a : joined) vn.anchors.emplace_back(a.as, a.level);
 
   directory_[id] = home;
   strategies_[id] = strategy;
@@ -469,7 +508,7 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
     }
   }
 
-  for (const Anchor& a : anchors) {
+  for (const Anchor& a : joined) {
     const auto p = ring_pred(a.as, id);
     if (!p.has_value()) continue;
     auto& pred_node = nodes_[p->second];
@@ -950,13 +989,25 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
           ++stats.messages;  // deregistration / teardown
         }
       }
+      // Register at the new anchors.  Under a fault injector a registration
+      // can fail despite retries; it is then left out of the recorded anchor
+      // set, so the comparison above keeps failing and the next repair pass
+      // retries it (convergence once the loss clears).
+      std::vector<std::pair<AsIndex, unsigned>> registered;
+      registered.reserve(fresh_pairs.size());
       for (const auto& [anchor, level] : fresh_pairs) {
-        if (!nodes_[anchor].ring.contains(id)) {
-          nodes_[anchor].ring[id] = home;
-          stats.messages += simulate_lookup(home, id, anchor);
+        if (nodes_[anchor].ring.contains(id)) {
+          registered.emplace_back(anchor, level);
+          continue;
         }
+        bool exchanged = true;
+        stats.messages +=
+            reliable_exchange(simulate_lookup(home, id, anchor), &exchanged);
+        if (!exchanged) continue;
+        nodes_[anchor].ring[id] = home;
+        registered.emplace_back(anchor, level);
       }
-      vn.anchors = std::move(fresh_pairs);
+      vn.anchors = std::move(registered);
     }
   }
   // Pass 2: rebuild every vnode's pointer set; only changes are charged.
@@ -980,6 +1031,13 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
                 obs::TraceArg{"pointers_torn",
                               std::uint64_t{stats.pointers_torn}}});
   }
+}
+
+InterRepairStats InterNetwork::repair() {
+  InterRepairStats stats;
+  reanchor_all(stats);
+  sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  return stats;
 }
 
 InterRepairStats InterNetwork::fail_as(AsIndex as) {

@@ -106,6 +106,20 @@ class InterNetwork {
     return recorder_;
   }
 
+  /// Installs (or removes, with nullptr) a fault injector.  Control-plane
+  /// exchanges (ring-merge join levels, re-anchor registrations) then run
+  /// through retry-with-backoff (InterConfig::retry); an exchange whose
+  /// retries are exhausted is skipped and left for the next `repair()` pass.
+  /// The injector must outlive the network.
+  void set_fault_injector(sim::FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] sim::FaultInjector* fault_injector() const { return faults_; }
+
+  /// Maintenance pass: recomputes anchor sets and ring registrations for
+  /// every hosted ID and rebuilds pointers -- the hook that re-drives join
+  /// levels dropped earlier under message loss.  Charges only actual
+  /// changes, so it converges to a no-op on a consistent network.
+  InterRepairStats repair();
+
   // -- failures (section 6.3, "Failures") -----------------------------------
   InterRepairStats fail_as(AsIndex as);
 
@@ -188,6 +202,13 @@ class InterNetwork {
   std::uint64_t simulate_lookup(AsIndex from, const NodeId& target,
                                 AsIndex anchor) const;
 
+  /// Runs one control-plane exchange of `msgs` AS-level messages under the
+  /// fault injector: each attempt may be dropped mid-path, costing the
+  /// messages transmitted so far, then retried with backoff.  Returns the
+  /// total messages charged and sets *ok.  Without an injector: *ok = true,
+  /// returns msgs unchanged.
+  std::uint64_t reliable_exchange(std::uint64_t msgs, bool* ok);
+
   void select_fingers(InterVNode& vn);
   /// Recomputes every hosted ID's anchor set and ring registrations after a
   /// topology change, rebuilding pointers; charges only actual changes.
@@ -242,6 +263,7 @@ class InterNetwork {
   sim::Simulator sim_;
   Rng rng_;
   obs::FlightRecorder* recorder_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
   // Interdomain datapath metric ids in sim_.metrics().
   obs::MetricId routes_id_ = 0;
   obs::MetricId delivered_id_ = 0;

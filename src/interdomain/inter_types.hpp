@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/as_topology.hpp"
+#include "sim/faults.hpp"
 #include "util/identity.hpp"
 #include "util/node_id.hpp"
 
@@ -140,6 +141,9 @@ struct InterConfig {
   bool prune_redundant_lookups = true;
   /// Forwarding loop guard.
   std::uint32_t max_segments = 4096;
+  /// Retransmission policy for control-plane exchanges (ring-merge join
+  /// levels, re-anchor registrations) when a fault injector is installed.
+  sim::RetryPolicy retry;
 };
 
 }  // namespace rofl::inter

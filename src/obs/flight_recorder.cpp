@@ -20,6 +20,7 @@ std::string_view to_string(HopKind k) {
     case HopKind::kBootstrap: return "bootstrap";
     case HopKind::kDeliver: return "deliver";
     case HopKind::kDrop: return "drop";
+    case HopKind::kFaultDrop: return "fault-drop";
   }
   return "?";
 }
@@ -71,6 +72,7 @@ std::string FlightRecorder::format_trace(std::uint64_t trace_id) const {
       case HopKind::kStart:
       case HopKind::kDeliver:
       case HopKind::kDrop:
+      case HopKind::kFaultDrop:
         os << "  dest=" << h.chased;
         break;
       default:

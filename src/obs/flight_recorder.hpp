@@ -36,6 +36,7 @@ enum class HopKind : std::uint8_t {
   kBootstrap,         // interdomain: handed to the ring's zero node
   kDeliver,           // destination reached
   kDrop,              // no way to make progress
+  kFaultDrop,         // lost in flight by the fault injector (sim::FaultPlan)
 };
 
 [[nodiscard]] std::string_view to_string(HopKind k);

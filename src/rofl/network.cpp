@@ -81,11 +81,118 @@ Network::Transfer Network::unicast(NodeIndex a, NodeIndex b,
   }
   t.path = map_->path(a, b);
   if (t.path.empty()) return t;
+  if (faults_ != nullptr && faults_->message_faults_enabled()) {
+    return faulty_transfer(std::move(t), cat);
+  }
   t.ok = true;
   t.messages = t.path.size() - 1;
   t.latency_ms = map_->latency_ms(a, b).value_or(0.0);
   sim_.counters().add(cat, t.messages);
   return t;
+}
+
+Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat) {
+  // Per-link walk under an active fault injector.  Each leg may drop the
+  // message (the hops transmitted up to the drop point are still charged),
+  // duplicate it (the copy is charged but dies at the next router), or delay
+  // it (jitter on top of propagation latency).
+  for (std::size_t i = 0; i + 1 < t.path.size(); ++i) {
+    const NodeIndex u = t.path[i];
+    const NodeIndex v = t.path[i + 1];
+    const sim::FaultDecision d = faults_->on_link(u, v);
+    t.messages += d.copies;
+    sim_.counters().add(cat, d.copies);
+    if (d.dropped) {
+      t.lost = true;
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::HopRecord{
+            .trace_id = 0,
+            .t_ms = sim_.now_ms() + t.latency_ms,
+            .domain = obs::HopDomain::kIntra,
+            .node = u,
+            .category = static_cast<std::uint8_t>(cat),
+            .kind = obs::HopKind::kFaultDrop,
+            .chased = NodeId{}});
+      }
+      return t;
+    }
+    t.latency_ms += link_latency(u, v) + d.extra_latency_ms;
+  }
+  t.ok = true;
+  return t;
+}
+
+Network::Transfer Network::reliable_unicast(NodeIndex a, NodeIndex b,
+                                            sim::MsgCategory cat) {
+  if (faults_ == nullptr || !faults_->message_faults_enabled()) {
+    return unicast(a, b, cat);  // zero-cost when faults are off
+  }
+  const sim::RetryPolicy& rp = cfg_.retry;
+  const unsigned attempts = std::max(1u, rp.max_attempts);
+  Transfer total;
+  double timeout = rp.timeout_ms;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) faults_->note_retry();
+    Transfer t = unicast(a, b, cat);
+    total.messages += t.messages;
+    if (t.ok) {
+      total.ok = true;
+      total.lost = false;
+      total.latency_ms += t.latency_ms;
+      total.path = std::move(t.path);
+      return total;
+    }
+    if (!t.lost) {
+      // No path at all: retransmission cannot help.
+      return total;
+    }
+    total.lost = true;
+    // The sender only learns of the loss when its retransmission timer
+    // fires; each lost attempt costs the current timeout, which then backs
+    // off exponentially (capped).
+    total.latency_ms += timeout;
+    timeout = rp.next_timeout(timeout);
+  }
+  faults_->note_retry_exhausted();
+  return total;
+}
+
+double Network::link_latency(NodeIndex u, NodeIndex v) const {
+  for (const graph::Edge& e : topo_->graph.neighbors(u)) {
+    if (e.to == v) return e.latency_ms;
+  }
+  return 0.0;
+}
+
+void Network::schedule_fault_plan(const sim::FaultPlan& plan) {
+  // Scheduled flaps and crash windows replay through the same public
+  // fail/restore entry points an operator would use; the idempotence guards
+  // there make overlapping windows and manual intervention safe.
+  for (const sim::LinkFlap& f : plan.link_flaps) {
+    const NodeIndex u = f.u;
+    const NodeIndex v = f.v;
+    sim_.schedule_at(f.down_at_ms, [this, u, v] {
+      if (!edge_flag_up(u, v)) return;
+      if (faults_ != nullptr) faults_->note_flap();
+      fail_link(u, v);
+    });
+    sim_.schedule_at(f.up_at_ms, [this, u, v] {
+      if (edge_flag_up(u, v)) return;
+      restore_link(u, v);
+    });
+  }
+  for (const sim::CrashWindow& c : plan.crash_windows) {
+    const NodeIndex node = c.node;
+    sim_.schedule_at(c.down_at_ms, [this, node] {
+      if (!topo_->graph.node_up(node)) return;
+      if (faults_ != nullptr) faults_->note_crash();
+      fail_router(node);
+    });
+    sim_.schedule_at(c.up_at_ms, [this, node] {
+      if (topo_->graph.node_up(node)) return;
+      restore_router(node);
+    });
+  }
 }
 
 void Network::cache_along_path(const std::vector<NodeIndex>& path,
@@ -143,9 +250,10 @@ Network::LocateResult Network::locate_predecessor(NodeIndex from,
         r.cache().erase(c.id);  // clean the copy here too, then skip it
         continue;
       }
-      const Transfer hop = unicast(cur, c.host, cat);
+      const Transfer hop = reliable_unicast(cur, c.host, cat);
       if (!hop.ok) {
-        // Pointer target unreachable; a cached pointer is simply dropped.
+        // Pointer target unreachable (or retries exhausted under loss); a
+        // cached pointer is simply dropped.
         r.cache().erase(c.id);
         continue;
       }
@@ -217,7 +325,7 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
 
   // Join reply: predecessor -> joining host's gateway, carrying the
   // successor list.  Routers along the way cache the new ID.
-  const Transfer reply = unicast(pred_router, vn.home, cat);
+  const Transfer reply = reliable_unicast(pred_router, vn.home, cat);
   if (!reply.ok) {
     total.ok = false;
     return total;
@@ -247,7 +355,7 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   // reply arrives; parallel with the deeper-predecessor updates below).
   double branch_a = reply.latency_ms;
   {
-    const Transfer notify = unicast(vn.home, succ0_host, cat);
+    const Transfer notify = reliable_unicast(vn.home, succ0_host, cat);
     if (notify.ok) {
       total.messages += notify.messages;
       branch_a += notify.latency_ms;
@@ -266,7 +374,7 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
     VirtualNode* cur = routers_[walk.host]->find_vnode(walk.id);
     if (cur == nullptr || !cur->predecessor.has_value()) break;
     const NeighborPtr next = *cur->predecessor;
-    const Transfer hop = unicast(walk_from, next.host, cat);
+    const Transfer hop = reliable_unicast(walk_from, next.host, cat);
     if (!hop.ok) break;
     total.messages += hop.messages;
     branch_b += hop.latency_ms;
@@ -344,7 +452,7 @@ JoinStats Network::join_id(const NodeId& id, const PublicKey& pub,
     routers_[gateway]->add_vnode(std::move(vn));
     routers_[loc.pred_router]->add_ephemeral_backpointer(id, gateway);
     const Transfer reply =
-        unicast(loc.pred_router, gateway, sim::MsgCategory::kJoin);
+        reliable_unicast(loc.pred_router, gateway, sim::MsgCategory::kJoin);
     stats.messages += reply.messages;
     stats.latency_ms = loc.latency_ms + reply.latency_ms;
   } else {
@@ -403,7 +511,7 @@ std::uint64_t Network::refill_successors(VirtualNode& vn, sim::MsgCategory cat,
   // `exclude` guards against copying back an ID that is mid-teardown and
   // may still linger in the peer's not-yet-cleaned list.
   const NeighborPtr head = vn.successors.front();
-  const Transfer t = unicast(vn.home, head.host, cat);
+  const Transfer t = reliable_unicast(vn.home, head.host, cat);
   if (!t.ok) return 0;
   const VirtualNode* succ = routers_[head.host]->find_vnode(head.id);
   if (succ != nullptr) {
@@ -430,7 +538,7 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
   if (vn->host_class == HostClass::kEphemeral) {
     // Teardown to the predecessor that holds the backpointer.
     if (vn->predecessor.has_value()) {
-      const Transfer t = unicast(gw, vn->predecessor->host, cat);
+      const Transfer t = reliable_unicast(gw, vn->predecessor->host, cat);
       stats.messages += t.messages;
       routers_[vn->predecessor->host]->remove_ephemeral_backpointer(id);
       ++stats.pointers_torn;
@@ -456,7 +564,7 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
   // Teardown to the first successor: it loses its predecessor pointer and
   // relinks to the departing node's predecessor.
   if (succ_ptr.has_value()) {
-    const Transfer t = unicast(gw, succ_ptr->host, cat);
+    const Transfer t = reliable_unicast(gw, succ_ptr->host, cat);
     stats.messages += t.messages;
     if (t.ok) {
       if (VirtualNode* succ = routers_[succ_ptr->host]->find_vnode(succ_ptr->id)) {
@@ -478,7 +586,7 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
     NeighborPtr walk = *pred_ptr;
     NodeIndex from = gw;
     for (std::size_t depth = 0; depth < cfg_.successor_group; ++depth) {
-      const Transfer t = unicast(from, walk.host, cat);
+      const Transfer t = reliable_unicast(from, walk.host, cat);
       if (!t.ok) break;
       stats.messages += t.messages;
       VirtualNode* p = routers_[walk.host]->find_vnode(walk.id);
@@ -656,7 +764,7 @@ RepairStats Network::repair_partitions() {
               [&](const NeighborPtr& s) { return s.id == w.id && s.host == w.host; });
           if (!had) {
             const Transfer t =
-                unicast(vhost, w.host, sim::MsgCategory::kRepair);
+                reliable_unicast(vhost, w.host, sim::MsgCategory::kRepair);
             stats.messages += t.messages;
           }
         }
@@ -666,7 +774,7 @@ RepairStats Network::repair_partitions() {
       if (vn->predecessor != want_pred) {
         if (want_pred.has_value()) {
           const Transfer t =
-              unicast(vhost, want_pred->host, sim::MsgCategory::kRepair);
+              reliable_unicast(vhost, want_pred->host, sim::MsgCategory::kRepair);
           stats.messages += t.messages;
         }
         vn->predecessor = want_pred;
@@ -780,12 +888,28 @@ RepairStats Network::restore_router(NodeIndex r) {
   return stats;
 }
 
+bool Network::edge_flag_up(NodeIndex u, NodeIndex v) const {
+  // The raw administrative state of the edge, independent of whether its
+  // endpoint routers happen to be up (Graph::link_up conflates the two).
+  for (const graph::Edge& e : topo_->graph.neighbors(u)) {
+    if (e.to == v) return e.up;
+  }
+  return false;
+}
+
 RepairStats Network::fail_link(NodeIndex u, NodeIndex v) {
+  // Idempotence guard: when a scheduled flap and a manual call (or two
+  // overlapping flap windows) both fail the same link, the second call must
+  // be a no-op.  The link-state substrate floods unconditionally, so without
+  // the guard a redundant fail re-charges an LSA flood and re-invalidates
+  // every pointer cache that routes over the (already dead) link.
+  if (!edge_flag_up(u, v)) return {};
   map_->fail_link(u, v);
   return repair_partitions();
 }
 
 RepairStats Network::restore_link(NodeIndex u, NodeIndex v) {
+  if (edge_flag_up(u, v)) return {};
   map_->restore_link(u, v);
   return repair_partitions();
 }
@@ -848,6 +972,27 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
       rec(obs::HopKind::kEphemeralGateway, cur, dest);
       const auto path = map_->path(cur, *egw);
       if (!path.empty()) {
+        if (faults_ != nullptr && faults_->message_faults_enabled()) {
+          // The final leg to the ephemeral gateway is ordinary data-plane
+          // traffic: walk it link by link so each hop can drop the packet.
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const sim::FaultDecision fd =
+                faults_->on_link(path[i], path[i + 1]);
+            sim_.counters().add(sim::MsgCategory::kData, fd.copies);
+            ++stats.physical_hops;
+            stats.latency_ms += link_latency(path[i], path[i + 1]);
+            if (fd.dropped) {
+              rec(obs::HopKind::kFaultDrop, path[i], dest);
+              return stats;
+            }
+            stats.latency_ms += fd.extra_latency_ms;
+            routers_[path[i + 1]]->count_traversal();
+          }
+          stats.delivered = true;
+          sim_.metrics().add(delivered_id_);
+          rec(obs::HopKind::kDeliver, *egw, dest);
+          return stats;
+        }
         for (std::size_t i = 1; i < path.size(); ++i) {
           routers_[path[i]]->count_traversal();
         }
@@ -942,6 +1087,23 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
         stats.latency_ms += e.latency_ms;
         break;
       }
+    }
+    if (faults_ != nullptr && faults_->message_faults_enabled()) {
+      const sim::FaultDecision fd = faults_->on_link(cur, *next);
+      if (fd.copies > 1) {
+        // The duplicate is transmitted (and charged) but dies at the next
+        // router's dedup check.
+        sim_.counters().add(sim::MsgCategory::kData, fd.copies - 1);
+      }
+      if (fd.dropped) {
+        // Data packets have no retransmission (best-effort forwarding): the
+        // hop onto the link is charged, then the packet is gone.
+        ++stats.physical_hops;
+        sim_.counters().add(sim::MsgCategory::kData, 1);
+        rec(obs::HopKind::kFaultDrop, cur, chasing->id);
+        return stats;
+      }
+      stats.latency_ms += fd.extra_latency_ms;
     }
     cur = *next;
     traversed.push_back(cur);

@@ -45,6 +45,7 @@
 #include "rofl/router.hpp"
 #include "rofl/types.hpp"
 #include "rofl/zero_id.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -77,6 +78,11 @@ struct Config {
   /// result is byte-identical for any value; nullopt picks a machine-sized
   /// default, 0 forces the serial reference path.
   std::optional<std::size_t> spf_threads;
+  /// Retransmission policy for control-plane exchanges (join, pointer
+  /// setup, teardown walks, repair) when a FaultInjector makes the network
+  /// lossy.  With no injector installed the first attempt always succeeds
+  /// and the policy is never consulted.
+  sim::RetryPolicy retry;
 };
 
 class Network {
@@ -166,6 +172,23 @@ class Network {
     return recorder_;
   }
 
+  // -- fault injection ------------------------------------------------------
+  /// Installs (or removes, with nullptr) the unreliable-network model.  The
+  /// injector must outlive its installation and should draw on the same
+  /// metrics registry as the simulator so `faults.*` counters land in the
+  /// run's snapshot.  With no injector installed every send path reduces to
+  /// one null check and behaves exactly as before.
+  void set_fault_injector(sim::FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] sim::FaultInjector* fault_injector() const { return faults_; }
+
+  /// Schedules the plan's link flaps and router crash/restart windows as
+  /// simulator events driving fail_link/restore_link and
+  /// fail_router/restore_router.  Call once after construction; events fire
+  /// as the simulator clock passes their timestamps.  Message-level
+  /// conditions (loss/dup/jitter) are NOT handled here -- install the
+  /// injector for those.
+  void schedule_fault_plan(const sim::FaultPlan& plan);
+
   /// Pointer-cache effectiveness summed over live routers.
   struct CacheTotals {
     std::uint64_t hits = 0;
@@ -202,14 +225,41 @@ class Network {
  private:
   struct Transfer {
     bool ok = false;
+    /// Distinguishes the two failure modes: `lost` means the message was
+    /// dropped in flight by the fault injector (retransmission can help);
+    /// !ok && !lost means no path existed at all (it cannot).
+    bool lost = false;
     std::uint64_t messages = 0;
     double latency_ms = 0.0;
     std::vector<NodeIndex> path;  // inclusive endpoints
   };
 
-  /// One logical protocol message A->B over the IGP path; counts one packet
-  /// per physical hop under `cat`.
+  /// One transmission attempt of a logical protocol message A->B over the
+  /// IGP path; counts one packet per physical hop under `cat`.  With a fault
+  /// injector installed the message may be dropped mid-path (ok=false,
+  /// lost=true; the hops up to the drop point are still charged), duplicated
+  /// (extra packets charged), or delayed (jitter added to latency).
   Transfer unicast(NodeIndex a, NodeIndex b, sim::MsgCategory cat);
+
+  /// The per-link walk of `unicast` under an active fault injector; `t.path`
+  /// must already hold the IGP path.
+  Transfer faulty_transfer(Transfer t, sim::MsgCategory cat);
+
+  /// Retry-with-timeout-and-exponential-backoff state machine wrapped around
+  /// `unicast` (Config::retry).  Control-plane exchanges use this instead of
+  /// assuming one-shot delivery: each lost attempt costs its transmitted
+  /// hops plus the current retransmission timeout in latency, then the
+  /// timeout backs off.  Gives up after max_attempts (ok=false, lost=true)
+  /// or immediately when no path exists (ok=false, lost=false).  With no
+  /// injector the first attempt succeeds and this is exactly `unicast`.
+  Transfer reliable_unicast(NodeIndex a, NodeIndex b, sim::MsgCategory cat);
+
+  /// Propagation delay of the direct link u->v (0 when not adjacent).
+  [[nodiscard]] double link_latency(NodeIndex u, NodeIndex v) const;
+
+  /// Administrative up/down flag of edge (u,v), ignoring endpoint node
+  /// state; the fail_link/restore_link idempotence guards key off this.
+  [[nodiscard]] bool edge_flag_up(NodeIndex u, NodeIndex v) const;
 
   struct LocateResult {
     bool ok = false;
@@ -259,6 +309,7 @@ class Network {
   Config cfg_;
   sim::Simulator sim_;
   obs::FlightRecorder* recorder_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
   // Protocol-level metric ids in sim_.metrics().
   obs::MetricId joins_id_ = 0;
   obs::MetricId routes_id_ = 0;

@@ -7,13 +7,26 @@ SessionManager::SessionManager(Network& net, SessionConfig cfg)
   obs::Registry& m = net_->simulator().metrics();
   keepalives_id_ = m.counter("session.keepalives");
   timeouts_id_ = m.counter("session.timeouts");
+  keepalives_lost_id_ = m.counter("session.keepalives_lost");
+  rehomed_id_ = m.counter("session.rehomed");
+  orphaned_id_ = m.counter("session.orphaned");
 }
 
 void SessionManager::track(const NodeId& id, std::function<bool()> alive) {
-  auto [it, inserted] =
-      sessions_.insert_or_assign(id, Session{std::move(alive), 0, 0});
-  if (!inserted) ++it->second.epoch;
-  schedule_tick(id, it->second.epoch);
+  // A retrack must advance the epoch past every timer ever scheduled for
+  // this ID.  (insert_or_assign with a fresh Session would reset the stored
+  // epoch to 0 before the increment, so the third track of the same ID would
+  // reuse epoch 1 while a timer from the second track's epoch 1 could still
+  // be pending.)
+  const auto prev = sessions_.find(id);
+  const std::uint64_t epoch =
+      prev == sessions_.end() ? 0 : prev->second.epoch + 1;
+  Session s;
+  s.alive = std::move(alive);
+  s.epoch = epoch;
+  s.gateway = net_->hosting_router(id).value_or(graph::kInvalidNode);
+  sessions_.insert_or_assign(id, std::move(s));
+  schedule_tick(id, epoch);
 }
 
 void SessionManager::untrack(const NodeId& id) { sessions_.erase(id); }
@@ -28,6 +41,32 @@ void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end() || it->second.epoch != epoch) return;
   Session& s = it->second;
+
+  // Where does the ID live now?  A gateway crash between two ticks either
+  // erased the ID (no auto-rejoin) or moved it to a failover router; both
+  // used to be indistinguishable from a silent host, so a timer surviving
+  // the crash could fire a spurious host-failure teardown against ring
+  // state the repair machinery had already rebuilt.
+  const auto home = net_->hosting_router(id);
+  if (!home.has_value()) {
+    // Orphaned: the ID left the ring underneath the session.  There is
+    // nothing left to tear down; the session simply retires.
+    ++orphaned_;
+    net_->simulator().metrics().add(orphaned_id_);
+    sessions_.erase(it);
+    return;
+  }
+  if (*home != s.gateway) {
+    // Rehomed by failover: the session migrates to the new gateway and the
+    // miss count restarts -- misses charged against the dead gateway say
+    // nothing about the host.
+    s.gateway = *home;
+    s.missed = 0;
+    ++rehomed_;
+    net_->simulator().metrics().add(rehomed_id_);
+  }
+
+  bool missed = true;
   if (s.alive()) {
     // The host emits a keepalive over its access link.
     wire::Packet ka;
@@ -38,11 +77,20 @@ void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
                                      ka.fragments());
     ++keepalives_;
     net_->simulator().metrics().add(keepalives_id_);
-    s.missed = 0;
-    schedule_tick(id, epoch);
-    return;
+    // A lossy access link can eat the keepalive.  The gateway cannot tell a
+    // lossy link from a dead host, so the loss counts as one miss -- only
+    // miss_limit consecutive losses look like a failure.
+    sim::FaultInjector* inj = net_->fault_injector();
+    if (inj != nullptr && inj->message_faults_enabled() &&
+        inj->on_access_link().dropped) {
+      ++keepalives_lost_;
+      net_->simulator().metrics().add(keepalives_lost_id_);
+    } else {
+      s.missed = 0;
+      missed = false;
+    }
   }
-  if (++s.missed >= cfg_.miss_limit) {
+  if (missed && ++s.missed >= cfg_.miss_limit) {
     // Session timeout: the gateway runs the section-3.2 host-failure
     // machinery (teardowns + directed flood).
     ++timeouts_;

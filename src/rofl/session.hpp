@@ -8,6 +8,12 @@
 // its teardown machinery -- when `miss_limit` intervals elapse without one.
 // Keepalives ride the wire format (kKeepalive packets), so their cost and
 // size are real.
+//
+// Failure detection is loss-tolerant and crash-aware: a keepalive eaten by a
+// lossy access link (sim::FaultInjector) counts as a single miss, never an
+// immediate teardown, and a session whose gateway crashed follows the ID to
+// its failover router (or retires silently when the ID is gone) instead of
+// firing a spurious host-failure teardown from a stale timer.
 #pragma once
 
 #include <functional>
@@ -45,12 +51,23 @@ class SessionManager {
   [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_; }
   /// Total keepalive packets sent.
   [[nodiscard]] std::uint64_t keepalives_sent() const { return keepalives_; }
+  /// Keepalives eaten in flight by the fault injector (each one miss).
+  [[nodiscard]] std::uint64_t keepalives_lost() const {
+    return keepalives_lost_;
+  }
+  /// Sessions that followed their ID to a failover gateway after a crash.
+  [[nodiscard]] std::uint64_t sessions_rehomed() const { return rehomed_; }
+  /// Sessions retired because their ID left the ring underneath them.
+  [[nodiscard]] std::uint64_t sessions_orphaned() const { return orphaned_; }
 
  private:
   struct Session {
     std::function<bool()> alive;
     unsigned missed = 0;
     std::uint64_t epoch = 0;  // invalidates stale timer callbacks
+    // The router hosting the ID when the session last ticked; a change means
+    // the host was rehomed by the failover machinery.
+    NodeIndex gateway = graph::kInvalidNode;
   };
 
   void schedule_tick(const NodeId& id, std::uint64_t epoch);
@@ -61,9 +78,15 @@ class SessionManager {
   std::map<NodeId, Session> sessions_;
   std::uint64_t timeouts_ = 0;
   std::uint64_t keepalives_ = 0;
+  std::uint64_t keepalives_lost_ = 0;
+  std::uint64_t rehomed_ = 0;
+  std::uint64_t orphaned_ = 0;
   // Mirrors of the counts above in the simulator's metrics registry.
   obs::MetricId keepalives_id_ = 0;
   obs::MetricId timeouts_id_ = 0;
+  obs::MetricId keepalives_lost_id_ = 0;
+  obs::MetricId rehomed_id_ = 0;
+  obs::MetricId orphaned_id_ = 0;
 };
 
 }  // namespace rofl::intra

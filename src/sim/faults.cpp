@@ -1,0 +1,78 @@
+#include "sim/faults.hpp"
+
+namespace rofl::sim {
+
+bool FaultPlan::message_faults_possible() const {
+  if (defaults.active()) return true;
+  for (const LinkConditions& lc : link_overrides) {
+    if (lc.conditions.active()) return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
+                             obs::Registry* registry)
+    : plan_(std::move(plan)),
+      message_faults_(plan_.message_faults_possible()),
+      rng_(seed),
+      registry_(registry) {
+  for (const LinkConditions& lc : plan_.link_overrides) {
+    overrides_[std::minmax(lc.u, lc.v)] = lc.conditions;
+  }
+  dropped_id_ = registry_->counter("faults.dropped");
+  duplicated_id_ = registry_->counter("faults.duplicated");
+  delayed_id_ = registry_->counter("faults.delayed");
+  retries_id_ = registry_->counter("faults.retries");
+  exhausted_id_ = registry_->counter("faults.retry_exhausted");
+  flaps_id_ = registry_->counter("faults.link_flaps");
+  crashes_id_ = registry_->counter("faults.crashes");
+}
+
+const NetworkConditions& FaultInjector::conditions_for(std::uint32_t u,
+                                                       std::uint32_t v) const {
+  if (!overrides_.empty()) {
+    const auto it = overrides_.find(std::minmax(u, v));
+    if (it != overrides_.end()) return it->second;
+  }
+  return plan_.defaults;
+}
+
+FaultDecision FaultInjector::decide(const NetworkConditions& c) {
+  FaultDecision d;
+  // Zero-valued knobs consume no randomness, so enabling e.g. loss alone
+  // draws one uniform per transmission regardless of the other knobs.
+  if (c.loss > 0.0 && rng_.chance(c.loss)) {
+    d.dropped = true;
+    registry_->add(dropped_id_);
+    return d;  // the copy died on the wire; nothing else happens to it
+  }
+  if (c.duplicate > 0.0 && rng_.chance(c.duplicate)) {
+    d.copies = 2;
+    registry_->add(duplicated_id_);
+  }
+  if (c.jitter_ms > 0.0) {
+    d.extra_latency_ms = rng_.uniform() * c.jitter_ms;
+    registry_->add(delayed_id_);
+  }
+  return d;
+}
+
+FaultDecision FaultInjector::on_link(std::uint32_t u, std::uint32_t v) {
+  return decide(conditions_for(u, v));
+}
+
+PathDecision FaultInjector::on_path(std::uint64_t transmissions) {
+  PathDecision p;
+  for (std::uint64_t i = 0; i < transmissions; ++i) {
+    const FaultDecision d = decide(plan_.defaults);
+    p.transmissions += d.copies;
+    p.extra_latency_ms += d.extra_latency_ms;
+    if (d.dropped) {
+      p.dropped = true;
+      break;  // downstream legs are never transmitted
+    }
+  }
+  return p;
+}
+
+}  // namespace rofl::sim

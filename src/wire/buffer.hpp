@@ -36,13 +36,23 @@ class ByteWriter {
   void bytes(std::span<const std::uint8_t> data) {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
-  /// Length-prefixed (u16) byte string; silently truncates past 64 KiB.
-  void lp_bytes(std::span<const std::uint8_t> data) {
-    const auto n = static_cast<std::uint16_t>(
-        data.size() > 0xFFFF ? 0xFFFF : data.size());
-    u16(n);
-    bytes(data.subspan(0, n));
+  /// Length-prefixed (u16) byte string.  A field longer than 0xFFFF cannot
+  /// be represented: nothing is written, the writer is marked failed, and
+  /// false is returned -- a silently truncated (i.e. corrupted) field can
+  /// never reach the wire.
+  [[nodiscard]] bool lp_bytes(std::span<const std::uint8_t> data) {
+    if (data.size() > 0xFFFF) {
+      failed_ = true;
+      return false;
+    }
+    u16(static_cast<std::uint16_t>(data.size()));
+    bytes(data);
+    return true;
   }
+
+  /// False once any write was refused; the buffer contents are then
+  /// incomplete and must not be transmitted.
+  [[nodiscard]] bool ok() const { return !failed_; }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -50,6 +60,7 @@ class ByteWriter {
 
  private:
   std::vector<std::uint8_t> buf_;
+  bool failed_ = false;
 };
 
 class ByteReader {

@@ -1,5 +1,6 @@
 #include "wire/packet.hpp"
 
+#include <cassert>
 #include <cstring>
 
 namespace rofl::wire {
@@ -23,6 +24,13 @@ std::optional<NodeId> read_node_id(ByteReader& r) {
 }
 
 std::vector<std::uint8_t> Packet::encode() const {
+  // Counts and lengths ride u16 fields; anything larger cannot be encoded
+  // without corrupting the packet, so encoding refuses (empty result)
+  // instead of clamping.
+  if (payload.size() > 0xFFFF || as_path.size() > 0xFFFF ||
+      fingers.size() > 0xFFFF) {
+    return {};
+  }
   ByteWriter w;
   w.u8(version);
   w.u8(static_cast<std::uint8_t>(type));
@@ -50,7 +58,10 @@ std::vector<std::uint8_t> Packet::encode() const {
     write_node_id(w, f.target);
     w.u32(f.home_as);
   }
-  w.lp_bytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  const bool payload_ok =
+      w.lp_bytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  assert(payload_ok && w.ok());  // sizes were range-checked above
+  (void)payload_ok;
   return w.take();
 }
 

@@ -70,6 +70,9 @@ struct Packet {
   std::vector<FingerField> fingers;  // join messages only
   std::vector<std::uint8_t> payload;
 
+  /// Serializes the packet.  Returns an empty vector when a variable-length
+  /// field (payload, as_path, fingers) exceeds its u16 wire limit -- an
+  /// explicit failure, never a silently truncated packet.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static std::optional<Packet> decode(
       std::span<const std::uint8_t> data);

@@ -7,7 +7,9 @@
 #include <set>
 
 #include "interdomain/inter_network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rofl/network.hpp"
+#include "sim/faults.hpp"
 
 namespace rofl {
 namespace {
@@ -193,6 +195,243 @@ TEST_P(InterFuzz, InvariantsHoldUnderRandomOperations) {
 INSTANTIATE_TEST_SUITE_P(Seeds, InterFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                            12, 13, 14, 15, 16));
+
+// ---------------------------------------------------------------------------
+// faulty fuzz: churn under message loss / duplication / jitter plus scheduled
+// link flaps.  Two properties per seed:
+//   (a) eventual consistency -- once the faults stop, one repair pass brings
+//       the rings back to canonical state and every surviving ID is
+//       reachable;
+//   (b) bit-identical determinism -- two runs with the same seed produce the
+//       same metrics snapshot and the same flight-recorder hop sequence,
+//       drop-for-drop.
+
+struct FaultyRunResult {
+  bool converged = false;
+  std::string err;
+  std::string metrics_json;
+  std::vector<obs::HopRecord> hops;
+  std::uint64_t dropped = 0;
+  std::uint64_t retries = 0;
+};
+
+// Drops wall-clock lines (SPF recompute timings) from a metrics snapshot:
+// they measure host CPU time, not simulated behavior, so they legitimately
+// differ between two otherwise bit-identical runs.
+std::string scrub_wall_clock(const std::string& json) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    std::size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string_view line(json.data() + pos, eol - pos);
+    if (line.find("recompute_ms") == std::string_view::npos) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+FaultyRunResult run_faulty_intra(std::uint64_t seed) {
+  FaultyRunResult out;
+  Rng trng(seed);
+  graph::IspParams params;
+  params.router_count = 24 + trng.below(12);
+  params.pop_count = 4;
+  graph::IspTopology topo = graph::make_isp_topology(params, trng);
+  intra::Config cfg;
+  cfg.successor_group = 3;
+  intra::Network net(&topo, cfg, seed * 3 + 1);
+  obs::FlightRecorder rec(1 << 14);
+  net.set_flight_recorder(&rec);
+
+  // Collect the physical edges so the flap schedule hits real links.
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> edges;
+  for (graph::NodeIndex u = 0; u < topo.graph.node_count(); ++u) {
+    for (const auto& e : topo.graph.neighbors(u)) {
+      if (e.to > u) edges.emplace_back(u, e.to);
+    }
+  }
+
+  sim::FaultPlan plan;
+  plan.defaults.loss = 0.05;
+  plan.defaults.duplicate = 0.02;
+  plan.defaults.jitter_ms = 0.4;
+  Rng flap_rng(seed * 17 + 3);
+  const auto [fu1, fv1] = edges[flap_rng.index(edges.size())];
+  const auto [fu2, fv2] = edges[flap_rng.index(edges.size())];
+  plan.link_flaps.push_back({fu1, fv1, /*down_at_ms=*/8.0, /*up_at_ms=*/30.0});
+  plan.link_flaps.push_back({fu2, fv2, /*down_at_ms=*/20.0, /*up_at_ms=*/44.0});
+
+  sim::FaultInjector inj(plan, seed ^ 0xF417C0DEull,
+                         &net.simulator().metrics());
+  net.set_fault_injector(&inj);
+  net.schedule_fault_plan(plan);
+
+  Rng op_rng(seed * 7 + 5);
+  std::vector<Identity> live;
+  double t = 0.0;
+  for (int op = 0; op < 60; ++op) {
+    t += 1.0;
+    net.simulator().run_until(t);  // let scheduled flap events interleave
+    const std::uint64_t pick = op_rng.below(100);
+    if (pick < 50 || live.size() < 4) {
+      Identity ident = Identity::generate(net.rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      if (net.join_host(ident, gw).ok) live.push_back(ident);
+    } else if (pick < 70 && !live.empty()) {
+      const std::size_t v = op_rng.index(live.size());
+      if (op_rng.chance(0.5)) {
+        (void)net.fail_host(live[v].id());
+      } else {
+        (void)net.leave_host(live[v].id());
+      }
+      live.erase(live.begin() + static_cast<long>(v));
+    } else if (!live.empty()) {
+      // data-plane traffic through the lossy network
+      const auto src = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      (void)net.route(src, live[op_rng.index(live.size())].id());
+    }
+  }
+  net.simulator().run_until(100.0);  // both flap windows closed and healed
+
+  out.dropped = inj.dropped();
+  out.retries = inj.retries();
+  out.metrics_json = scrub_wall_clock(net.simulator().metrics().to_json());
+  out.hops = rec.all();
+
+  // Faults off: the surviving state must heal to canonical rings and full
+  // reachability.  (Mid-join drops can leave dangling pointers; the repair
+  // pass is exactly the machinery that must absorb them.)
+  net.set_fault_injector(nullptr);
+  (void)net.repair_partitions();
+  std::string err;
+  if (!net.verify_rings(&err, /*strict=*/true)) {
+    out.err = err;
+    return out;
+  }
+  for (const auto& [id, home] : net.directory()) {
+    if (!net.route(0, id).delivered) {
+      out.err = "unreachable id after repair";
+      return out;
+    }
+  }
+  out.converged = true;
+  return out;
+}
+
+class FaultyIntraFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultyIntraFuzz, ConvergesAndReproducesBitIdentically) {
+  const std::uint64_t seed = GetParam();
+  const FaultyRunResult a = run_faulty_intra(seed);
+  const FaultyRunResult b = run_faulty_intra(seed);
+  ASSERT_TRUE(a.converged) << "seed " << seed << " run A: " << a.err;
+  ASSERT_TRUE(b.converged) << "seed " << seed << " run B: " << b.err;
+  // The plan actually bit: messages were dropped and the retry machinery ran.
+  EXPECT_GT(a.dropped, 0u) << "seed " << seed;
+  // Bit-identical reproduction: every counter and every recorded hop
+  // (including each fault-drop annotation) matches across same-seed runs.
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "seed " << seed;
+  ASSERT_EQ(a.hops.size(), b.hops.size()) << "seed " << seed;
+  EXPECT_TRUE(a.hops == b.hops) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyIntraFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Interdomain variant: joins run their level registrations through the
+// retry/backoff exchange; levels whose retries exhaust are left for repair().
+FaultyRunResult run_faulty_inter(std::uint64_t seed) {
+  FaultyRunResult out;
+  Rng trng(seed + 1000);
+  graph::AsGenParams gp;
+  gp.tier1_count = 3;
+  gp.tier2_count = 6;
+  gp.tier3_count = 12;
+  gp.stub_count = 30;
+  gp.total_hosts = 4000;
+  const graph::AsTopology topo = graph::AsTopology::make_internet_like(gp, trng);
+
+  inter::InterConfig cfg;
+  inter::InterNetwork net(&topo, cfg, seed * 11 + 3);
+
+  sim::FaultPlan plan;
+  plan.defaults.loss = 0.05;
+  sim::FaultInjector inj(plan, seed ^ 0xF417C0DEull,
+                         &net.simulator().metrics());
+  net.set_fault_injector(&inj);
+
+  Rng op_rng(seed * 13 + 7);
+  std::vector<NodeId> live;
+  const inter::JoinStrategy strategies[] = {
+      inter::JoinStrategy::kEphemeral, inter::JoinStrategy::kSingleHomed,
+      inter::JoinStrategy::kRecursiveMultihomed,
+      inter::JoinStrategy::kPeering};
+  for (int op = 0; op < 50; ++op) {
+    const std::uint64_t pick = op_rng.below(100);
+    if (pick < 60 || live.size() < 5) {
+      const auto js = net.join_random_host(strategies[op_rng.index(4)]);
+      if (js.ok) live.push_back(net.directory().rbegin()->first);
+    } else if (pick < 80 && !live.empty()) {
+      const std::size_t v = op_rng.index(live.size());
+      (void)net.leave_host(live[v]);
+      live.erase(live.begin() + static_cast<long>(v));
+    } else if (!live.empty()) {
+      (void)net.route(static_cast<graph::AsIndex>(
+                          op_rng.index(topo.as_count())),
+                      live[op_rng.index(live.size())]);
+    }
+  }
+
+  out.dropped = inj.dropped();
+  out.retries = inj.retries();
+  out.metrics_json = scrub_wall_clock(net.simulator().metrics().to_json());
+
+  // Faults off: maintenance passes must converge (no work left) and restore
+  // every registration that loss prevented.
+  net.set_fault_injector(nullptr);
+  bool settled = false;
+  for (int pass = 0; pass < 8 && !settled; ++pass) {
+    settled = net.repair().messages == 0;
+  }
+  if (!settled) {
+    out.err = "repair did not converge";
+    return out;
+  }
+  std::string err;
+  if (!net.verify_rings(&err)) {
+    out.err = err;
+    return out;
+  }
+  for (const auto& [id, home] : net.directory()) {
+    if (!net.route(0, id).delivered) {
+      out.err = "unreachable id after repair";
+      return out;
+    }
+  }
+  out.converged = true;
+  return out;
+}
+
+class FaultyInterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultyInterFuzz, ConvergesAndReproducesBitIdentically) {
+  const std::uint64_t seed = GetParam();
+  const FaultyRunResult a = run_faulty_inter(seed);
+  const FaultyRunResult b = run_faulty_inter(seed);
+  ASSERT_TRUE(a.converged) << "seed " << seed << " run A: " << a.err;
+  ASSERT_TRUE(b.converged) << "seed " << seed << " run B: " << b.err;
+  EXPECT_GT(a.dropped, 0u) << "seed " << seed;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyInterFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace rofl

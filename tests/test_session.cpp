@@ -89,6 +89,96 @@ TEST(Session, RetrackResetsEpoch) {
   EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
 }
 
+TEST(Session, GatewayCrashDoesNotFireSpuriousTeardown) {
+  // Regression: a keepalive timer surviving a gateway crash kept charging
+  // misses accrued against the DEAD gateway to the rehomed session, so a
+  // host that was transiently silent across the crash got torn down by a
+  // stale timer.  The session must follow the ID to its failover gateway
+  // and restart the miss count there.
+  SessionConfig cfg;
+  cfg.keepalive_interval_ms = 100.0;
+  cfg.miss_limit = 3;
+  Fix f(cfg);
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 5).ok);
+  const auto old_home = f.net->hosting_router(ident.id());
+  ASSERT_TRUE(old_home.has_value());
+  bool alive = false;  // transiently silent through the crash
+  f.sessions->track(ident.id(), [&alive] { return alive; });
+
+  f.net->simulator().run_until(250.0);  // two misses at the old gateway
+  (void)f.net->fail_router(*old_home);  // crash; ID rejoins via failover
+  const auto new_home = f.net->hosting_router(ident.id());
+  ASSERT_TRUE(new_home.has_value());
+  ASSERT_NE(*new_home, *old_home);
+
+  // Two more silent intervals: with the old carried-over count this is the
+  // third miss and a spurious teardown; with the rehome reset it is only
+  // the second.
+  f.net->simulator().run_until(450.0);
+  alive = true;
+  f.net->simulator().run_until(1'000.0);
+
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  EXPECT_EQ(f.sessions->sessions_rehomed(), 1u);
+  EXPECT_TRUE(f.sessions->tracking(ident.id()));
+  EXPECT_TRUE(f.net->route(0, ident.id()).delivered);
+}
+
+TEST(Session, OrphanedIdRetiresWithoutSpuriousTimeout) {
+  // Regression: group-held IDs are not auto-rejoined after a router crash,
+  // so their session timers used to keep ticking against a directory entry
+  // that no longer exists and eventually fired fail_host on a ghost --
+  // counted as a host timeout that never happened.
+  SessionConfig cfg;
+  cfg.keepalive_interval_ms = 100.0;
+  cfg.miss_limit = 3;
+  Fix f(cfg);
+  Identity gid = Identity::generate(f.net->rng());
+  ASSERT_TRUE(
+      f.net->join_group_id(gid.id(), gid.public_key(), 5).ok);
+  const auto home = f.net->hosting_router(gid.id());
+  ASSERT_TRUE(home.has_value());
+  f.sessions->track(gid.id(), [] { return false; });  // members fell silent
+
+  f.net->simulator().run_until(150.0);  // one miss, session established
+  (void)f.net->fail_router(*home);      // group ID dies with the router
+  ASSERT_FALSE(f.net->hosting_router(gid.id()).has_value());
+  f.net->simulator().run_until(1'000.0);
+
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  EXPECT_EQ(f.sessions->sessions_orphaned(), 1u);
+  EXPECT_FALSE(f.sessions->tracking(gid.id()));
+}
+
+TEST(Session, LostKeepalivesTolerateUpToMissLimit) {
+  // A lossy access link eats keepalives from a perfectly healthy host; the
+  // gateway must ride out up to miss_limit-1 consecutive losses and only
+  // declare death at the limit -- never on the first lost packet.
+  SessionConfig cfg;
+  cfg.keepalive_interval_ms = 100.0;
+  cfg.miss_limit = 4;
+  Fix f(cfg);
+  Identity ident = Identity::generate(f.net->rng());
+  ASSERT_TRUE(f.net->join_host(ident, 3).ok);
+  f.sessions->track(ident.id(), [] { return true; });
+
+  sim::FaultPlan plan;
+  plan.defaults.loss = 1.0;  // the link eats every keepalive
+  sim::FaultInjector inj(plan, 13, &f.net->simulator().metrics());
+  f.net->set_fault_injector(&inj);
+
+  // Three straight losses: still alive.
+  f.net->simulator().run_until(350.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 0u);
+  EXPECT_EQ(f.sessions->keepalives_lost(), 3u);
+  EXPECT_TRUE(f.sessions->tracking(ident.id()));
+  // The fourth miss crosses the limit.
+  f.net->simulator().run_until(450.0);
+  EXPECT_EQ(f.sessions->timeouts_fired(), 1u);
+  EXPECT_FALSE(f.sessions->tracking(ident.id()));
+}
+
 TEST(Session, ManyConcurrentSessions) {
   SessionConfig cfg;
   cfg.keepalive_interval_ms = 50.0;

@@ -43,7 +43,7 @@ TEST(ByteBuffer, TruncatedReadsFailCleanly) {
 TEST(ByteBuffer, LengthPrefixedBytes) {
   ByteWriter w;
   const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
-  w.lp_bytes(data);
+  EXPECT_TRUE(w.lp_bytes(data));
   ByteReader r(w.data());
   const auto back = r.lp_bytes();
   ASSERT_TRUE(back.has_value());
@@ -55,6 +55,34 @@ TEST(ByteBuffer, LpBytesTruncatedLengthFails) {
   w.u16(100);  // claims 100 bytes, provides none
   ByteReader r(w.data());
   EXPECT_FALSE(r.lp_bytes().has_value());
+}
+
+TEST(ByteBuffer, OversizedLpBytesIsAnExplicitFailureNotTruncation) {
+  // 0x10000 bytes does not fit a u16 length prefix.  The old behavior
+  // clamped to 0xFFFF and wrote a corrupted field; now the write is refused
+  // outright: nothing lands in the buffer and the writer reports failure.
+  const std::vector<std::uint8_t> big(0x10000, 0xAB);
+  ByteWriter w;
+  EXPECT_TRUE(w.ok());
+  EXPECT_FALSE(w.lp_bytes(big));
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ByteBuffer, MaxSizeLpBytesRoundTripsIntact) {
+  // Exactly 0xFFFF bytes is the largest representable field and must
+  // round-trip byte-for-byte.
+  const std::vector<std::uint8_t> max_field(0xFFFF, 0xCD);
+  ByteWriter w;
+  EXPECT_TRUE(w.lp_bytes(max_field));
+  EXPECT_TRUE(w.ok());
+  ByteReader r(w.data());
+  const auto back = r.lp_bytes();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), max_field.size());
+  EXPECT_TRUE(std::equal(back->begin(), back->end(), max_field.begin(),
+                         max_field.end()));
+  EXPECT_TRUE(r.exhausted());
 }
 
 Packet sample_packet() {
@@ -100,6 +128,32 @@ TEST(Packet, RoundTripWithFingers) {
   const auto q = Packet::decode(p.encode());
   ASSERT_TRUE(q.has_value());
   EXPECT_EQ(*q, p);
+}
+
+TEST(Packet, OversizedFieldsRefuseToEncode) {
+  // Payload past the u16 limit: encode must fail loudly (empty result), not
+  // emit a clamped packet whose payload was silently cut at 64 KiB.
+  Packet p = sample_packet();
+  p.payload.assign(0x10000, 0x77);
+  EXPECT_TRUE(p.encode().empty());
+
+  // The largest representable payload still round-trips intact.
+  p.payload.assign(0xFFFF, 0x77);
+  const auto bytes = p.encode();
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes.size(), p.wire_size());
+  const auto q = Packet::decode(bytes);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->payload.size(), 0xFFFFu);
+  EXPECT_EQ(*q, p);
+
+  // The same guard covers the other u16-counted fields.
+  Packet long_path = sample_packet();
+  long_path.as_path.assign(0x10000, 42);
+  EXPECT_TRUE(long_path.encode().empty());
+  Packet many_fingers = sample_packet();
+  many_fingers.fingers.assign(0x10000, FingerField{NodeId(1, 2), 3});
+  EXPECT_TRUE(many_fingers.encode().empty());
 }
 
 TEST(Packet, DecodeRejectsBadVersionAndType) {

@@ -18,8 +18,10 @@
 //
 // Every run prints its seed; identical invocations reproduce exactly.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "baselines/cmu_ethernet.hpp"
@@ -44,6 +46,10 @@ struct Args {
   std::uint64_t num(const std::string& k, std::uint64_t dflt) const {
     const auto it = kv.find(k);
     return it == kv.end() ? dflt : std::stoull(it->second);
+  }
+  double dbl(const std::string& k, double dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stod(it->second);
   }
 };
 
@@ -352,6 +358,139 @@ int cmd_partition(const Args& a) {
   return ok ? 0 : 1;
 }
 
+int cmd_faults(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  Rng rng(seed);
+  graph::IspTopology topo = isp_from_args(a, rng);
+  ObsSession watch(a);
+  intra::Network net(&topo, intra::Config{}, seed + 1);
+  watch.install(net.simulator());
+  if (watch.want_route_dump) net.set_flight_recorder(&watch.recorder);
+
+  sim::FaultPlan plan;
+  plan.defaults.loss = a.dbl("loss", 0.05);
+  plan.defaults.duplicate = a.dbl("dup", 0.0);
+  plan.defaults.jitter_ms = a.dbl("jitter", 0.0);
+  const std::uint64_t flap_count = a.num("flaps", 0);
+  std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> edges;
+  for (graph::NodeIndex u = 0; u < topo.graph.node_count(); ++u) {
+    for (const auto& e : topo.graph.neighbors(u)) {
+      if (e.to > u) edges.emplace_back(u, e.to);
+    }
+  }
+  Rng frng(seed * 5 + 1);
+  for (std::uint64_t i = 0; i < flap_count; ++i) {
+    const auto [u, v] = edges[frng.index(edges.size())];
+    const double down = 10.0 + 15.0 * static_cast<double>(i);
+    plan.link_flaps.push_back({u, v, down, down + 12.0});
+  }
+  sim::FaultInjector inj(plan, seed ^ 0xF417C0DEull,
+                         &net.simulator().metrics());
+  net.set_fault_injector(&inj);
+  net.schedule_fault_plan(plan);
+
+  // Workload: joins, then churn with data traffic, all under the plan.
+  const std::size_t hosts = a.num("hosts", 200);
+  const std::size_t churn = a.num("churn", 50);
+  Rng wrng(seed * 9 + 7);
+  std::vector<Identity> live;
+  std::uint64_t joins_ok = 0, joins_failed = 0;
+  double t = 0.0;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    t += 0.5;
+    net.simulator().run_until(t);
+    Identity ident = Identity::generate(net.rng());
+    const auto gw =
+        static_cast<graph::NodeIndex>(wrng.index(net.router_count()));
+    if (net.join_host(ident, gw).ok) {
+      ++joins_ok;
+      live.push_back(ident);
+    } else {
+      ++joins_failed;
+    }
+  }
+  std::size_t attempted = 0, delivered = 0;
+  std::uint64_t last_trace = 0;
+  for (std::size_t op = 0; op < churn; ++op) {
+    t += 1.0;
+    net.simulator().run_until(t);
+    const std::uint64_t pick = wrng.below(100);
+    if (pick < 30 && !live.empty()) {
+      const std::size_t v = wrng.index(live.size());
+      (void)net.fail_host(live[v].id());
+      live.erase(live.begin() + static_cast<long>(v));
+    } else if (pick < 55) {
+      Identity ident = Identity::generate(net.rng());
+      if (net.join_host(ident, static_cast<graph::NodeIndex>(
+                                   wrng.index(net.router_count())))
+              .ok) {
+        live.push_back(ident);
+      }
+    } else if (!live.empty()) {
+      const auto src =
+          static_cast<graph::NodeIndex>(wrng.index(net.router_count()));
+      ++attempted;
+      const auto rs = net.route(src, live[wrng.index(live.size())].id());
+      if (rs.delivered) {
+        ++delivered;
+        if (rs.trace_id != 0) last_trace = rs.trace_id;
+      }
+    }
+  }
+  net.simulator().run_until(t + 200.0);  // every scheduled window closed
+
+  // Snapshot before the faults-off repair so two same-seed runs compare the
+  // faulty phase, not whatever repair did afterwards.  Wall-clock histograms
+  // (SPF recompute times) are excluded: they measure host CPU, not simulated
+  // behavior, and would break byte-for-byte comparison.
+  const std::string metrics_path = a.str("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    std::istringstream in(net.simulator().metrics().to_json(2));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("recompute_ms") == std::string::npos) out << line << "\n";
+    }
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+
+  net.set_fault_injector(nullptr);
+  const auto rs = net.repair_partitions();
+  std::string err;
+  const bool rings_ok = net.verify_rings(&err, /*strict=*/true);
+
+  std::cout << "[seed " << seed << "] " << topo.name << ", loss="
+            << plan.defaults.loss << " dup=" << plan.defaults.duplicate
+            << " jitter=" << plan.defaults.jitter_ms << "ms flaps="
+            << flap_count << "\n";
+  Table t2({"metric", "value"});
+  t2.add_row({std::string("joins ok/failed"),
+              std::to_string(joins_ok) + "/" + std::to_string(joins_failed)});
+  t2.add_row({std::string("delivery during churn"),
+              std::to_string(delivered) + "/" + std::to_string(attempted)});
+  t2.add_row({std::string("messages dropped"),
+              static_cast<std::int64_t>(inj.dropped())});
+  t2.add_row({std::string("messages duplicated"),
+              static_cast<std::int64_t>(inj.duplicated())});
+  t2.add_row({std::string("retries"),
+              static_cast<std::int64_t>(inj.retries())});
+  t2.add_row({std::string("retries exhausted"),
+              static_cast<std::int64_t>(inj.retries_exhausted())});
+  t2.add_row({std::string("link flaps"),
+              static_cast<std::int64_t>(inj.flaps())});
+  t2.add_row({std::string("repair packets (faults off)"),
+              static_cast<std::int64_t>(rs.messages)});
+  t2.add_row({std::string("rings canonical after repair"),
+              std::string(rings_ok ? "yes" : err)});
+  t2.print(std::cout);
+  watch.finish(net.simulator(), last_trace);
+  return rings_ok ? 0 : 1;
+}
+
 void usage() {
   std::cout <<
       "roflsim -- ROFL (Routing on Flat Labels) experiment driver\n\n"
@@ -359,7 +498,10 @@ void usage() {
       "  roflsim intra     [--isp NAME] [--hosts N] [--routes N] [--cache N]\n"
       "  roflsim inter     [--ids N] [--strategy eph|single|multi|peering]\n"
       "                    [--fingers N] [--bloom] [--routes N]\n"
-      "  roflsim partition [--isp NAME] [--ids-per-pop N]\n\n"
+      "  roflsim partition [--isp NAME] [--ids-per-pop N]\n"
+      "  roflsim faults    [--isp NAME] [--hosts N] [--churn N] [--loss P]\n"
+      "                    [--dup P] [--jitter MS] [--flaps N]\n"
+      "                    [--metrics-json FILE]\n\n"
       "All commands accept --seed S (default 1); runs are reproducible.\n"
       "Observability (intra/inter/partition):\n"
       "  --trace FILE   write a Perfetto/chrome://tracing timeline\n"
@@ -380,6 +522,7 @@ int main(int argc, char** argv) {
   if (cmd == "intra") return cmd_intra(args);
   if (cmd == "inter") return cmd_inter(args);
   if (cmd == "partition") return cmd_partition(args);
+  if (cmd == "faults") return cmd_faults(args);
   usage();
   return 2;
 }
