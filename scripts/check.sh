@@ -38,6 +38,22 @@ build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.05 --flaps 3 \
 cmp build/faults_run1.json build/faults_run2.json
 grep -q '"faults.dropped"' build/faults_run1.json
 
+# Invariant-auditor smoke: a churn run with periodic audits must finish with
+# zero hard violations and converge (roflsim exits nonzero otherwise), both
+# fault-free and under loss; two same-seed runs must produce byte-identical
+# metrics snapshots -- the digest printed on stdout covers the audit reports
+# violation-by-violation.
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --metrics-json build/audit_run1.json > build/audit_out1.txt
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --metrics-json build/audit_run2.json > build/audit_out2.txt
+cmp build/audit_run1.json build/audit_run2.json
+cmp <(grep 'audit digest' build/audit_out1.txt) \
+    <(grep 'audit digest' build/audit_out2.txt)
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --loss 0.05 > /dev/null
+grep -q '"audit.runs"' build/audit_run1.json
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then

@@ -1,0 +1,57 @@
+#include "audit/shrink.hpp"
+
+#include <algorithm>
+
+namespace rofl::audit {
+
+ShrinkResult shrink_schedule(std::vector<ChurnEvent> events,
+                             const FailurePredicate& still_fails,
+                             std::size_t max_probes) {
+  ShrinkResult r;
+  const auto probe = [&](const std::vector<ChurnEvent>& cand) {
+    ++r.probes;
+    return still_fails(cand);
+  };
+
+  if (max_probes == 0 || !probe(events)) {
+    r.events = std::move(events);
+    return r;
+  }
+  std::vector<ChurnEvent> cur = std::move(events);
+
+  std::size_t chunk = std::max<std::size_t>(1, cur.size() / 2);
+  while (true) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < cur.size() && r.probes < max_probes;) {
+      const std::size_t end = std::min(start + chunk, cur.size());
+      std::vector<ChurnEvent> cand;
+      cand.reserve(cur.size() - (end - start));
+      cand.insert(cand.end(), cur.begin(),
+                  cur.begin() + static_cast<std::ptrdiff_t>(start));
+      cand.insert(cand.end(), cur.begin() + static_cast<std::ptrdiff_t>(end),
+                  cur.end());
+      if (probe(cand)) {
+        cur = std::move(cand);
+        removed_any = true;
+        // Do not advance: the next chunk has shifted into `start`.
+      } else {
+        start = end;
+      }
+    }
+    if (r.probes >= max_probes) break;
+    if (chunk > 1) {
+      chunk /= 2;
+      continue;
+    }
+    // chunk == 1: iterate to a fixpoint, then we are 1-minimal.
+    if (!removed_any) {
+      r.minimal = true;
+      break;
+    }
+  }
+  r.events = std::move(cur);
+  return r;
+}
+
+}  // namespace rofl::audit

@@ -1,0 +1,45 @@
+// shrink.hpp -- greedy delta-debugging minimizer for churn schedules.
+//
+// When a churn run trips the invariant auditor, the failing schedule is
+// usually hundreds of events of which a handful matter.  shrink_schedule
+// applies ddmin-style chunk elimination: starting from half-schedule chunks
+// and halving down to single events, it repeatedly deletes any chunk whose
+// removal keeps the run failing, until no single event can be removed (or
+// the probe budget runs out).  Because every ChurnEvent carries its own
+// pre-drawn identity and selector (churn.hpp), replaying a subset is
+// deterministic -- the predicate sees exactly the events it was given.
+//
+// The predicate is arbitrary: "auditor reports a hard violation", "run does
+// not reconverge", "delivery drops below X" all work.  The caller seeds the
+// network construction inside the predicate, so shrinking never mutates
+// shared state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "audit/churn.hpp"
+
+namespace rofl::audit {
+
+struct ShrinkResult {
+  std::vector<ChurnEvent> events;  // smallest failing schedule found
+  std::size_t probes = 0;          // predicate evaluations spent
+  /// True when the result is 1-minimal: removing any single remaining event
+  /// makes the failure disappear.  False when the probe budget ran out
+  /// first, or when the full schedule never failed to begin with.
+  bool minimal = false;
+};
+
+/// Returns true when the (sub)schedule still reproduces the failure.
+using FailurePredicate = std::function<bool(const std::vector<ChurnEvent>&)>;
+
+/// Minimizes `events` against `still_fails`.  The input schedule must fail;
+/// if it does not, it is returned unchanged with minimal=false after one
+/// probe.
+[[nodiscard]] ShrinkResult shrink_schedule(std::vector<ChurnEvent> events,
+                                           const FailurePredicate& still_fails,
+                                           std::size_t max_probes = 2000);
+
+}  // namespace rofl::audit

@@ -1024,6 +1024,24 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
     }
     if (touched) reindex_as(home);
   }
+  // Pass 3: refresh subtree bloom summaries along each ID's *current*
+  // up-hierarchy.  A restored link or AS can add ancestors that never saw
+  // the ID's join-time insertion, and a bloom false negative breaks the
+  // soundness guarantee the summaries are routed on.  Insertion is
+  // idempotent, so re-inserting everything is safe; stale positives left at
+  // former ancestors are allowed (blooms cannot delete) and only cost a
+  // wasted probe.
+  for (AsIndex home = 0; home < work_.as_count(); ++home) {
+    if (!work_.as_up(home) || nodes_[home].subtree_bloom == nullptr) continue;
+    if (nodes_[home].hosted.empty()) continue;
+    const auto up = work_.up_hierarchy(home, /*include_backup=*/false);
+    for (const AsIndex a : up.nodes) {
+      if (nodes_[a].subtree_bloom == nullptr) continue;
+      for (const auto& [id, vn] : nodes_[home].hosted) {
+        nodes_[a].subtree_bloom->insert(id);
+      }
+    }
+  }
   if (obs::Tracer* t = sim_.tracer()) {
     t->instant("inter.reanchor", "interdomain", sim_.now_ms() * 1000.0,
                /*track=*/3,

@@ -43,6 +43,10 @@
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
 
+namespace rofl::audit {
+class Auditor;
+}
+
 namespace rofl::inter {
 
 class InterNetwork {
@@ -157,6 +161,10 @@ class InterNetwork {
   [[nodiscard]] std::size_t ring_size(AsIndex anchor) const;
 
  private:
+  /// The invariant auditor reads (never writes) the ring registries, bloom
+  /// summaries, and pointer sets to assert cross-layer consistency.
+  friend class rofl::audit::Auditor;
+
   struct AsNode {
     std::map<NodeId, InterVNode> hosted;
     /// IDs registered in the ring anchored at this AS (protocol state: hosts

@@ -21,6 +21,7 @@ std::string_view to_string(HopKind k) {
     case HopKind::kDeliver: return "deliver";
     case HopKind::kDrop: return "drop";
     case HopKind::kFaultDrop: return "fault-drop";
+    case HopKind::kAuditViolation: return "audit-violation";
   }
   return "?";
 }
@@ -73,6 +74,7 @@ std::string FlightRecorder::format_trace(std::uint64_t trace_id) const {
       case HopKind::kDeliver:
       case HopKind::kDrop:
       case HopKind::kFaultDrop:
+      case HopKind::kAuditViolation:
         os << "  dest=" << h.chased;
         break;
       default:

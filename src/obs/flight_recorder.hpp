@@ -37,6 +37,7 @@ enum class HopKind : std::uint8_t {
   kDeliver,           // destination reached
   kDrop,              // no way to make progress
   kFaultDrop,         // lost in flight by the fault injector (sim::FaultPlan)
+  kAuditViolation,    // invariant auditor flagged broken state at this node
 };
 
 [[nodiscard]] std::string_view to_string(HopKind k);

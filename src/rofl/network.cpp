@@ -312,7 +312,11 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   const NodeId succ0_id = vn.successors.front().id;
   const NodeIndex succ0_host = vn.successors.front().host;
 
-  // Predecessor adopts vn as its new first successor.
+  // Predecessor adopts vn as its new first successor.  Keep the prior group
+  // around: if the join reply below is lost, the adoption must roll back
+  // exactly (insertion at capacity k evicts the deepest member, which a
+  // plain removal would not restore).
+  const std::vector<NeighborPtr> pred_group_before = pred->successors;
   insert_sorted_successor(*pred, self, cfg_.successor_group);
   pred_r.reindex_vnode(pred->id);
 
@@ -327,6 +331,12 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   // successor list.  Routers along the way cache the new ID.
   const Transfer reply = reliable_unicast(pred_router, vn.home, cat);
   if (!reply.ok) {
+    // The joining host never learned it was admitted, so the predecessor
+    // must roll back the adoption (its reply timer expires).  Leaving vn in
+    // pred's group would create a phantom successor: a ring member whose
+    // vnode is never installed anywhere.
+    pred->successors = pred_group_before;
+    pred_r.reindex_vnode(pred->id);
     total.ok = false;
     return total;
   }
@@ -347,7 +357,17 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   Router& home_r = *routers_[vn.home];
   for (const NodeId& eid : migrate) {
     const auto gw = pred_r.ephemeral_gateway(eid);
-    if (gw.has_value()) home_r.add_ephemeral_backpointer(eid, *gw);
+    if (gw.has_value()) {
+      home_r.add_ephemeral_backpointer(eid, *gw);
+      // The ephemeral's ring predecessor is now vn; keep its own pointer in
+      // step, or a later teardown would look for the backpointer at the old
+      // anchor and leak the migrated one.
+      if (*gw < routers_.size()) {
+        if (VirtualNode* evn = routers_[*gw]->find_vnode(eid)) {
+          evn->predecessor = self;
+        }
+      }
+    }
     pred_r.remove_ephemeral_backpointer(eid);
   }
 
@@ -603,6 +623,14 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
       if (depth == 0) {
         for (const auto& [eid, egw] : orphans) {
           routers_[walk.host]->add_ephemeral_backpointer(eid, egw);
+          // Re-point each orphan's own predecessor at the inheriting vnode,
+          // so its eventual teardown finds the backpointer where it now
+          // lives instead of at the departed anchor.
+          if (egw < routers_.size()) {
+            if (VirtualNode* evn = routers_[egw]->find_vnode(eid)) {
+              evn->predecessor = walk;
+            }
+          }
         }
       }
       if (!p->predecessor.has_value()) break;
@@ -641,7 +669,12 @@ RepairStats Network::fail_host(const NodeId& id) {
 }
 
 RepairStats Network::leave_host(const NodeId& id) {
-  RepairStats stats = splice_out(id, /*directed_flood=*/false,
+  // A graceful departure issues the same directed teardown flood as a crash
+  // (section 3.2): the departing host knows its control path and purges the
+  // cached pointers that still name it.  Without the flood those entries
+  // linger until a data packet trips stale-pointer recovery -- a coherence
+  // hole the invariant auditor flags.
+  RepairStats stats = splice_out(id, /*directed_flood=*/true,
                                  sim::MsgCategory::kTeardown);
   host_identities_.erase(id);
   host_class_.erase(id);
@@ -798,6 +831,17 @@ RepairStats Network::repair_partitions() {
     if (!loc.ok) continue;
     stats.messages += loc.messages;
     Router& pred_r = *routers_[loc.pred_router];
+    // Canonicalize: exactly one anchor for this id, at the current
+    // predecessor.  Backpointers left behind at former predecessors (ring
+    // membership changed, router restored with pre-crash state) would
+    // otherwise accumulate and misdirect delivery to routers the vnode has
+    // left.
+    for (auto& rr : routers_) {
+      if (rr->index() != loc.pred_router &&
+          rr->ephemeral_gateway(id).has_value()) {
+        rr->remove_ephemeral_backpointer(id);
+      }
+    }
     if (pred_r.ephemeral_gateway(id) != gw) {
       pred_r.add_ephemeral_backpointer(id, gw);
       VirtualNode* evn = routers_[gw]->find_vnode(id);
@@ -872,6 +916,17 @@ RepairStats Network::restore_router(NodeIndex r) {
   for (const auto& [id, vn] : routers_[r]->vnodes()) stale.push_back(id);
   for (const NodeId& id : stale) routers_[r]->remove_vnode(id);
   routers_[r]->cache().clear();
+  // Ephemeral backpointers recorded before the crash are stale too: the
+  // vnodes they anchor were rehomed (or torn down) while this router was
+  // dark, and their current predecessors hold the live anchors.
+  std::vector<NodeId> stale_eph;
+  for (const auto& [eid, egw] : routers_[r]->ephemeral_backpointers()) {
+    (void)egw;
+    stale_eph.push_back(eid);
+  }
+  for (const NodeId& eid : stale_eph) {
+    routers_[r]->remove_ephemeral_backpointer(eid);
+  }
   map_->restore_node(r);
 
   // The router's default vnode rejoins the ring.
@@ -968,7 +1023,20 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
       }
       return stats;
     }
-    if (const auto egw = r.ephemeral_gateway(dest)) {
+    // An ephemeral backpointer names a gateway, not a residency proof:
+    // after a rehoming (partition repair, router restore) a stale entry can
+    // point at a router the vnode has left.  Delivering there would be a
+    // false delivery, so verify residency; on a miss tear the dead pointer
+    // down and fall through to greedy forwarding.
+    const auto live_egw = [&]() -> std::optional<NodeIndex> {
+      const auto g = r.ephemeral_gateway(dest);
+      if (!g.has_value()) return std::nullopt;
+      if (*g < routers_.size() && routers_[*g]->hosts(dest)) return g;
+      r.remove_ephemeral_backpointer(dest);
+      rec(obs::HopKind::kStalePointer, cur, dest);
+      return std::nullopt;
+    };
+    if (const auto egw = live_egw()) {
       rec(obs::HopKind::kEphemeralGateway, cur, dest);
       const auto path = map_->path(cur, *egw);
       if (!path.empty()) {

@@ -127,7 +127,9 @@ class Network {
   /// ring neighbors, directed flood over the cached-state router set.
   RepairStats fail_host(const NodeId& id);
 
-  /// Graceful leave: same ring splice-out without the directed flood.
+  /// Graceful leave: same ring splice-out; the departing host also issues
+  /// the directed cache-purge flood over its control path, so no router is
+  /// left holding a pointer to the departed ID.
   RepairStats leave_host(const NodeId& id);
 
   // -- failures -------------------------------------------------------------

@@ -22,6 +22,10 @@
 #include "rofl/network.hpp"
 #include "wire/packet.hpp"
 
+namespace rofl::audit {
+class Auditor;
+}
+
 namespace rofl::intra {
 
 struct SessionConfig {
@@ -61,6 +65,10 @@ class SessionManager {
   [[nodiscard]] std::uint64_t sessions_orphaned() const { return orphaned_; }
 
  private:
+  /// The invariant auditor reads the session table to assert every tracked
+  /// session references a live gateway.
+  friend class rofl::audit::Auditor;
+
   struct Session {
     std::function<bool()> alive;
     unsigned missed = 0;

@@ -67,13 +67,14 @@ class NodeId {
   }
 
   /// True iff `x` lies in the ring interval (a, b] walking clockwise from a.
-  /// By Chord convention an empty span (a == b) denotes the full ring, so
-  /// every x != a is inside and b == a is inside (the interval is closed
-  /// at b).
+  /// By Chord convention an empty span (a == b) denotes the full ring: the
+  /// clockwise walk from a (exclusive) wraps all the way around and ends at
+  /// b == a (inclusive), so every x -- including x == a, which is reached as
+  /// the closing endpoint -- is inside.
   [[nodiscard]] static constexpr bool in_interval_oc(const NodeId& a,
                                                      const NodeId& x,
                                                      const NodeId& b) {
-    if (a == b) return x != a;  // full ring, still open at a
+    if (a == b) return true;  // full ring, closed at b == a
     return distance_cw(a, x) <= distance_cw(a, b) && x != a;
   }
 

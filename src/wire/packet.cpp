@@ -9,6 +9,20 @@ namespace {
 constexpr std::uint8_t kFlagPeering = 0x01;
 constexpr std::uint8_t kFlagCapability = 0x02;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  Bitwise rather
+/// than table-driven: packets are small and this keeps the binary free of a
+/// 1 KiB table for a check that runs once per encode/decode.
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
 }  // namespace
 
 void write_node_id(ByteWriter& w, const NodeId& id) {
@@ -62,11 +76,25 @@ std::vector<std::uint8_t> Packet::encode() const {
       w.lp_bytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
   assert(payload_ok && w.ok());  // sizes were range-checked above
   (void)payload_ok;
+  // Integrity trailer over everything above.  A link that flips any bit of
+  // the packet -- header, fields, or payload -- fails decode instead of
+  // delivering silently corrupted state.
+  w.u32(crc32(w.data()));
   return w.take();
 }
 
 std::optional<Packet> Packet::decode(std::span<const std::uint8_t> data) {
-  ByteReader r(data);
+  // Verify and strip the CRC trailer first: a corrupted buffer must never be
+  // parsed into fields at all.
+  if (data.size() < 4) return std::nullopt;
+  const std::span<const std::uint8_t> body = data.first(data.size() - 4);
+  std::uint32_t expected = 0;
+  for (std::size_t i = data.size() - 4; i < data.size(); ++i) {
+    expected = (expected << 8) | data[i];
+  }
+  if (crc32(body) != expected) return std::nullopt;
+
+  ByteReader r(body);
   Packet p;
   const auto version = r.u8();
   if (!version.has_value() || *version != kVersion) return std::nullopt;
@@ -143,6 +171,7 @@ std::size_t Packet::wire_size() const {
   if (capability.has_value()) n += 16 + 8 + capability->token.size();
   n += 2 + 20 * fingers.size();
   n += 2 + payload.size();
+  n += 4;  // CRC-32 trailer
   return n;
 }
 

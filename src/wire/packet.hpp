@@ -72,8 +72,13 @@ struct Packet {
 
   /// Serializes the packet.  Returns an empty vector when a variable-length
   /// field (payload, as_path, fingers) exceeds its u16 wire limit -- an
-  /// explicit failure, never a silently truncated packet.
+  /// explicit failure, never a silently truncated packet.  The encoding ends
+  /// with a CRC-32 trailer over every preceding byte.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Parses an encoding.  Returns nullopt on truncation, trailing garbage,
+  /// bad version/type, or CRC mismatch -- any single bit flipped anywhere in
+  /// the buffer is guaranteed to be rejected rather than decoded into a
+  /// silently different packet.
   [[nodiscard]] static std::optional<Packet> decode(
       std::span<const std::uint8_t> data);
 

@@ -528,5 +528,72 @@ TEST_P(IntraChurn, RingSurvivesChurn) {
 INSTANTIATE_TEST_SUITE_P(Scales, IntraChurn,
                          ::testing::Values(20, 60, 120, 250));
 
+// Scans every router (live or crashed) for any trace of `id`: directory
+// entry, resident vnode, successor/predecessor pointer, pointer-cache entry,
+// or ephemeral backpointer.  Returns a description of the first hit.
+std::string find_traces_of(const Network& net, const NodeId& id) {
+  if (net.directory().contains(id)) return "directory";
+  for (NodeIndex i = 0; i < net.router_count(); ++i) {
+    const Router& r = net.router(i);
+    if (r.find_vnode(id) != nullptr) return "vnode@" + std::to_string(i);
+    for (const auto& [vid, vn] : r.vnodes()) {
+      for (const NeighborPtr& s : vn.successors) {
+        if (s.id == id) return "successor@" + std::to_string(i);
+      }
+      if (vn.predecessor.has_value() && vn.predecessor->id == id) {
+        return "predecessor@" + std::to_string(i);
+      }
+    }
+    if (r.cache().find(id) != nullptr) return "cache@" + std::to_string(i);
+    if (r.ephemeral_gateway(id).has_value()) {
+      return "backpointer@" + std::to_string(i);
+    }
+  }
+  return "";
+}
+
+TEST(IntraLeave, RouteAfterLeaveFindsNoStaleState) {
+  // Regression for the leave-time cache-coherence bug: a graceful leave must
+  // purge the departed ID from every router's pointer cache and ring state,
+  // so a later route() fails cleanly instead of chasing a stale pointer.
+  TestNet t(30, 5, {}, 4242);
+  t.join_many(40);
+  const NodeId victim = t.join(7);
+
+  // Warm caches along many paths toward the victim.
+  for (NodeIndex src = 0; src < t.net->router_count(); ++src) {
+    EXPECT_TRUE(t.net->route(src, victim).delivered);
+  }
+
+  (void)t.net->leave_host(victim);
+
+  EXPECT_EQ(find_traces_of(*t.net, victim), "");
+  for (NodeIndex src = 0; src < t.net->router_count(); src += 3) {
+    EXPECT_FALSE(t.net->route(src, victim).delivered) << "src " << src;
+  }
+  // The survivors' ring must still be canonical and fully routable.
+  std::string err;
+  ASSERT_TRUE(t.net->verify_rings(&err, /*strict=*/true)) << err;
+  for (const auto& [id, home] : t.net->directory()) {
+    EXPECT_TRUE(t.net->route(0, id).delivered);
+  }
+}
+
+TEST(IntraLeave, EphemeralLeaveRemovesBackpointerEverywhere) {
+  TestNet t(30, 5, {}, 555);
+  t.join_many(30);
+  const NodeId eph = t.join(3, HostClass::kEphemeral);
+  for (NodeIndex src = 0; src < t.net->router_count(); src += 2) {
+    EXPECT_TRUE(t.net->route(src, eph).delivered);
+  }
+
+  (void)t.net->leave_host(eph);
+
+  EXPECT_EQ(find_traces_of(*t.net, eph), "");
+  EXPECT_FALSE(t.net->route(0, eph).delivered);
+  std::string err;
+  ASSERT_TRUE(t.net->verify_rings(&err, /*strict=*/true)) << err;
+}
+
 }  // namespace
 }  // namespace rofl::intra

@@ -75,7 +75,10 @@ TEST(NodeId, FullRingConventionWhenEndpointsEqual) {
   // (a, a] denotes the full ring.
   EXPECT_TRUE(NodeId::in_interval_oc(a, NodeId::from_u64(100), a));
   EXPECT_TRUE(NodeId::in_interval_oc(a, a.plus(NodeId::from_u64(1)), a));
-  EXPECT_FALSE(NodeId::in_interval_oc(a, a, a));
+  // x == a is the closed endpoint b of the full ring, so it is inside.  (A
+  // single-member ring owns every id including its own; the old EXPECT_FALSE
+  // here encoded the bug where a sole successor rejected its own id.)
+  EXPECT_TRUE(NodeId::in_interval_oc(a, a, a));
   // Open-open variant excludes the endpoint itself.
   EXPECT_TRUE(NodeId::in_interval_oo(a, NodeId::from_u64(100), a));
   EXPECT_FALSE(NodeId::in_interval_oo(a, a, a));
@@ -211,6 +214,68 @@ TEST_P(NodeIdIntervalProperty, IntervalMatchesWalkDefinition) {
 
 INSTANTIATE_TEST_SUITE_P(Spans, NodeIdIntervalProperty,
                          ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+// Exhaustive check of the ring predicates on a 6-bit ring embedded in the
+// 128-bit id space.  Each small value v maps to v * 2^122, so the 64 sample
+// points are evenly spaced around the full ring and mod-64 arithmetic in the
+// reference model corresponds exactly to mod-2^128 arithmetic in NodeId --
+// including wrap past zero.  Every (a, x, b) triple is covered, which pins
+// down all the degenerate cases (a == b, x == a, x == b) that sampling-based
+// tests kept missing.
+namespace ring6 {
+
+constexpr unsigned kRing = 64;
+
+NodeId embed(unsigned v) { return NodeId(std::uint64_t{v} << 58, 0); }
+
+// (a, b] membership by literally walking clockwise; (a, a] is the full ring.
+bool ref_oc(unsigned a, unsigned x, unsigned b) {
+  unsigned steps = (b + kRing - a) % kRing;
+  if (steps == 0) steps = kRing;
+  for (unsigned k = 1; k <= steps; ++k) {
+    if ((a + k) % kRing == x) return true;
+  }
+  return false;
+}
+
+bool ref_oo(unsigned a, unsigned x, unsigned b) {
+  return ref_oc(a, x, b) && x != b;
+}
+
+unsigned dist_cw(unsigned from, unsigned to) {
+  return (to + kRing - from) % kRing;
+}
+
+}  // namespace ring6
+
+TEST(NodeId, IntervalPredicatesExhaustiveOn6BitRing) {
+  using namespace ring6;
+  for (unsigned a = 0; a < kRing; ++a) {
+    for (unsigned b = 0; b < kRing; ++b) {
+      for (unsigned x = 0; x < kRing; ++x) {
+        const bool oc = NodeId::in_interval_oc(embed(a), embed(x), embed(b));
+        const bool oo = NodeId::in_interval_oo(embed(a), embed(x), embed(b));
+        ASSERT_EQ(oc, ref_oc(a, x, b)) << "oc a=" << a << " x=" << x
+                                       << " b=" << b;
+        ASSERT_EQ(oo, ref_oo(a, x, b)) << "oo a=" << a << " x=" << x
+                                       << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(NodeId, CloserToExhaustiveOn6BitRing) {
+  using namespace ring6;
+  for (unsigned dest = 0; dest < kRing; ++dest) {
+    for (unsigned x = 0; x < kRing; ++x) {
+      for (unsigned y = 0; y < kRing; ++y) {
+        const bool got = NodeId::closer_to(embed(dest), embed(x), embed(y));
+        const bool want = dist_cw(x, dest) < dist_cw(y, dest);
+        ASSERT_EQ(got, want) << "dest=" << dest << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rofl

@@ -433,5 +433,98 @@ TEST_P(FaultyInterFuzz, ConvergesAndReproducesBitIdentically) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultyInterFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+// ---------------------------------------------------------------------------
+// Targeted join/leave race under heavy loss (regression for the splice-in
+// rollback bug).  With 30% loss and a nearly-exhausted retry budget, many
+// joins abort partway through the pointer-installation exchange.  An aborted
+// join must leave NO trace: historically a failed join could leave the new
+// ID already spliced into its neighbors' successor groups ("phantom
+// successor") while never landing in the directory, and the next leave or
+// repair pass would then chase a pointer to a host that does not exist.
+
+class LossyJoinLeaveRace : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyJoinLeaveRace, FailedJoinsLeaveNoTrace) {
+  const std::uint64_t seed = GetParam();
+  Rng trng(seed);
+  graph::IspParams params;
+  params.router_count = 24;
+  params.pop_count = 4;
+  graph::IspTopology topo = graph::make_isp_topology(params, trng);
+
+  intra::Config cfg;
+  cfg.successor_group = 3;
+  cfg.retry.max_attempts = 2;  // loss frequently exhausts the budget
+  intra::Network net(&topo, cfg, seed * 3 + 1);
+
+  sim::FaultPlan plan;
+  plan.defaults.loss = 0.30;
+  sim::FaultInjector inj(plan, seed ^ 0xF417C0DEull,
+                         &net.simulator().metrics());
+  net.set_fault_injector(&inj);
+
+  // Any appearance of `id` in ring state, caches, or backpointers counts.
+  const auto traces_of = [&](const NodeId& id) -> std::string {
+    if (net.directory().contains(id)) return "directory";
+    for (graph::NodeIndex i = 0; i < net.router_count(); ++i) {
+      const intra::Router& r = net.router(i);
+      if (r.find_vnode(id) != nullptr) return "vnode@" + std::to_string(i);
+      for (const auto& [vid, vn] : r.vnodes()) {
+        for (const intra::NeighborPtr& s : vn.successors) {
+          if (s.id == id) return "successor@" + std::to_string(i);
+        }
+        if (vn.predecessor.has_value() && vn.predecessor->id == id) {
+          return "predecessor@" + std::to_string(i);
+        }
+      }
+      if (r.cache().find(id) != nullptr) return "cache@" + std::to_string(i);
+      if (r.ephemeral_gateway(id).has_value()) {
+        return "backpointer@" + std::to_string(i);
+      }
+    }
+    return "";
+  };
+
+  Rng op_rng(seed * 7 + 5);
+  std::vector<Identity> live;
+  std::size_t failed_joins = 0;
+  for (int op = 0; op < 120; ++op) {
+    if (op_rng.chance(0.6) || live.size() < 4) {
+      Identity ident = Identity::generate(net.rng());
+      const auto gw = static_cast<graph::NodeIndex>(
+          op_rng.index(net.router_count()));
+      const auto js = net.join_host(ident, gw);
+      if (js.ok) {
+        live.push_back(ident);
+      } else {
+        ++failed_joins;
+        // The rollback contract: a failed join is a no-op.
+        const std::string trace = traces_of(ident.id());
+        ASSERT_EQ(trace, "") << "seed " << seed << " op " << op
+                             << ": aborted join left a " << trace;
+      }
+    } else {
+      const std::size_t v = op_rng.index(live.size());
+      (void)net.leave_host(live[v].id());
+      live.erase(live.begin() + static_cast<long>(v));
+    }
+  }
+  // The scenario only bites if the retry budget actually ran out sometimes.
+  EXPECT_GT(failed_joins, 0u) << "seed " << seed;
+
+  // Once the loss stops, the survivors repair to a canonical ring.
+  net.set_fault_injector(nullptr);
+  (void)net.repair_partitions();
+  std::string err;
+  ASSERT_TRUE(net.verify_rings(&err, /*strict=*/true))
+      << "seed " << seed << ": " << err;
+  for (const auto& [id, home] : net.directory()) {
+    EXPECT_TRUE(net.route(0, id).delivered) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyJoinLeaveRace,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
 }  // namespace
 }  // namespace rofl

@@ -193,6 +193,96 @@ TEST(Packet, DecodeRandomBytesNeverCrashes) {
   }
 }
 
+Packet random_packet(Rng& rng) {
+  Packet p;
+  p.type = static_cast<PacketType>(1 + rng.index(7));
+  p.ttl = static_cast<std::uint8_t>(rng.below(256));
+  p.crossed_peering = rng.chance(0.5);
+  p.destination = NodeId(rng.next_u64(), rng.next_u64());
+  p.source = NodeId(rng.next_u64(), rng.next_u64());
+  p.trace_id = rng.next_u64();
+  const std::size_t hops = rng.index(6);
+  for (std::size_t i = 0; i < hops; ++i) {
+    p.as_path.push_back(static_cast<std::uint32_t>(rng.below(70000)));
+  }
+  if (rng.chance(0.3)) {
+    CapabilityField cap;
+    cap.source = NodeId(rng.next_u64(), rng.next_u64());
+    cap.expiry_ms = static_cast<double>(rng.below(1 << 20));
+    for (auto& b : cap.token) b = static_cast<std::uint8_t>(rng.below(256));
+    p.capability = cap;
+  }
+  const std::size_t nfingers = rng.index(9);
+  for (std::size_t i = 0; i < nfingers; ++i) {
+    p.fingers.push_back(FingerField{NodeId(rng.next_u64(), rng.next_u64()),
+                                    static_cast<std::uint32_t>(rng.below(1 << 16))});
+  }
+  std::vector<std::uint8_t> payload(rng.index(64));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  p.payload = std::move(payload);
+  return p;
+}
+
+TEST(Packet, RoundTripFuzz) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Packet p = random_packet(rng);
+    const auto bytes = p.encode();
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes.size(), p.wire_size());
+    const auto q = Packet::decode(bytes);
+    ASSERT_TRUE(q.has_value()) << "trial " << trial;
+    EXPECT_EQ(*q, p) << "trial " << trial;
+  }
+}
+
+TEST(Packet, TruncationFuzzNeverCrashesOrDecodes) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto bytes = random_packet(rng).encode();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(Packet::decode({bytes.data(), cut}).has_value())
+          << "trial " << trial << " prefix " << cut;
+    }
+  }
+}
+
+TEST(Packet, SingleBitFlipAlwaysRejected) {
+  // The CRC-32 trailer detects every single-bit error, so a flipped buffer
+  // must fail to decode -- never come back as a silently different packet.
+  Rng rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Packet p = random_packet(rng);
+    const auto bytes = p.encode();
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+      auto flipped = bytes;
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      EXPECT_FALSE(Packet::decode(flipped).has_value())
+          << "trial " << trial << " bit " << bit;
+    }
+  }
+}
+
+TEST(Packet, MultiBitCorruptionNeverYieldsDifferentPacket) {
+  // Random burst corruption: decode may (very rarely) succeed only if the
+  // result is byte-identical to the original -- silent field corruption is
+  // the failure mode under test.
+  Rng rng(909);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Packet p = random_packet(rng);
+    auto bytes = p.encode();
+    const std::size_t flips = 1 + rng.index(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t bit = rng.index(bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    const auto q = Packet::decode(bytes);
+    if (q.has_value()) {
+      EXPECT_EQ(*q, p) << "trial " << trial;
+    }
+  }
+}
+
 TEST(Packet, FragmentsAgainstMtu) {
   Packet p;
   EXPECT_EQ(p.fragments(1500), 1u);

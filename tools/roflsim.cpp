@@ -24,6 +24,8 @@
 #include <sstream>
 #include <string>
 
+#include "audit/churn.hpp"
+#include "audit/shrink.hpp"
 #include "baselines/cmu_ethernet.hpp"
 #include "interdomain/inter_network.hpp"
 #include "obs/flight_recorder.hpp"
@@ -491,6 +493,93 @@ int cmd_faults(const Args& a) {
   return rings_ok ? 0 : 1;
 }
 
+int cmd_audit(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+
+  audit::ChurnConfig cc;
+  cc.events = a.num("events", 200);
+  cc.end_ms = a.dbl("end", 400.0);
+
+  audit::ChurnRunParams params;
+  params.router_count = a.num("routers", 60);
+  params.pop_count = a.num("pops", 8);
+  params.initial_hosts = a.num("initial-hosts", 64);
+  params.audit_interval_ms = a.dbl("audit-interval", 25.0);
+  params.settle_ms = a.dbl("settle", 300.0);
+  params.seed = seed;
+  const double loss = a.dbl("loss", 0.0);
+  const double dup = a.dbl("dup", 0.0);
+  if (loss > 0.0 || dup > 0.0) {
+    params.use_faults = true;
+    params.faults.defaults.loss = loss;
+    params.faults.defaults.duplicate = dup;
+  }
+
+  const auto schedule = audit::make_churn_schedule(cc, seed);
+  const audit::ChurnRunResult res = audit::run_churn(params, schedule);
+
+  std::cout << "[seed " << seed << "] churn: " << schedule.size()
+            << " events over " << cc.end_ms << "ms, audit every "
+            << params.audit_interval_ms << "ms"
+            << (params.use_faults
+                    ? " (loss=" + std::to_string(loss) + ")"
+                    : "")
+            << "\n";
+  Table t({"metric", "value"});
+  t.add_row({std::string("joins ok/failed"),
+             std::to_string(res.joins) + "/" + std::to_string(res.joins_failed)});
+  t.add_row({std::string("leaves / crashes"),
+             std::to_string(res.leaves) + " / " + std::to_string(res.crashes)});
+  t.add_row({std::string("delivery during churn"),
+             std::to_string(res.delivered) + "/" + std::to_string(res.routes)});
+  t.add_row({std::string("audits run"), static_cast<std::int64_t>(res.audits)});
+  t.add_row({std::string("hard violations"),
+             static_cast<std::int64_t>(res.hard)});
+  t.add_row({std::string("soft (stale, self-healing)"),
+             static_cast<std::int64_t>(res.soft)});
+  t.add_row({std::string("converged after repair"),
+             std::string(res.converged ? "yes" : res.err)});
+  t.add_row({std::string("audit digest"), res.digest});
+  t.print(std::cout);
+
+  if (a.flag("report")) {
+    for (const audit::AuditReport& rep : res.reports) {
+      if (!rep.clean()) std::cout << "\n" << rep.to_string();
+    }
+  }
+
+  const std::string metrics_path = a.str("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << res.metrics_json;
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+
+  const bool failed = res.hard > 0 || !res.converged;
+  if (failed && a.flag("shrink")) {
+    std::cout << "\nshrinking the failing schedule (ddmin)...\n";
+    const auto still_fails = [&](const std::vector<audit::ChurnEvent>& sub) {
+      const audit::ChurnRunResult r = audit::run_churn(params, sub);
+      return r.hard > 0 || !r.converged;
+    };
+    const audit::ShrinkResult sr = audit::shrink_schedule(
+        schedule, still_fails, a.num("shrink-probes", 2000));
+    std::cout << "minimal schedule: " << sr.events.size() << "/"
+              << schedule.size() << " events (" << sr.probes << " probes, "
+              << (sr.minimal ? "1-minimal" : "budget exhausted") << ")\n";
+    for (const audit::ChurnEvent& e : sr.events) {
+      std::cout << "  t=" << e.t_ms << "ms " << audit::to_string(e.op);
+      if (e.ident.has_value()) std::cout << " id=" << e.ident->id().to_string();
+      std::cout << " pick=" << e.pick << "\n";
+    }
+  }
+  return failed ? 1 : 0;
+}
+
 void usage() {
   std::cout <<
       "roflsim -- ROFL (Routing on Flat Labels) experiment driver\n\n"
@@ -501,6 +590,11 @@ void usage() {
       "  roflsim partition [--isp NAME] [--ids-per-pop N]\n"
       "  roflsim faults    [--isp NAME] [--hosts N] [--churn N] [--loss P]\n"
       "                    [--dup P] [--jitter MS] [--flaps N]\n"
+      "                    [--metrics-json FILE]\n"
+      "  roflsim audit     [--routers N] [--pops N] [--events N] [--loss P]\n"
+      "                    [--dup P] [--audit-interval MS] [--settle MS]\n"
+      "                    [--initial-hosts N] [--report] [--shrink]\n"
+      "                    [--shrink-probes N]\n"
       "                    [--metrics-json FILE]\n\n"
       "All commands accept --seed S (default 1); runs are reproducible.\n"
       "Observability (intra/inter/partition):\n"
@@ -523,6 +617,7 @@ int main(int argc, char** argv) {
   if (cmd == "inter") return cmd_inter(args);
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "faults") return cmd_faults(args);
+  if (cmd == "audit") return cmd_audit(args);
   usage();
   return 2;
 }
