@@ -24,6 +24,7 @@
 #include "util/bloom.hpp"
 #include "util/identity.hpp"
 #include "util/sha256.hpp"
+#include "wire/messages.hpp"
 
 namespace rofl {
 namespace {
@@ -433,6 +434,56 @@ void BM_AllRoutersSpf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllRoutersSpf)->Arg(0)->Arg(2)->Arg(4);
+
+// Control-plane codec cost on the two ends of the size spectrum: a 37-byte
+// PointerInstall payload (the most common maintenance message) and the
+// section-6.3 256-finger JoinRequest whose frame fragments at the MTU.
+wire::msg::ControlMessage make_codec_message(std::int64_t fingers) {
+  if (fingers == 0) {
+    wire::msg::PointerInstall pi;
+    pi.subject = NodeId(0x1234, 0x5678);
+    pi.neighbor = NodeId(0x9abc, 0xdef0);
+    pi.neighbor_host = 7;
+    pi.op = 1;
+    return pi;
+  }
+  Rng rng(41);
+  wire::msg::JoinRequest jr;
+  jr.nonce = rng.next_u64();
+  jr.gateway = 3;
+  jr.fingers.reserve(static_cast<std::size_t>(fingers));
+  for (std::int64_t i = 0; i < fingers; ++i) {
+    jr.fingers.push_back({static_cast<std::uint32_t>(rng.next_u64()),
+                          static_cast<std::uint16_t>(rng.next_u64())});
+  }
+  return jr;
+}
+
+void BM_ControlEncode(benchmark::State& state) {
+  const wire::msg::ControlMessage m = make_codec_message(state.range(0));
+  const NodeId src(1, 2), dst(3, 4);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto frame = wire::msg::encode_control(m, src, dst);
+    bytes += frame.size();
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ControlEncode)->Arg(0)->Arg(256);
+
+void BM_ControlDecode(benchmark::State& state) {
+  const wire::msg::ControlMessage m = make_codec_message(state.range(0));
+  const auto frame = wire::msg::encode_control(m, NodeId(1, 2), NodeId(3, 4));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto decoded = wire::msg::decode_control(frame);
+    bytes += frame.size();
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ControlDecode)->Arg(0)->Arg(256);
 
 // Snapshot of the warm fixture's metrics registry for the JSON emitter.
 // The pointer-cache totals (hit/miss/eviction over every router) are folded

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "interdomain/inter_network.hpp"
 #include "rofl/network.hpp"
+#include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -46,7 +47,7 @@ int main() {
   {
     const std::size_t ids = bench::full_scale() ? 20'000 : 4'000;
     Table t({"metric", "measured", "paper"});
-    SampleSet join_msgs, join_lat, stretches;
+    SampleSet join_msgs, join_bytes, join_lat, stretches;
     double mean_state = 0.0;
     bool partitions_ok = true;
     int isp_count = 0;
@@ -61,10 +62,15 @@ int main() {
         const auto gw = static_cast<graph::NodeIndex>(
             net.rng().index(net.router_count()));
         const Identity ident = Identity::generate(net.rng());
+        const std::uint64_t bytes_before =
+            net.simulator().counters().bytes(sim::MsgCategory::kJoin);
         const auto js = net.join_host(ident, gw);
         if (!js.ok) continue;
         joined.push_back(ident.id());
         join_msgs.add(static_cast<double>(js.messages));
+        join_bytes.add(static_cast<double>(
+            net.simulator().counters().bytes(sim::MsgCategory::kJoin) -
+            bytes_before));
         join_lat.add(js.latency_ms);
       }
       for (int i = 0; i < 800; ++i) {
@@ -85,6 +91,8 @@ int main() {
                join_lat.percentile(0.99), std::string("< 40 ms typical")});
     t.add_row({std::string("join overhead p99 [packets]"),
                join_msgs.percentile(0.99), std::string("< 45 packets")});
+    t.add_row({std::string("join overhead mean [wire bytes]"),
+               join_bytes.mean(), std::string("encoder-sized frames")});
     t.add_row({std::string("mean state entries/router"), mean_state,
                std::string("bounded: ring + cache")});
     t.add_row({std::string("rings consistent"),
@@ -103,30 +111,48 @@ int main() {
     // Join overhead growth for the three strategies, fit vs log2(n) and
     // extrapolated to 600M IDs exactly as the paper does.
     const std::size_t max_ids = bench::full_scale() ? 8'000 : 3'000;
+    struct JoinSeries {
+      std::vector<std::pair<double, double>> packets;
+      std::vector<std::pair<double, double>> bytes;
+    };
     auto series_for = [&](inter::JoinStrategy s) {
       inter::InterNetwork net(&topo, inter::InterConfig{}, bench::kSeed + 29);
-      std::vector<std::pair<double, double>> pts;
+      JoinSeries series;
       MovingAverage avg(200);
+      MovingAverage avg_bytes(200);
       std::size_t next = 100;
       for (std::size_t n = 1; n <= max_ids; ++n) {
         const auto js = net.join_random_host(s);
-        if (js.ok) avg.add(static_cast<double>(js.messages));
+        if (js.ok) {
+          avg.add(static_cast<double>(js.messages));
+          avg_bytes.add(static_cast<double>(js.bytes));
+        }
         if (n == next) {
-          pts.emplace_back(static_cast<double>(n), avg.value());
+          series.packets.emplace_back(static_cast<double>(n), avg.value());
+          series.bytes.emplace_back(static_cast<double>(n), avg_bytes.value());
           next *= 2;
         }
       }
-      return pts;
+      return series;
     };
     const auto eph = series_for(inter::JoinStrategy::kEphemeral);
     const auto single = series_for(inter::JoinStrategy::kSingleHomed);
     const auto multi = series_for(inter::JoinStrategy::kRecursiveMultihomed);
     t.add_row({std::string("ephemeral join @600M [packets]"),
-               extrapolate_log(eph, 6e8), std::string("~14")});
+               extrapolate_log(eph.packets, 6e8), std::string("~14")});
     t.add_row({std::string("single-homed join @600M [packets]"),
-               extrapolate_log(single, 6e8), std::string("~75-80")});
+               extrapolate_log(single.packets, 6e8), std::string("~75-80")});
     t.add_row({std::string("multihomed join @600M [packets]"),
-               extrapolate_log(multi, 6e8), std::string("~100")});
+               extrapolate_log(multi.packets, 6e8), std::string("~100")});
+    t.add_row({std::string("ephemeral join @600M [wire bytes]"),
+               extrapolate_log(eph.bytes, 6e8),
+               std::string("encoder-sized frames")});
+    t.add_row({std::string("single-homed join @600M [wire bytes]"),
+               extrapolate_log(single.bytes, 6e8),
+               std::string("1638 B JoinRequest @256 fingers (sec 6.3)")});
+    t.add_row({std::string("multihomed join @600M [wire bytes]"),
+               extrapolate_log(multi.bytes, 6e8),
+               std::string("encoder-sized frames")});
 
     // Stretch with a paper-scale finger table.
     {

@@ -38,6 +38,18 @@ build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.05 --flaps 3 \
 cmp build/faults_run1.json build/faults_run2.json
 grep -q '"faults.dropped"' build/faults_run1.json
 
+# Corruption smoke: the same contract with byte corruption in the loss mix.
+# Every corrupted frame must be CRC-rejected (counted under
+# "faults.corrupted"), the run must still converge, and two same-seed runs
+# must stay byte-identical.
+build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.02 --corrupt 0.01 \
+  --seed 13 --metrics-json build/corrupt_run1.json > /dev/null
+build/tools/roflsim faults --hosts 120 --churn 40 --loss 0.02 --corrupt 0.01 \
+  --seed 13 --metrics-json build/corrupt_run2.json > /dev/null
+cmp build/corrupt_run1.json build/corrupt_run2.json
+grep -q '"faults.corrupted"' build/corrupt_run1.json
+grep -q '"bytes.join"' build/corrupt_run1.json
+
 # Invariant-auditor smoke: a churn run with periodic audits must finish with
 # zero hard violations and converge (roflsim exits nonzero otherwise), both
 # fault-free and under loss; two same-seed runs must produce byte-identical

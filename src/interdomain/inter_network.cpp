@@ -28,6 +28,9 @@ InterNetwork::InterNetwork(const graph::AsTopology* base, InterConfig cfg,
   peer_crossings_id_ = sim_.metrics().counter("inter.peer_crossings");
   backtracks_id_ = sim_.metrics().counter("inter.backtracks");
   probes_id_ = sim_.metrics().counter("inter.escalation_probes");
+  encode_failures_id_ = sim_.metrics().counter("inter.encode_failures");
+  codec_rejected_id_ = sim_.metrics().counter("inter.codec_rejected");
+  data_frame_bytes_ = wire::Packet{}.wire_size();
   // Subtree bloom filters: required for the bloom peering rule and for
   // guarding pointer caches; build them whenever either feature is on.
   if (cfg_.peering_mode == PeeringMode::kBloom ||
@@ -344,29 +347,56 @@ std::uint64_t InterNetwork::simulate_lookup(AsIndex from, const NodeId& target,
   return msgs;
 }
 
-std::uint64_t InterNetwork::reliable_exchange(std::uint64_t msgs, bool* ok) {
+InterNetwork::WireExchange InterNetwork::reliable_exchange(
+    std::uint64_t msgs, const wire::msg::ControlMessage& m) {
+  WireExchange ex;
+  // Every AS-level leg of the exchange carries the same typed frame; encode
+  // it once, verify the round trip, and charge its size per transmitted leg.
+  const std::vector<std::uint8_t> frame =
+      wire::msg::encode_control(m, NodeId{}, NodeId{});
+  if (frame.empty()) {
+    // encode_control refused (oversized field): a zero-byte frame is never
+    // transmitted, the exchange fails loudly instead.
+    sim_.metrics().add(encode_failures_id_);
+    return ex;
+  }
+  assert(wire::msg::decode_control(frame).has_value());
+  const std::uint64_t frags = std::max<std::uint64_t>(
+      1, (frame.size() + wire::kDefaultMtu - 1) / wire::kDefaultMtu);
   if (faults_ == nullptr || !faults_->message_faults_enabled() || msgs == 0) {
-    *ok = true;
-    return msgs;  // zero-cost when faults are off
+    ex.msgs = msgs * frags;
+    ex.bytes = msgs * frame.size();
+    ex.ok = true;
+    return ex;
   }
   // The interdomain model is message-count-abstract, so loss applies per
   // AS-level transmission: an attempt survives only if every one of its
   // `msgs` legs does.  Lost attempts charge the legs transmitted before the
-  // drop, then back off and retry (InterConfig::retry).
+  // drop, then back off and retry (InterConfig::retry).  A corrupted frame
+  // is rejected by the receiver's CRC check, which the sender cannot tell
+  // from loss -- same retry path.
   const unsigned attempts = std::max(1u, cfg_.retry.max_attempts);
-  std::uint64_t charged = 0;
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) faults_->note_retry();
     const sim::PathDecision d = faults_->on_path(msgs);
-    charged += d.transmissions;
-    if (!d.dropped) {
-      *ok = true;
-      return charged;
+    ex.msgs += d.transmissions * frags;
+    ex.bytes += d.transmissions * frame.size();
+    bool delivered = !d.dropped;
+    if (delivered && faults_->corruption_enabled()) {
+      std::vector<std::uint8_t> rx = frame;
+      if (faults_->maybe_corrupt_frame(rx)) {
+        assert(!wire::msg::decode_control(rx).has_value());
+        sim_.metrics().add(codec_rejected_id_);
+        delivered = false;
+      }
+    }
+    if (delivered) {
+      ex.ok = true;
+      return ex;
     }
   }
   faults_->note_retry_exhausted();
-  *ok = false;
-  return charged;
+  return ex;
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +475,9 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
                                      std::optional<AsIndex> via_provider) {
   InterJoinStats stats;
   stats.messages += 1;  // host -> hosting router
+  // The interdomain host announces itself with a bare join request (fingers
+  // ride the intradomain exchange, section 6.3).
+  stats.bytes += wire::msg::control_wire_size(wire::msg::JoinRequest{});
 
   InterVNode vn;
   vn.id = id;
@@ -470,10 +503,18 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
                            s.has_value() && prev_succ.has_value() &&
                            s->first == *prev_succ;
     if (!redundant) {
-      bool exchanged = true;
-      stats.messages +=
-          reliable_exchange(simulate_lookup(home, id, a.as) + 1, &exchanged);
-      if (!exchanged) continue;
+      // Each leg of the merge exchange carries a ring-merge registration.
+      const wire::msg::RingMerge rm{
+          .id = id,
+          .home_as = home,
+          .anchor_as = a.as,
+          .level = static_cast<std::uint16_t>(a.level),
+          .op = 0};
+      const WireExchange ex =
+          reliable_exchange(simulate_lookup(home, id, a.as) + 1, rm);
+      stats.messages += ex.msgs;
+      stats.bytes += ex.bytes;
+      if (!ex.ok) continue;
     }
     prev_succ = s.has_value() ? std::optional<NodeId>(s->first) : std::nullopt;
     prev_valid = true;
@@ -484,6 +525,7 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
     // Every level was lost: the join failed outright, leaving no partial
     // state behind.  The retransmission traffic is still charged.
     sim_.counters().add(sim::MsgCategory::kJoin, stats.messages);
+    sim_.counters().add_bytes(sim::MsgCategory::kJoin, stats.bytes);
     return stats;
   }
   for (const Anchor& a : joined) vn.anchors.emplace_back(a.as, a.level);
@@ -496,6 +538,8 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
   (void)rebuild_pointers(vn);
   select_fingers(vn);
   stats.messages += vn.fingers.size();  // finger acquisition traffic
+  stats.bytes +=
+      vn.fingers.size() * wire::msg::control_wire_size(wire::msg::Locate{});
   auto [it, inserted] = nodes_[home].hosted.emplace(id, std::move(vn));
   assert(inserted);
   index_vnode(it->second);
@@ -514,7 +558,10 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
     auto& pred_node = nodes_[p->second];
     const auto pv = pred_node.hosted.find(p->first);
     if (pv == pred_node.hosted.end()) continue;
-    stats.messages += rebuild_pointers(pv->second);
+    const std::uint32_t changed = rebuild_pointers(pv->second);
+    stats.messages += changed;
+    stats.bytes +=
+        changed * wire::msg::control_wire_size(wire::msg::PointerInstall{});
   }
 
   // Subtree bloom summaries along the whole up-hierarchy.
@@ -528,6 +575,7 @@ InterJoinStats InterNetwork::join_id(const NodeId& id, AsIndex home,
   }
 
   sim_.counters().add(sim::MsgCategory::kJoin, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kJoin, stats.bytes);
   stats.ok = true;
   if (obs::Tracer* t = sim_.tracer()) {
     t->instant("inter.join", "interdomain", sim_.now_ms() * 1000.0,
@@ -587,6 +635,8 @@ InterRepairStats InterNetwork::leave_host(const NodeId& id) {
                   [&](const Finger& f) { return f.target == id; });
     if (ov->second.fingers.size() != before) {
       ++stats.messages;
+      stats.bytes += wire::msg::control_wire_size(
+          wire::msg::Teardown{.id = id, .reason = 1});
       reindex_as(odir->second);
     }
   }
@@ -599,14 +649,20 @@ InterRepairStats InterNetwork::leave_host(const NodeId& id) {
     nodes_[anchor].ring.erase(id);
     ++stats.pointers_torn;
     stats.messages += 1;  // teardown toward the level predecessor
+    stats.bytes += wire::msg::control_wire_size(
+        wire::msg::Teardown{.id = id, .reason = 1});
     const auto p = ring_pred(anchor, id);
     if (!p.has_value()) continue;
     auto& pred_node = nodes_[p->second];
     const auto pv = pred_node.hosted.find(p->first);
     if (pv == pred_node.hosted.end()) continue;
-    stats.messages += rebuild_pointers(pv->second);
+    const std::uint32_t changed = rebuild_pointers(pv->second);
+    stats.messages += changed;
+    stats.bytes +=
+        changed * wire::msg::control_wire_size(wire::msg::PointerInstall{});
   }
   sim_.counters().add(sim::MsgCategory::kTeardown, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kTeardown, stats.bytes);
   return stats;
 }
 
@@ -810,6 +866,10 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
         if (delivered_via_peer) break;
       }
       sim_.counters().add(sim::MsgCategory::kControl, probes);
+      sim_.counters().add_bytes(
+          sim::MsgCategory::kControl,
+          probes * wire::msg::control_wire_size(
+                       wire::msg::Locate{.target = dest, .purpose = 2}));
       sim_.metrics().add(probes_id_, probes);
     }
   }
@@ -888,6 +948,8 @@ InterRouteStats InterNetwork::route(AsIndex src_as, const NodeId& dest,
     }
   }
   sim_.counters().add(sim::MsgCategory::kData, stats.as_hops);
+  sim_.counters().add_bytes(sim::MsgCategory::kData,
+                            std::uint64_t{stats.as_hops} * data_frame_bytes_);
   return stats;
 }
 
@@ -987,6 +1049,8 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
           nodes_[anchor].ring.erase(id);
           ++stats.pointers_torn;
           ++stats.messages;  // deregistration / teardown
+          stats.bytes += wire::msg::control_wire_size(
+              wire::msg::RingMerge{.id = id, .op = 1});
         }
       }
       // Register at the new anchors.  Under a fault injector a registration
@@ -1000,10 +1064,17 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
           registered.emplace_back(anchor, level);
           continue;
         }
-        bool exchanged = true;
-        stats.messages +=
-            reliable_exchange(simulate_lookup(home, id, anchor), &exchanged);
-        if (!exchanged) continue;
+        const wire::msg::RingMerge rm{
+            .id = id,
+            .home_as = home,
+            .anchor_as = anchor,
+            .level = static_cast<std::uint16_t>(level),
+            .op = 0};
+        const WireExchange ex =
+            reliable_exchange(simulate_lookup(home, id, anchor), rm);
+        stats.messages += ex.msgs;
+        stats.bytes += ex.bytes;
+        if (!ex.ok) continue;
         nodes_[anchor].ring[id] = home;
         registered.emplace_back(anchor, level);
       }
@@ -1019,6 +1090,8 @@ void InterNetwork::reanchor_all(InterRepairStats& stats) {
       if (changed > 0) {
         stats.pointers_torn += changed;
         stats.messages += changed;
+        stats.bytes +=
+            changed * wire::msg::control_wire_size(wire::msg::Repair{});
         touched = true;
       }
     }
@@ -1055,6 +1128,7 @@ InterRepairStats InterNetwork::repair() {
   InterRepairStats stats;
   reanchor_all(stats);
   sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
   return stats;
 }
 
@@ -1101,6 +1175,7 @@ InterRepairStats InterNetwork::fail_as(AsIndex as) {
   }
   reanchor_all(stats);
   sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
   return stats;
 }
 
@@ -1132,6 +1207,9 @@ InterRepairStats InterNetwork::fail_as_with_virtual_servers(
     }
     moved.push_back(id);
     ++stats.messages;
+    // The transfer re-registers the ID's ring entries under the provider.
+    stats.bytes += wire::msg::control_wire_size(wire::msg::RingMerge{
+        .id = id, .home_as = provider, .anchor_as = customer, .op = 0});
   }
   nodes_[customer].hosted.clear();
   nodes_[customer].known.clear();
@@ -1148,6 +1226,7 @@ InterRepairStats InterNetwork::fail_as_with_virtual_servers(
   stats.ids_lost = 0;  // nothing lost: that is the point
   (void)moved;
   sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
   return stats;
 }
 
@@ -1178,12 +1257,15 @@ InterRepairStats InterNetwork::restore_as(AsIndex as) {
         if (it != nodes_[anchor].ring.end()) it->second = as;
       }
       ++stats.messages;
+      stats.bytes += wire::msg::control_wire_size(wire::msg::RingMerge{
+          .id = id, .home_as = as, .anchor_as = provider, .op = 0});
     }
     virtual_server_host_.erase(vs);
     reindex_as(provider);
     reindex_as(as);
     reanchor_all(stats);
     sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
     return stats;
   }
 
@@ -1216,6 +1298,7 @@ InterRepairStats InterNetwork::fail_link(AsIndex a, AsIndex b) {
   masks_valid_ = false;
   reanchor_all(stats);
   sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
   return stats;
 }
 
@@ -1228,6 +1311,7 @@ InterRepairStats InterNetwork::restore_link(AsIndex a, AsIndex b) {
   // re-derive over the restored graph.
   reanchor_all(stats);
   sim_.counters().add(sim::MsgCategory::kRepair, stats.messages);
+  sim_.counters().add_bytes(sim::MsgCategory::kRepair, stats.bytes);
   return stats;
 }
 

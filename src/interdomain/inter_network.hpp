@@ -42,6 +42,7 @@
 #include "sim/simulator.hpp"
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
+#include "wire/messages.hpp"
 
 namespace rofl::audit {
 class Auditor;
@@ -210,12 +211,22 @@ class InterNetwork {
   std::uint64_t simulate_lookup(AsIndex from, const NodeId& target,
                                 AsIndex anchor) const;
 
-  /// Runs one control-plane exchange of `msgs` AS-level messages under the
-  /// fault injector: each attempt may be dropped mid-path, costing the
-  /// messages transmitted so far, then retried with backoff.  Returns the
-  /// total messages charged and sets *ok.  Without an injector: *ok = true,
-  /// returns msgs unchanged.
-  std::uint64_t reliable_exchange(std::uint64_t msgs, bool* ok);
+  /// Outcome of one control-plane exchange: AS-level packets and wire bytes
+  /// actually charged (retries included), and whether an attempt survived.
+  struct WireExchange {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    bool ok = false;
+  };
+
+  /// Runs one control-plane exchange of `msgs` AS-level messages, each
+  /// carrying the encoded frame of `m`, under the fault injector: an attempt
+  /// may be dropped mid-path (costing the legs transmitted so far) or its
+  /// frame corrupted in flight (the CRC trailer rejects it at the receiver,
+  /// which the sender cannot tell from loss), then retried with backoff.
+  /// Without an injector the exchange succeeds and charges every leg once.
+  [[nodiscard]] WireExchange reliable_exchange(std::uint64_t msgs,
+                                               const wire::msg::ControlMessage& m);
 
   void select_fingers(InterVNode& vn);
   /// Recomputes every hosted ID's anchor set and ring registrations after a
@@ -278,6 +289,11 @@ class InterNetwork {
   obs::MetricId peer_crossings_id_ = 0;
   obs::MetricId backtracks_id_ = 0;
   obs::MetricId probes_id_ = 0;
+  obs::MetricId encode_failures_id_ = 0;
+  obs::MetricId codec_rejected_id_ = 0;
+  /// Framing overhead charged per AS-level data hop (measured once from the
+  /// encoder -- interdomain data packets carry an empty payload here).
+  std::size_t data_frame_bytes_ = 0;
   std::vector<AsNode> nodes_;
   std::map<NodeId, AsIndex> directory_;
   std::map<NodeId, Identity> identities_;

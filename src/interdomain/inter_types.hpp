@@ -96,6 +96,7 @@ struct InterVNode {
 struct InterJoinStats {
   bool ok = false;
   std::uint64_t messages = 0;  // AS-level packets, as figure 8a counts them
+  std::uint64_t bytes = 0;     // wire bytes of those packets (encoder-sized)
 };
 
 struct InterRouteStats {
@@ -119,6 +120,7 @@ struct InterRouteStats {
 
 struct InterRepairStats {
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;  // wire bytes of those messages (encoder-sized)
   std::uint32_t pointers_torn = 0;
   std::uint32_t ids_lost = 0;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "wire/messages.hpp"
+
 namespace rofl::linkstate {
 
 LinkStateMap::LinkStateMap(graph::Graph* g, sim::Simulator* sim)
@@ -156,8 +158,15 @@ void LinkStateMap::restore_node(NodeIndex u) {
       TopologyEvent{TopologyEvent::Kind::kNodeUp, u, graph::kInvalidNode});
 }
 
-void LinkStateMap::account_flood(sim::MsgCategory category) {
+void LinkStateMap::account_flood(sim::MsgCategory category,
+                                 std::size_t frame_bytes) {
   if (sim_ == nullptr) return;
+  if (frame_bytes == 0) {
+    // A bare LSA frame, sized by the encoder once (not a magic constant).
+    static const std::size_t kLsaFrameBytes =
+        wire::msg::control_wire_size(wire::msg::Lsa{});
+    frame_bytes = kLsaFrameBytes;
+  }
   // OSPF reliable flooding sends each LSA once over every live adjacency in
   // each direction.
   std::uint64_t live_directed_edges = 0;
@@ -165,6 +174,7 @@ void LinkStateMap::account_flood(sim::MsgCategory category) {
     live_directed_edges += graph_->live_degree(u);
   }
   sim_->counters().add(category, live_directed_edges);
+  sim_->counters().add_bytes(category, live_directed_edges * frame_bytes);
   sim_->metrics().add(floods_id_);
   sim_->metrics().observe(flood_fanout_id_,
                           static_cast<double>(live_directed_edges));
@@ -182,7 +192,22 @@ void LinkStateMap::bump_version_and_notify(const TopologyEvent& ev) {
                   obs::TraceArg{"b", std::uint64_t{ev.b}}});
     }
   }
-  account_flood();
+  // The advertisement itself rides the wire as a typed frame; the flood
+  // charges its encoded size on every live directed edge.  The round trip
+  // through the codec is asserted before any listener reacts to the event.
+  const wire::msg::Lsa lsa{.origin = ev.a,
+                           .version = version_,
+                           .event = static_cast<std::uint8_t>(ev.kind),
+                           .a = ev.a,
+                           .b = ev.b};
+  const std::vector<std::uint8_t> frame =
+      wire::msg::encode_control(lsa, NodeId{}, NodeId{});
+  assert(!frame.empty());
+  assert([&] {
+    const auto rt = wire::msg::decode_control(frame);
+    return rt.has_value() && std::get<wire::msg::Lsa>(*rt) == lsa;
+  }());
+  account_flood(sim::MsgCategory::kLinkState, frame.size());
   for (const auto& listener : listeners_) listener(ev);
 }
 

@@ -74,8 +74,11 @@ class LinkStateMap {
 
   /// Counts one LSA flood over the current topology (also used by protocols
   /// that piggyback payloads -- zero-ID advertisements, border-router
-  /// announcements -- on the link-state channel, section 3.2 / 4.1).
-  void account_flood(sim::MsgCategory category = sim::MsgCategory::kLinkState);
+  /// announcements -- on the link-state channel, section 3.2 / 4.1).  Each
+  /// live directed edge carries `frame_bytes` on the byte counters; 0 means
+  /// "a bare encoded LSA frame", measured from the wire codec once.
+  void account_flood(sim::MsgCategory category = sim::MsgCategory::kLinkState,
+                     std::size_t frame_bytes = 0);
 
   /// Monotonically increases on every topology change; cached SPF state
   /// anywhere in the system can use it for invalidation.

@@ -81,6 +81,7 @@ std::string FlightRecorder::format_trace(std::uint64_t trace_id) const {
         os << "  via=" << h.chased;
         break;
     }
+    if (h.frame_bytes > 0) os << "  frame=" << h.frame_bytes << "B";
     os << "\n";
   }
   return os.str();

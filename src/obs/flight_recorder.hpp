@@ -64,6 +64,7 @@ struct HopRecord {
   std::uint32_t node = 0;    // router or AS index
   std::uint8_t category = 0; // sim::MsgCategory value
   HopKind kind = HopKind::kStart;
+  std::uint32_t frame_bytes = 0;  // encoded wire-frame size (0 = not framed)
   NodeId chased;             // pointer target driving the decision (or dest)
 
   friend bool operator==(const HopRecord&, const HopRecord&) = default;

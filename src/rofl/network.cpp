@@ -20,6 +20,13 @@ Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
   routes_id_ = sim_.metrics().counter("rofl.routes");
   delivered_id_ = sim_.metrics().counter("rofl.routes.delivered");
   stale_ptrs_id_ = sim_.metrics().counter("rofl.stale_pointers");
+  encode_failures_id_ = sim_.metrics().counter("rofl.encode_failures");
+  codec_rejected_id_ = sim_.metrics().counter("rofl.codec_rejected");
+  // Frame sizes the hot paths charge come from the encoder, not constants:
+  // a bare data packet and a minimal teardown, measured once here.
+  data_frame_bytes_ = wire::Packet{}.wire_size();
+  teardown_frame_bytes_ =
+      wire::msg::control_wire_size(wire::msg::Teardown{});
 
   routers_.reserve(topo_->router_count());
   for (NodeIndex i = 0; i < topo_->router_count(); ++i) {
@@ -72,7 +79,8 @@ void Network::bootstrap_router_ring() {
 }
 
 Network::Transfer Network::unicast(NodeIndex a, NodeIndex b,
-                                   sim::MsgCategory cat) {
+                                   sim::MsgCategory cat,
+                                   std::size_t frame_bytes) {
   Transfer t;
   if (a == b) {
     t.ok = true;
@@ -82,26 +90,41 @@ Network::Transfer Network::unicast(NodeIndex a, NodeIndex b,
   t.path = map_->path(a, b);
   if (t.path.empty()) return t;
   if (faults_ != nullptr && faults_->message_faults_enabled()) {
-    return faulty_transfer(std::move(t), cat);
+    return faulty_transfer(std::move(t), cat, frame_bytes);
   }
+  // A logical message larger than the MTU crosses each link as several
+  // network packets (the paper's 256-finger join charges 2 per hop); byte
+  // counters see the frame size itself.
+  const std::uint64_t frags =
+      std::max<std::size_t>(1, (frame_bytes + wire::kDefaultMtu - 1) /
+                                   wire::kDefaultMtu);
+  const std::uint64_t hops = t.path.size() - 1;
   t.ok = true;
-  t.messages = t.path.size() - 1;
+  t.messages = hops * frags;
   t.latency_ms = map_->latency_ms(a, b).value_or(0.0);
   sim_.counters().add(cat, t.messages);
+  sim_.counters().add_bytes(cat, hops * frame_bytes);
   return t;
 }
 
-Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat) {
+Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat,
+                                           std::size_t frame_bytes) {
   // Per-link walk under an active fault injector.  Each leg may drop the
   // message (the hops transmitted up to the drop point are still charged),
   // duplicate it (the copy is charged but dies at the next router), or delay
-  // it (jitter on top of propagation latency).
+  // it (jitter on top of propagation latency).  The fault draw covers the
+  // logical message (one decision per link regardless of fragment count), so
+  // enabling byte accounting does not shift the injector's RNG stream.
+  const std::uint64_t frags =
+      std::max<std::size_t>(1, (frame_bytes + wire::kDefaultMtu - 1) /
+                                   wire::kDefaultMtu);
   for (std::size_t i = 0; i + 1 < t.path.size(); ++i) {
     const NodeIndex u = t.path[i];
     const NodeIndex v = t.path[i + 1];
     const sim::FaultDecision d = faults_->on_link(u, v);
-    t.messages += d.copies;
-    sim_.counters().add(cat, d.copies);
+    t.messages += d.copies * frags;
+    sim_.counters().add(cat, d.copies * frags);
+    sim_.counters().add_bytes(cat, d.copies * frame_bytes);
     if (d.dropped) {
       t.lost = true;
       if (recorder_ != nullptr) {
@@ -112,6 +135,7 @@ Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat) {
             .node = u,
             .category = static_cast<std::uint8_t>(cat),
             .kind = obs::HopKind::kFaultDrop,
+            .frame_bytes = static_cast<std::uint32_t>(frame_bytes),
             .chased = NodeId{}});
       }
       return t;
@@ -122,10 +146,61 @@ Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat) {
   return t;
 }
 
-Network::Transfer Network::reliable_unicast(NodeIndex a, NodeIndex b,
-                                            sim::MsgCategory cat) {
+Network::Exchange Network::exchange_once(
+    NodeIndex a, NodeIndex b, sim::MsgCategory cat,
+    const std::vector<std::uint8_t>& frame) {
+  Exchange ex;
+  ex.t = unicast(a, b, cat, frame.size());
+  if (!ex.t.ok) return ex;
+  // The frame reached b; the injector may still have garbled bits on the
+  // way.  The receiver decodes CRC-verified before touching any state, so a
+  // corrupted frame is indistinguishable from a lost one.
+  if (faults_ != nullptr && faults_->corruption_enabled() && a != b) {
+    std::vector<std::uint8_t> delivered = frame;
+    if (faults_->maybe_corrupt_frame(delivered)) {
+      ex.received = wire::msg::decode_control(delivered);
+      // CRC-32 detects every <=32-bit burst the injector produces; a
+      // corrupted frame that decoded anyway would be silent state
+      // corruption, the exact failure mode the wire format exists to stop.
+      assert(!ex.received.has_value());
+      if (ex.received.has_value()) {
+        // Defense in depth for release builds: discard it anyway.
+        ex.received.reset();
+      }
+      sim_.metrics().add(codec_rejected_id_);
+      ex.t.ok = false;
+      ex.t.lost = true;
+      return ex;
+    }
+  }
+  ex.received = wire::msg::decode_control(frame);
+  assert(ex.received.has_value());  // encode->decode must round-trip
+  if (!ex.received.has_value()) {
+    sim_.metrics().add(codec_rejected_id_);
+    ex.t.ok = false;
+    ex.t.lost = true;
+  }
+  return ex;
+}
+
+Network::Exchange Network::reliable_exchange(NodeIndex a, NodeIndex b,
+                                             sim::MsgCategory cat,
+                                             const wire::msg::ControlMessage& m) {
+  Exchange ex;
+  const NodeId src =
+      a < routers_.size() ? routers_[a]->router_id() : NodeId{};
+  const NodeId dst =
+      b < routers_.size() ? routers_[b]->router_id() : NodeId{};
+  const std::vector<std::uint8_t> frame =
+      wire::msg::encode_control(m, src, dst);
+  if (frame.empty()) {
+    // Oversized message: explicit encode failure.  A zero-byte frame is
+    // never transmitted; retransmission cannot help (!ok, !lost).
+    sim_.metrics().add(encode_failures_id_);
+    return ex;
+  }
   if (faults_ == nullptr || !faults_->message_faults_enabled()) {
-    return unicast(a, b, cat);  // zero-cost when faults are off
+    return exchange_once(a, b, cat, frame);
   }
   const sim::RetryPolicy& rp = cfg_.retry;
   const unsigned attempts = std::max(1u, rp.max_attempts);
@@ -133,28 +208,33 @@ Network::Transfer Network::reliable_unicast(NodeIndex a, NodeIndex b,
   double timeout = rp.timeout_ms;
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) faults_->note_retry();
-    Transfer t = unicast(a, b, cat);
-    total.messages += t.messages;
-    if (t.ok) {
+    Exchange once = exchange_once(a, b, cat, frame);
+    total.messages += once.t.messages;
+    if (once.t.ok) {
       total.ok = true;
       total.lost = false;
-      total.latency_ms += t.latency_ms;
-      total.path = std::move(t.path);
-      return total;
+      total.latency_ms += once.t.latency_ms;
+      total.path = std::move(once.t.path);
+      ex.t = std::move(total);
+      ex.received = std::move(once.received);
+      return ex;
     }
-    if (!t.lost) {
+    if (!once.t.lost) {
       // No path at all: retransmission cannot help.
-      return total;
+      ex.t = std::move(total);
+      return ex;
     }
     total.lost = true;
-    // The sender only learns of the loss when its retransmission timer
-    // fires; each lost attempt costs the current timeout, which then backs
-    // off exponentially (capped).
+    // The sender only learns of the loss (or of the receiver discarding a
+    // corrupted frame) when its retransmission timer fires; each lost
+    // attempt costs the current timeout, which then backs off exponentially
+    // (capped).
     total.latency_ms += timeout;
     timeout = rp.next_timeout(timeout);
   }
   faults_->note_retry_exhausted();
-  return total;
+  ex.t = std::move(total);
+  return ex;
 }
 
 double Network::link_latency(NodeIndex u, NodeIndex v) const {
@@ -250,13 +330,22 @@ Network::LocateResult Network::locate_predecessor(NodeIndex from,
         r.cache().erase(c.id);  // clean the copy here too, then skip it
         continue;
       }
-      const Transfer hop = reliable_unicast(cur, c.host, cat);
+      // One locate step rides the wire as a typed message; the next router
+      // acts on the decoded target, not on shared memory.
+      const std::uint8_t purpose =
+          cat == sim::MsgCategory::kJoin
+              ? 0
+              : (cat == sim::MsgCategory::kRepair ? 1 : 2);
+      const Exchange step =
+          reliable_exchange(cur, c.host, cat, wire::msg::Locate{target, purpose});
+      const Transfer& hop = step.t;
       if (!hop.ok) {
         // Pointer target unreachable (or retries exhausted under loss); a
         // cached pointer is simply dropped.
         r.cache().erase(c.id);
         continue;
       }
+      assert(std::get<wire::msg::Locate>(*step.received).target == target);
       res.messages += hop.messages;
       res.latency_ms += hop.latency_ms;
       res.control_path.insert(res.control_path.end(), hop.path.begin() + 1,
@@ -295,22 +384,27 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   VirtualNode* pred = pred_r.find_vnode(pred_id);
   assert(pred != nullptr);
 
-  // The new vnode inherits the predecessor's successor view: everything in
-  // pred's group is still a successor of vn (vn sits between pred and
-  // pred's old succ0).
-  vn.successors.clear();
+  // The join reply carries the predecessor's successor view as a typed wire
+  // message: everything in pred's group is still a successor of vn (vn sits
+  // between pred and pred's old succ0).  vn adopts what the gateway decodes
+  // off the wire below, not what this scope can see directly.
+  wire::msg::JoinReply reply_msg;
+  reply_msg.predecessor = pred->id;
+  reply_msg.predecessor_host = pred_router;
   for (const NeighborPtr& s : pred->successors) {
-    if (s.id != vn.id) vn.successors.push_back(s);
+    if (s.id != vn.id) {
+      reply_msg.successors.push_back(wire::FingerField{s.id, s.host});
+    }
   }
-  if (vn.successors.empty()) {
+  if (reply_msg.successors.empty()) {
     // Singleton ring: predecessor is also the successor.
-    vn.successors.push_back(NeighborPtr{pred->id, pred_router});
+    reply_msg.successors.push_back(wire::FingerField{pred->id, pred_router});
   }
-  vn.predecessor = NeighborPtr{pred->id, pred_router};
 
   const NeighborPtr self{vn.id, vn.home};
-  const NodeId succ0_id = vn.successors.front().id;
-  const NodeIndex succ0_host = vn.successors.front().host;
+  const NodeId succ0_id = reply_msg.successors.front().target;
+  const auto succ0_host =
+      static_cast<NodeIndex>(reply_msg.successors.front().home_as);
 
   // Predecessor adopts vn as its new first successor.  Keep the prior group
   // around: if the join reply below is lost, the adoption must roll back
@@ -322,14 +416,17 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
 
   // Ephemeral backpointers that now fall past vn migrate from pred to vn
   // (piggybacked on the join reply, no extra messages).
-  std::vector<NodeId> migrate;
   for (const auto& [eid, gw] : pred_r.ephemeral_backpointers()) {
-    if (NodeId::in_interval_oc(vn.id, eid, succ0_id)) migrate.push_back(eid);
+    if (NodeId::in_interval_oc(vn.id, eid, succ0_id)) {
+      reply_msg.migrated_ephemerals.push_back(eid);
+    }
   }
 
   // Join reply: predecessor -> joining host's gateway, carrying the
   // successor list.  Routers along the way cache the new ID.
-  const Transfer reply = reliable_unicast(pred_router, vn.home, cat);
+  const Exchange reply_ex =
+      reliable_exchange(pred_router, vn.home, cat, reply_msg);
+  const Transfer& reply = reply_ex.t;
   if (!reply.ok) {
     // The joining host never learned it was admitted, so the predecessor
     // must roll back the adoption (its reply timer expires).  Leaving vn in
@@ -341,6 +438,16 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
     return total;
   }
   total.messages += reply.messages;
+  // The joining gateway's view of its ring neighborhood is whatever arrived
+  // on the wire (CRC-verified and decoded by reliable_exchange).
+  const auto& reply_rx = std::get<wire::msg::JoinReply>(*reply_ex.received);
+  vn.successors.clear();
+  for (const wire::FingerField& s : reply_rx.successors) {
+    vn.successors.push_back(
+        NeighborPtr{s.target, static_cast<NodeIndex>(s.home_as)});
+  }
+  vn.predecessor = NeighborPtr{
+      reply_rx.predecessor, static_cast<NodeIndex>(reply_rx.predecessor_host)};
   // Routers on the reply path may cache the new ID, so they belong to the
   // directed-flood set cleared on host failure (section 3.2).
   vn.control_path.insert(vn.control_path.end(), reply.path.begin(),
@@ -355,7 +462,7 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   }
 
   Router& home_r = *routers_[vn.home];
-  for (const NodeId& eid : migrate) {
+  for (const NodeId& eid : reply_rx.migrated_ephemerals) {
     const auto gw = pred_r.ephemeral_gateway(eid);
     if (gw.has_value()) {
       home_r.add_ephemeral_backpointer(eid, *gw);
@@ -372,15 +479,25 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   }
 
   // Successor learns its new predecessor (sent from the gateway once the
-  // reply arrives; parallel with the deeper-predecessor updates below).
+  // reply arrives; parallel with the deeper-predecessor updates below).  The
+  // install is applied from the decoded message at the receiving router.
   double branch_a = reply.latency_ms;
   {
-    const Transfer notify = reliable_unicast(vn.home, succ0_host, cat);
-    if (notify.ok) {
-      total.messages += notify.messages;
-      branch_a += notify.latency_ms;
-      if (VirtualNode* succ = routers_[succ0_host]->find_vnode(succ0_id)) {
-        succ->predecessor = self;
+    const Exchange notify_ex = reliable_exchange(
+        vn.home, succ0_host, cat,
+        wire::msg::PointerInstall{.subject = succ0_id,
+                                  .neighbor = vn.id,
+                                  .neighbor_host = vn.home,
+                                  .op = 1});
+    if (notify_ex.t.ok) {
+      total.messages += notify_ex.t.messages;
+      branch_a += notify_ex.t.latency_ms;
+      const auto& install =
+          std::get<wire::msg::PointerInstall>(*notify_ex.received);
+      if (VirtualNode* succ =
+              routers_[succ0_host]->find_vnode(install.subject)) {
+        succ->predecessor = NeighborPtr{
+            install.neighbor, static_cast<NodeIndex>(install.neighbor_host)};
       }
     }
   }
@@ -394,13 +511,24 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
     VirtualNode* cur = routers_[walk.host]->find_vnode(walk.id);
     if (cur == nullptr || !cur->predecessor.has_value()) break;
     const NeighborPtr next = *cur->predecessor;
-    const Transfer hop = reliable_unicast(walk_from, next.host, cat);
-    if (!hop.ok) break;
-    total.messages += hop.messages;
-    branch_b += hop.latency_ms;
-    VirtualNode* deeper = routers_[next.host]->find_vnode(next.id);
+    const Exchange hop_ex = reliable_exchange(
+        walk_from, next.host, cat,
+        wire::msg::PointerInstall{.subject = next.id,
+                                  .neighbor = vn.id,
+                                  .neighbor_host = vn.home,
+                                  .op = 0});
+    if (!hop_ex.t.ok) break;
+    total.messages += hop_ex.t.messages;
+    branch_b += hop_ex.t.latency_ms;
+    const auto& install =
+        std::get<wire::msg::PointerInstall>(*hop_ex.received);
+    VirtualNode* deeper = routers_[next.host]->find_vnode(install.subject);
     if (deeper == nullptr) break;
-    insert_sorted_successor(*deeper, self, cfg_.successor_group);
+    insert_sorted_successor(
+        *deeper,
+        NeighborPtr{install.neighbor,
+                    static_cast<NodeIndex>(install.neighbor_host)},
+        cfg_.successor_group);
     routers_[next.host]->reindex_vnode(deeper->id);
     walk_from = next.host;
     walk = next;
@@ -448,8 +576,40 @@ JoinStats Network::join_id(const NodeId& id, const PublicKey& pub,
           cfg_.max_resident_ids_per_router) {
     return stats;
   }
-  stats.messages += 1;  // host -> gateway join request
-  sim_.counters().add(sim::MsgCategory::kJoin, 1);
+  // Host -> gateway join request over the access link, as an encoded frame.
+  // A join carrying a large finger table exceeds the MTU and charges the
+  // paper's multi-packet counts (section 6.3); the common fingerless join is
+  // one packet, as before.
+  {
+    wire::msg::JoinRequest req;
+    // Derived, not drawn: consuming a protocol RNG draw here would shift
+    // every later seeded decision and break run-for-run comparability with
+    // pre-wire traces.  (The authentication nonce proper is drawn by
+    // join_host before this runs.)
+    req.nonce = id.lo() ^ id.hi();
+    req.gateway = gateway;
+    req.host_class = static_cast<std::uint8_t>(host_class);
+    req.public_key = pub;
+    const std::vector<std::uint8_t> frame = wire::msg::encode_control(
+        wire::msg::ControlMessage{req}, id, routers_[gateway]->router_id());
+    if (frame.empty()) {
+      sim_.metrics().add(encode_failures_id_);
+      return stats;  // never transmit a zero-byte frame
+    }
+    const auto decoded = wire::msg::decode_control(frame);
+    assert(decoded.has_value() &&
+           std::get<wire::msg::JoinRequest>(*decoded).gateway == gateway);
+    if (!decoded.has_value()) {
+      sim_.metrics().add(codec_rejected_id_);
+      return stats;
+    }
+    const std::uint64_t frags =
+        std::max<std::size_t>(1, (frame.size() + wire::kDefaultMtu - 1) /
+                                     wire::kDefaultMtu);
+    stats.messages += frags;
+    sim_.counters().add(sim::MsgCategory::kJoin, frags);
+    sim_.counters().add_bytes(sim::MsgCategory::kJoin, frame.size());
+  }
 
   const LocateResult loc =
       locate_predecessor(gateway, id, sim::MsgCategory::kJoin);
@@ -464,17 +624,26 @@ JoinStats Network::join_id(const NodeId& id, const PublicKey& pub,
     vn.id = id;
     vn.pub = pub;
     vn.host_class = HostClass::kEphemeral;
-    VirtualNode* pred = routers_[loc.pred_router]->find_vnode(loc.pred_id);
+    const VirtualNode* pred =
+        routers_[loc.pred_router]->find_vnode(loc.pred_id);
     assert(pred != nullptr);
-    vn.successors.push_back(NeighborPtr{pred->id, loc.pred_router});
-    vn.predecessor = NeighborPtr{pred->id, loc.pred_router};
+    // add_vnode below may grow the same router's vnode map when the gateway
+    // hosts the predecessor, invalidating `pred` -- copy what we need first.
+    const NodeId pred_id = pred->id;
+    vn.successors.push_back(NeighborPtr{pred_id, loc.pred_router});
+    vn.predecessor = NeighborPtr{pred_id, loc.pred_router};
     vn.control_path = loc.control_path;
     routers_[gateway]->add_vnode(std::move(vn));
     routers_[loc.pred_router]->add_ephemeral_backpointer(id, gateway);
-    const Transfer reply =
-        reliable_unicast(loc.pred_router, gateway, sim::MsgCategory::kJoin);
-    stats.messages += reply.messages;
-    stats.latency_ms = loc.latency_ms + reply.latency_ms;
+    wire::msg::JoinReply eph_reply;
+    eph_reply.predecessor = pred_id;
+    eph_reply.predecessor_host = loc.pred_router;
+    eph_reply.successors.push_back(
+        wire::FingerField{pred_id, loc.pred_router});
+    const Exchange reply_ex = reliable_exchange(
+        loc.pred_router, gateway, sim::MsgCategory::kJoin, eph_reply);
+    stats.messages += reply_ex.t.messages;
+    stats.latency_ms = loc.latency_ms + reply_ex.t.latency_ms;
   } else {
     VirtualNode vn;
     vn.id = id;
@@ -531,7 +700,13 @@ std::uint64_t Network::refill_successors(VirtualNode& vn, sim::MsgCategory cat,
   // `exclude` guards against copying back an ID that is mid-teardown and
   // may still linger in the peer's not-yet-cleaned list.
   const NeighborPtr head = vn.successors.front();
-  const Transfer t = reliable_unicast(vn.home, head.host, cat);
+  const Exchange ex = reliable_exchange(
+      vn.home, head.host, cat,
+      wire::msg::PointerInstall{.subject = vn.id,
+                                .neighbor = head.id,
+                                .neighbor_host = head.host,
+                                .op = 2});
+  const Transfer& t = ex.t;
   if (!t.ok) return 0;
   const VirtualNode* succ = routers_[head.host]->find_vnode(head.id);
   if (succ != nullptr) {
@@ -558,9 +733,13 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
   if (vn->host_class == HostClass::kEphemeral) {
     // Teardown to the predecessor that holds the backpointer.
     if (vn->predecessor.has_value()) {
-      const Transfer t = reliable_unicast(gw, vn->predecessor->host, cat);
-      stats.messages += t.messages;
-      routers_[vn->predecessor->host]->remove_ephemeral_backpointer(id);
+      const Exchange ex =
+          reliable_exchange(gw, vn->predecessor->host, cat,
+                            wire::msg::Teardown{.id = id, .reason = 3});
+      stats.messages += ex.t.messages;
+      const NodeId torn =
+          ex.t.ok ? std::get<wire::msg::Teardown>(*ex.received).id : id;
+      routers_[vn->predecessor->host]->remove_ephemeral_backpointer(torn);
       ++stats.pointers_torn;
     }
     gw_r.remove_vnode(id);
@@ -584,11 +763,14 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
   // Teardown to the first successor: it loses its predecessor pointer and
   // relinks to the departing node's predecessor.
   if (succ_ptr.has_value()) {
-    const Transfer t = reliable_unicast(gw, succ_ptr->host, cat);
-    stats.messages += t.messages;
-    if (t.ok) {
+    const Exchange ex =
+        reliable_exchange(gw, succ_ptr->host, cat,
+                          wire::msg::Teardown{.id = id, .reason = 0});
+    stats.messages += ex.t.messages;
+    if (ex.t.ok) {
+      const NodeId torn = std::get<wire::msg::Teardown>(*ex.received).id;
       if (VirtualNode* succ = routers_[succ_ptr->host]->find_vnode(succ_ptr->id)) {
-        if (succ->predecessor.has_value() && succ->predecessor->id == id) {
+        if (succ->predecessor.has_value() && succ->predecessor->id == torn) {
           succ->predecessor = pred_ptr;
           ++stats.pointers_torn;
         }
@@ -606,15 +788,19 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
     NeighborPtr walk = *pred_ptr;
     NodeIndex from = gw;
     for (std::size_t depth = 0; depth < cfg_.successor_group; ++depth) {
-      const Transfer t = reliable_unicast(from, walk.host, cat);
-      if (!t.ok) break;
-      stats.messages += t.messages;
+      const Exchange ex =
+          reliable_exchange(from, walk.host, cat,
+                            wire::msg::Teardown{.id = id, .reason = 0});
+      if (!ex.t.ok) break;
+      stats.messages += ex.t.messages;
+      const NodeId torn = std::get<wire::msg::Teardown>(*ex.received).id;
       VirtualNode* p = routers_[walk.host]->find_vnode(walk.id);
       if (p == nullptr) break;
-      const bool had = std::any_of(p->successors.begin(), p->successors.end(),
-                                   [&](const NeighborPtr& s) { return s.id == id; });
+      const bool had =
+          std::any_of(p->successors.begin(), p->successors.end(),
+                      [&](const NeighborPtr& s) { return s.id == torn; });
       if (had) {
-        remove_successor(*p, id);
+        remove_successor(*p, torn);
         ++stats.pointers_torn;
         routers_[walk.host]->reindex_vnode(p->id);
         cleaned.push_back(walk);
@@ -656,6 +842,8 @@ RepairStats Network::splice_out(const NodeId& id, bool directed_flood,
                                          : 0;
     stats.messages += flood_msgs;
     sim_.counters().add(cat, flood_msgs);
+    // Each leg of the flood carries the same encoded teardown frame.
+    sim_.counters().add_bytes(cat, flood_msgs * teardown_frame_bytes_);
   }
   return stats;
 }
@@ -753,6 +941,9 @@ RepairStats Network::repair_partitions() {
     // packets, so they are accounted on the link-state channel and do not
     // inflate the repair packet counts of figure 7.
     sim_.counters().add(sim::MsgCategory::kLinkState, conv.messages);
+    sim_.counters().add_bytes(
+        sim::MsgCategory::kLinkState,
+        conv.messages * wire::msg::control_wire_size(wire::msg::Lsa{}));
     assert(zero.verify_consistent());
   }
 
@@ -796,9 +987,13 @@ RepairStats Network::repair_partitions() {
               vn->successors.begin(), vn->successors.end(),
               [&](const NeighborPtr& s) { return s.id == w.id && s.host == w.host; });
           if (!had) {
-            const Transfer t =
-                reliable_unicast(vhost, w.host, sim::MsgCategory::kRepair);
-            stats.messages += t.messages;
+            const Exchange ex = reliable_exchange(
+                vhost, w.host, sim::MsgCategory::kRepair,
+                wire::msg::Repair{.subject = vid,
+                                  .neighbor = w.id,
+                                  .neighbor_host = w.host,
+                                  .op = 0});
+            stats.messages += ex.t.messages;
           }
         }
         vn->successors = want;
@@ -806,9 +1001,13 @@ RepairStats Network::repair_partitions() {
       }
       if (vn->predecessor != want_pred) {
         if (want_pred.has_value()) {
-          const Transfer t =
-              reliable_unicast(vhost, want_pred->host, sim::MsgCategory::kRepair);
-          stats.messages += t.messages;
+          const Exchange ex = reliable_exchange(
+              vhost, want_pred->host, sim::MsgCategory::kRepair,
+              wire::msg::Repair{.subject = vid,
+                                .neighbor = want_pred->id,
+                                .neighbor_host = want_pred->host,
+                                .op = 1});
+          stats.messages += ex.t.messages;
         }
         vn->predecessor = want_pred;
         changed = true;
@@ -990,6 +1189,7 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
         .node = node,
         .category = static_cast<std::uint8_t>(sim::MsgCategory::kData),
         .kind = kind,
+        .frame_bytes = static_cast<std::uint32_t>(data_frame_bytes_),
         .chased = chased});
   };
   rec(obs::HopKind::kStart, src_router, dest);
@@ -1047,6 +1247,8 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
             const sim::FaultDecision fd =
                 faults_->on_link(path[i], path[i + 1]);
             sim_.counters().add(sim::MsgCategory::kData, fd.copies);
+            sim_.counters().add_bytes(sim::MsgCategory::kData,
+                                      fd.copies * data_frame_bytes_);
             ++stats.physical_hops;
             stats.latency_ms += link_latency(path[i], path[i + 1]);
             if (fd.dropped) {
@@ -1068,6 +1270,8 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
         stats.physical_hops += hops;
         stats.latency_ms += map_->latency_ms(cur, *egw).value_or(0.0);
         sim_.counters().add(sim::MsgCategory::kData, hops);
+        sim_.counters().add_bytes(sim::MsgCategory::kData,
+                                  hops * data_frame_bytes_);
         stats.delivered = true;
         sim_.metrics().add(delivered_id_);
         rec(obs::HopKind::kDeliver, *egw, dest);
@@ -1130,10 +1334,23 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
       r.cache().erase(chasing->id);
       dead_this_walk.insert(chasing->id);
       if (chasing_origin != graph::kInvalidNode && chasing_origin != cur) {
-        const Transfer back =
-            unicast(cur, chasing_origin, sim::MsgCategory::kTeardown);
-        (void)back;
-        routers_[chasing_origin]->cache().erase(chasing->id);
+        // One-shot (unreliable) teardown back to the cache that supplied the
+        // stale pointer; the holder erases the ID it decodes off the wire.
+        const std::vector<std::uint8_t> frame = wire::msg::encode_control(
+            wire::msg::Teardown{.id = chasing->id, .reason = 2},
+            routers_[cur]->router_id(), routers_[chasing_origin]->router_id());
+        if (!frame.empty()) {
+          const Exchange back =
+              exchange_once(cur, chasing_origin,
+                            sim::MsgCategory::kTeardown, frame);
+          const NodeId stale_id =
+              back.t.ok ? std::get<wire::msg::Teardown>(*back.received).id
+                        : chasing->id;
+          routers_[chasing_origin]->cache().erase(stale_id);
+        } else {
+          sim_.metrics().add(encode_failures_id_);
+          routers_[chasing_origin]->cache().erase(chasing->id);
+        }
       }
       chasing.reset();
       chasing_origin = graph::kInvalidNode;
@@ -1162,12 +1379,15 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
         // The duplicate is transmitted (and charged) but dies at the next
         // router's dedup check.
         sim_.counters().add(sim::MsgCategory::kData, fd.copies - 1);
+        sim_.counters().add_bytes(sim::MsgCategory::kData,
+                                  (fd.copies - 1) * data_frame_bytes_);
       }
       if (fd.dropped) {
         // Data packets have no retransmission (best-effort forwarding): the
         // hop onto the link is charged, then the packet is gone.
         ++stats.physical_hops;
         sim_.counters().add(sim::MsgCategory::kData, 1);
+        sim_.counters().add_bytes(sim::MsgCategory::kData, data_frame_bytes_);
         rec(obs::HopKind::kFaultDrop, cur, chasing->id);
         return stats;
       }
@@ -1178,6 +1398,7 @@ RouteStats Network::route(NodeIndex src_router, const NodeId& dest,
     routers_[cur]->count_traversal();
     ++stats.physical_hops;
     sim_.counters().add(sim::MsgCategory::kData, 1);
+    sim_.counters().add_bytes(sim::MsgCategory::kData, data_frame_bytes_);
     rec(obs::HopKind::kForward, cur, chasing->id);
   }
   rec(obs::HopKind::kDrop, cur, dest);

@@ -48,6 +48,7 @@
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "wire/messages.hpp"
 
 namespace rofl::intra {
 
@@ -236,25 +237,50 @@ class Network {
     std::vector<NodeIndex> path;  // inclusive endpoints
   };
 
+  /// One control exchange's outcome: the transfer bookkeeping plus the
+  /// message as the receiver decoded it off the wire.  State mutation at the
+  /// receiving router reads the decoded copy, never the sender's struct --
+  /// the wire format is load-bearing, not decorative.
+  struct Exchange {
+    Transfer t;
+    std::optional<wire::msg::ControlMessage> received;
+  };
+
   /// One transmission attempt of a logical protocol message A->B over the
-  /// IGP path; counts one packet per physical hop under `cat`.  With a fault
-  /// injector installed the message may be dropped mid-path (ok=false,
-  /// lost=true; the hops up to the drop point are still charged), duplicated
-  /// (extra packets charged), or delayed (jitter added to latency).
-  Transfer unicast(NodeIndex a, NodeIndex b, sim::MsgCategory cat);
+  /// IGP path.  The message occupies `frame_bytes` on the wire and charges
+  /// ceil(frame_bytes / kDefaultMtu) network packets per physical hop (the
+  /// paper's multi-packet counts for >MTU messages) plus `frame_bytes` on the
+  /// per-category byte counters.  With a fault injector installed the
+  /// message may be dropped mid-path (ok=false, lost=true; the hops up to
+  /// the drop point are still charged), duplicated (extra packets charged),
+  /// or delayed (jitter added to latency).
+  Transfer unicast(NodeIndex a, NodeIndex b, sim::MsgCategory cat,
+                   std::size_t frame_bytes);
 
   /// The per-link walk of `unicast` under an active fault injector; `t.path`
   /// must already hold the IGP path.
-  Transfer faulty_transfer(Transfer t, sim::MsgCategory cat);
+  Transfer faulty_transfer(Transfer t, sim::MsgCategory cat,
+                           std::size_t frame_bytes);
 
-  /// Retry-with-timeout-and-exponential-backoff state machine wrapped around
-  /// `unicast` (Config::retry).  Control-plane exchanges use this instead of
-  /// assuming one-shot delivery: each lost attempt costs its transmitted
-  /// hops plus the current retransmission timeout in latency, then the
-  /// timeout backs off.  Gives up after max_attempts (ok=false, lost=true)
-  /// or immediately when no path exists (ok=false, lost=false).  With no
-  /// injector the first attempt succeeds and this is exactly `unicast`.
-  Transfer reliable_unicast(NodeIndex a, NodeIndex b, sim::MsgCategory cat);
+  /// One attempt of `frame` across the network: unicast charging, then -- if
+  /// the frame arrived -- byte corruption by the injector and CRC-verified
+  /// decode at the receiver.  A corrupted frame fails decode and comes back
+  /// as lost (ok stays false), which is exactly how the retry loop sees a
+  /// dropped packet.
+  Exchange exchange_once(NodeIndex a, NodeIndex b, sim::MsgCategory cat,
+                         const std::vector<std::uint8_t>& frame);
+
+  /// Encodes `m` once and runs the retry-with-timeout-and-exponential-
+  /// backoff state machine over exchange_once (Config::retry).  Control
+  /// exchanges use this instead of assuming one-shot delivery: each lost (or
+  /// corrupted) attempt costs its transmitted hops plus the current
+  /// retransmission timeout in latency, then the timeout backs off.  Gives
+  /// up after max_attempts (ok=false, lost=true) or immediately when no path
+  /// exists (ok=false, lost=false) or the message cannot be encoded (counted
+  /// on rofl.encode_failures; a zero-byte frame is never transmitted).  With
+  /// no injector the first attempt always succeeds.
+  Exchange reliable_exchange(NodeIndex a, NodeIndex b, sim::MsgCategory cat,
+                             const wire::msg::ControlMessage& m);
 
   /// Propagation delay of the direct link u->v (0 when not adjacent).
   [[nodiscard]] double link_latency(NodeIndex u, NodeIndex v) const;
@@ -317,6 +343,13 @@ class Network {
   obs::MetricId routes_id_ = 0;
   obs::MetricId delivered_id_ = 0;
   obs::MetricId stale_ptrs_id_ = 0;
+  obs::MetricId encode_failures_id_ = 0;
+  obs::MetricId codec_rejected_id_ = 0;
+  // Wire size of a bare data packet / teardown frame, measured from the
+  // encoder once at construction; the forwarding hot loop charges bytes
+  // without re-encoding per hop.
+  std::size_t data_frame_bytes_ = 0;
+  std::size_t teardown_frame_bytes_ = 0;
   std::unique_ptr<linkstate::LinkStateMap> map_;
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;

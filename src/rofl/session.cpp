@@ -1,5 +1,7 @@
 #include "rofl/session.hpp"
 
+#include <cassert>
+
 namespace rofl::intra {
 
 SessionManager::SessionManager(Network& net, SessionConfig cfg)
@@ -68,26 +70,45 @@ void SessionManager::tick(const NodeId& id, std::uint64_t epoch) {
 
   bool missed = true;
   if (s.alive()) {
-    // The host emits a keepalive over its access link.
-    wire::Packet ka;
-    ka.type = wire::PacketType::kKeepalive;
-    ka.source = id;
-    ka.destination = id;  // to the gateway's session state for this ID
-    net_->simulator().counters().add(sim::MsgCategory::kControl,
-                                     ka.fragments());
-    ++keepalives_;
-    net_->simulator().metrics().add(keepalives_id_);
-    // A lossy access link can eat the keepalive.  The gateway cannot tell a
-    // lossy link from a dead host, so the loss counts as one miss -- only
-    // miss_limit consecutive losses look like a failure.
-    sim::FaultInjector* inj = net_->fault_injector();
-    if (inj != nullptr && inj->message_faults_enabled() &&
-        inj->on_access_link().dropped) {
-      ++keepalives_lost_;
-      net_->simulator().metrics().add(keepalives_lost_id_);
-    } else {
-      s.missed = 0;
-      missed = false;
+    // The host emits a keepalive over its access link as an encoded frame.
+    // encode_control fails loudly (empty vector) on oversized fields; a
+    // keepalive cannot overflow, but the contract is checked anyway -- a
+    // zero-byte frame must never be counted as sent.
+    std::vector<std::uint8_t> frame = wire::msg::encode_control(
+        wire::msg::Keepalive{.seq = s.missed + 1}, id, id);
+    if (!frame.empty()) {
+      net_->simulator().counters().add(
+          sim::MsgCategory::kControl,
+          std::max<std::size_t>(
+              1, (frame.size() + wire::kDefaultMtu - 1) / wire::kDefaultMtu));
+      net_->simulator().counters().add_bytes(sim::MsgCategory::kControl,
+                                             frame.size());
+      ++keepalives_;
+      net_->simulator().metrics().add(keepalives_id_);
+      // A lossy access link can eat the keepalive -- or corrupt it, which
+      // the gateway's CRC check turns into the same thing.  The gateway
+      // cannot tell either from a dead host, so both count as one miss;
+      // only miss_limit consecutive losses look like a failure.
+      sim::FaultInjector* inj = net_->fault_injector();
+      bool delivered = true;
+      if (inj != nullptr && inj->message_faults_enabled()) {
+        if (inj->on_access_link().dropped) delivered = false;
+        if (delivered && inj->corruption_enabled() &&
+            inj->maybe_corrupt_frame(frame)) {
+          delivered = wire::msg::decode_control(frame).has_value();
+          assert(!delivered);  // CRC must reject the corrupted frame
+        } else if (delivered) {
+          delivered = wire::msg::decode_control(frame).has_value();
+          assert(delivered);  // clean frame must round-trip
+        }
+      }
+      if (!delivered) {
+        ++keepalives_lost_;
+        net_->simulator().metrics().add(keepalives_lost_id_);
+      } else {
+        s.missed = 0;
+        missed = false;
+      }
     }
   }
   if (missed && ++s.missed >= cfg_.miss_limit) {

@@ -16,12 +16,15 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
       message_faults_(plan_.message_faults_possible()),
       rng_(seed),
       registry_(registry) {
+  corruption_ = plan_.defaults.corrupt > 0.0;
   for (const LinkConditions& lc : plan_.link_overrides) {
     overrides_[std::minmax(lc.u, lc.v)] = lc.conditions;
+    corruption_ = corruption_ || lc.conditions.corrupt > 0.0;
   }
   dropped_id_ = registry_->counter("faults.dropped");
   duplicated_id_ = registry_->counter("faults.duplicated");
   delayed_id_ = registry_->counter("faults.delayed");
+  corrupted_id_ = registry_->counter("faults.corrupted");
   retries_id_ = registry_->counter("faults.retries");
   exhausted_id_ = registry_->counter("faults.retry_exhausted");
   flaps_id_ = registry_->counter("faults.link_flaps");
@@ -59,6 +62,25 @@ FaultDecision FaultInjector::decide(const NetworkConditions& c) {
 
 FaultDecision FaultInjector::on_link(std::uint32_t u, std::uint32_t v) {
   return decide(conditions_for(u, v));
+}
+
+bool FaultInjector::maybe_corrupt_frame(std::vector<std::uint8_t>& frame) {
+  const double p = plan_.defaults.corrupt;
+  if (p <= 0.0 || frame.empty()) return false;
+  if (!rng_.chance(p)) return false;
+  // Flip a burst of 1-3 consecutive bits at a uniform position (wrapping).
+  // A burst touches distinct bits, and CRC-32 detects every burst error up
+  // to 32 bits, so a corrupted frame is guaranteed to fail decode -- never
+  // to cancel itself out and slip through.
+  const std::size_t flips = 1 + rng_.index(3);
+  const std::size_t total_bits = frame.size() * 8;
+  const std::size_t start = rng_.index(total_bits);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t bit = (start + i) % total_bits;
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  registry_->add(corrupted_id_);
+  return true;
 }
 
 PathDecision FaultInjector::on_path(std::uint64_t transmissions) {

@@ -42,9 +42,10 @@ struct NetworkConditions {
   double loss = 0.0;       // P(transmission dropped)
   double duplicate = 0.0;  // P(one spurious extra copy transmitted)
   double jitter_ms = 0.0;  // extra propagation delay, uniform in [0, jitter]
+  double corrupt = 0.0;    // P(bit flips in the encoded frame)
 
   [[nodiscard]] bool active() const {
-    return loss > 0.0 || duplicate > 0.0 || jitter_ms > 0.0;
+    return loss > 0.0 || duplicate > 0.0 || jitter_ms > 0.0 || corrupt > 0.0;
   }
 };
 
@@ -145,6 +146,17 @@ class FaultInjector {
   /// first drop (later legs are never transmitted).
   PathDecision on_path(std::uint64_t transmissions);
 
+  /// Byte-corruption mode: with probability `defaults.corrupt`, flips 1-3
+  /// bits of `frame` at random positions and returns true.  The receiver's
+  /// CRC-32 check then rejects the frame, converting corruption into loss
+  /// that feeds the normal retry/backoff machinery.  With the knob at zero no
+  /// randomness is consumed (same determinism contract as decide()).
+  bool maybe_corrupt_frame(std::vector<std::uint8_t>& frame);
+
+  /// True when the corruption knob is set anywhere in the plan; senders use
+  /// this to skip the per-attempt frame copy on corruption-free runs.
+  [[nodiscard]] bool corruption_enabled() const { return corruption_; }
+
   // Bookkeeping hooks for the layers that own retry loops and schedules.
   void note_retry() { registry_->add(retries_id_); }
   void note_retry_exhausted() { registry_->add(exhausted_id_); }
@@ -161,6 +173,9 @@ class FaultInjector {
   }
   [[nodiscard]] std::uint64_t delayed() const {
     return registry_->counter_value(delayed_id_);
+  }
+  [[nodiscard]] std::uint64_t corrupted() const {
+    return registry_->counter_value(corrupted_id_);
   }
   [[nodiscard]] std::uint64_t retries() const {
     return registry_->counter_value(retries_id_);
@@ -182,6 +197,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   bool message_faults_ = false;
+  bool corruption_ = false;
   Rng rng_;  // dedicated stream: protocol RNGs never see fault decisions
   obs::Registry* registry_;
   // Normalized (min, max) link key -> override conditions.
@@ -190,6 +206,7 @@ class FaultInjector {
   obs::MetricId dropped_id_ = 0;
   obs::MetricId duplicated_id_ = 0;
   obs::MetricId delayed_id_ = 0;
+  obs::MetricId corrupted_id_ = 0;
   obs::MetricId retries_id_ = 0;
   obs::MetricId exhausted_id_ = 0;
   obs::MetricId flaps_id_ = 0;

@@ -30,8 +30,9 @@ static_assert(obs::category_name(static_cast<std::uint8_t>(
 Counters::Counters(obs::Registry* registry) : registry_(registry) {
   assert(registry != nullptr);
   for (std::size_t c = 0; c < kMsgCategoryCount; ++c) {
-    ids_[c] = registry_->counter(
-        "msgs." + std::string(to_string(static_cast<MsgCategory>(c))));
+    const std::string name(to_string(static_cast<MsgCategory>(c)));
+    ids_[c] = registry_->counter("msgs." + name);
+    byte_ids_[c] = registry_->counter("bytes." + name);
   }
 }
 
@@ -41,8 +42,15 @@ std::uint64_t Counters::total() const {
   return sum;
 }
 
+std::uint64_t Counters::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const obs::MetricId id : byte_ids_) sum += registry_->counter_value(id);
+  return sum;
+}
+
 void Counters::reset() {
   for (const obs::MetricId id : ids_) registry_->set_counter(id, 0);
+  for (const obs::MetricId id : byte_ids_) registry_->set_counter(id, 0);
 }
 
 void Simulator::schedule_in(double delay_ms, Action action) {

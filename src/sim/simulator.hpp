@@ -59,12 +59,23 @@ class Counters {
   [[nodiscard]] std::uint64_t get(MsgCategory c) const {
     return registry_->counter_value(ids_[static_cast<std::size_t>(c)]);
   }
+  /// Wire bytes per category ("bytes.join", ...), parallel to the packet
+  /// counts above.  Frames come out of the real wire::Packet encoder, so
+  /// these are the section 6.3 byte figures, not estimates.
+  void add_bytes(MsgCategory c, std::uint64_t n) {
+    registry_->add(byte_ids_[static_cast<std::size_t>(c)], n);
+  }
+  [[nodiscard]] std::uint64_t bytes(MsgCategory c) const {
+    return registry_->counter_value(byte_ids_[static_cast<std::size_t>(c)]);
+  }
   [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
   void reset();
 
  private:
   obs::Registry* registry_;
   std::array<obs::MetricId, kMsgCategoryCount> ids_{};
+  std::array<obs::MetricId, kMsgCategoryCount> byte_ids_{};
 };
 
 /// Captures up to this size are stored inline in the event slab; larger

@@ -100,8 +100,7 @@ std::optional<Packet> Packet::decode(std::span<const std::uint8_t> data) {
   if (!version.has_value() || *version != kVersion) return std::nullopt;
   p.version = *version;
   const auto type = r.u8();
-  if (!type.has_value() || *type < 1 ||
-      *type > static_cast<std::uint8_t>(PacketType::kCapabilityGrant)) {
+  if (!type.has_value() || *type < 1 || *type > kMaxPacketType) {
     return std::nullopt;
   }
   p.type = static_cast<PacketType>(*type);

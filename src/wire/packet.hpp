@@ -26,7 +26,19 @@ enum class PacketType : std::uint8_t {
   kRepair = 5,
   kKeepalive = 6,
   kCapabilityGrant = 7,
+  // Control-plane types added when every exchange moved onto the wire
+  // (PR 5): the greedy locate walk, pointer installs/updates, link-state
+  // advertisements, and interdomain ring-merge registrations.
+  kLocate = 8,
+  kPointerInstall = 9,
+  kLsa = 10,
+  kRingMerge = 11,
 };
+
+/// Highest assigned PacketType -- decode's range check derives from this so
+/// adding a type cannot silently leave it rejected on the wire.
+inline constexpr std::uint8_t kMaxPacketType =
+    static_cast<std::uint8_t>(PacketType::kRingMerge);
 
 inline constexpr std::uint8_t kVersion = 1;
 inline constexpr std::size_t kDefaultMtu = 1500;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/churn.hpp"
 #include "obs/flight_recorder.hpp"
 #include "rofl/network.hpp"
 
@@ -264,6 +265,50 @@ TEST(NetworkFaults, ScheduledFlapsFireOnceAndHeal) {
   for (const auto& [id, host] : f.net->directory()) {
     EXPECT_TRUE(f.net->route(u, id).delivered);
   }
+}
+
+TEST(NetworkFaults, CorruptionConvergesAndCountsRejections) {
+  // Frame corruption behaves as loss: the CRC check rejects every mangled
+  // frame, retry/backoff re-drives the exchange, and the ring converges once
+  // faults clear.
+  Fix f(83);
+  sim::FaultPlan plan = lossy_plan(0.05);
+  plan.defaults.corrupt = 0.02;
+  sim::FaultInjector inj(plan, 607, &f.net->simulator().metrics());
+  ASSERT_TRUE(inj.corruption_enabled());
+  f.net->set_fault_injector(&inj);
+  int ok = 0;
+  for (int i = 0; i < 40; ++i) ok += f.net->join_random_host().ok ? 1 : 0;
+  EXPECT_GT(ok, 25);
+  EXPECT_GT(inj.corrupted(), 0u);
+  f.net->set_fault_injector(nullptr);
+  (void)f.net->repair_partitions();
+  std::string err;
+  EXPECT_TRUE(f.net->verify_rings(&err, /*strict=*/true)) << err;
+}
+
+TEST(NetworkFaults, ChurnUnderCorruptionIsDeterministicAndConverges) {
+  // The acceptance gate for the wire-first refactor: 5% loss plus 1e-3
+  // frame corruption, full churn schedule, and two same-seed runs must
+  // produce byte-identical digests and metrics snapshots.
+  audit::ChurnConfig cc;
+  cc.events = 120;
+  cc.end_ms = 240.0;
+  audit::ChurnRunParams params;
+  params.router_count = 40;
+  params.pop_count = 6;
+  params.initial_hosts = 32;
+  params.seed = 11;
+  params.use_faults = true;
+  params.faults.defaults.loss = 0.05;
+  params.faults.defaults.corrupt = 1e-3;
+  const auto schedule = audit::make_churn_schedule(cc, params.seed);
+  const audit::ChurnRunResult a = audit::run_churn(params, schedule);
+  const audit::ChurnRunResult b = audit::run_churn(params, schedule);
+  EXPECT_TRUE(a.converged) << a.err;
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.hard, 0u);
 }
 
 TEST(NetworkFaults, CrashWindowRunsFailAndRestore) {

@@ -373,6 +373,7 @@ int cmd_faults(const Args& a) {
   plan.defaults.loss = a.dbl("loss", 0.05);
   plan.defaults.duplicate = a.dbl("dup", 0.0);
   plan.defaults.jitter_ms = a.dbl("jitter", 0.0);
+  plan.defaults.corrupt = a.dbl("corrupt", 0.0);
   const std::uint64_t flap_count = a.num("flaps", 0);
   std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> edges;
   for (graph::NodeIndex u = 0; u < topo.graph.node_count(); ++u) {
@@ -467,6 +468,7 @@ int cmd_faults(const Args& a) {
 
   std::cout << "[seed " << seed << "] " << topo.name << ", loss="
             << plan.defaults.loss << " dup=" << plan.defaults.duplicate
+            << " corrupt=" << plan.defaults.corrupt
             << " jitter=" << plan.defaults.jitter_ms << "ms flaps="
             << flap_count << "\n";
   Table t2({"metric", "value"});
@@ -478,6 +480,8 @@ int cmd_faults(const Args& a) {
               static_cast<std::int64_t>(inj.dropped())});
   t2.add_row({std::string("messages duplicated"),
               static_cast<std::int64_t>(inj.duplicated())});
+  t2.add_row({std::string("frames corrupted"),
+              static_cast<std::int64_t>(inj.corrupted())});
   t2.add_row({std::string("retries"),
               static_cast<std::int64_t>(inj.retries())});
   t2.add_row({std::string("retries exhausted"),
@@ -509,10 +513,12 @@ int cmd_audit(const Args& a) {
   params.seed = seed;
   const double loss = a.dbl("loss", 0.0);
   const double dup = a.dbl("dup", 0.0);
-  if (loss > 0.0 || dup > 0.0) {
+  const double corrupt = a.dbl("corrupt", 0.0);
+  if (loss > 0.0 || dup > 0.0 || corrupt > 0.0) {
     params.use_faults = true;
     params.faults.defaults.loss = loss;
     params.faults.defaults.duplicate = dup;
+    params.faults.defaults.corrupt = corrupt;
   }
 
   const auto schedule = audit::make_churn_schedule(cc, seed);
@@ -522,7 +528,8 @@ int cmd_audit(const Args& a) {
             << " events over " << cc.end_ms << "ms, audit every "
             << params.audit_interval_ms << "ms"
             << (params.use_faults
-                    ? " (loss=" + std::to_string(loss) + ")"
+                    ? " (loss=" + std::to_string(loss) + " corrupt=" +
+                          std::to_string(corrupt) + ")"
                     : "")
             << "\n";
   Table t({"metric", "value"});
@@ -589,10 +596,11 @@ void usage() {
       "                    [--fingers N] [--bloom] [--routes N]\n"
       "  roflsim partition [--isp NAME] [--ids-per-pop N]\n"
       "  roflsim faults    [--isp NAME] [--hosts N] [--churn N] [--loss P]\n"
-      "                    [--dup P] [--jitter MS] [--flaps N]\n"
+      "                    [--dup P] [--corrupt P] [--jitter MS] [--flaps N]\n"
       "                    [--metrics-json FILE]\n"
       "  roflsim audit     [--routers N] [--pops N] [--events N] [--loss P]\n"
-      "                    [--dup P] [--audit-interval MS] [--settle MS]\n"
+      "                    [--dup P] [--corrupt P] [--audit-interval MS]\n"
+      "                    [--settle MS]\n"
       "                    [--initial-hosts N] [--report] [--shrink]\n"
       "                    [--shrink-probes N]\n"
       "                    [--metrics-json FILE]\n\n"
