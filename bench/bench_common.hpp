@@ -11,9 +11,13 @@
 // ROFL_BENCH_FULL=1 for runs closer to the paper's (minutes).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "graph/as_topology.hpp"
 #include "graph/isp_topology.hpp"
@@ -45,6 +49,23 @@ inline graph::AsTopology make_inter_topology(Rng& rng) {
   }
   p.total_hosts = 10'000'000;
   return graph::AsTopology::make_internet_like(p, rng);
+}
+
+/// Peak resident set size of this process (ru_maxrss; KiB on Linux).
+inline long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+/// Run-level provenance embedded in every BENCH_*.json: wall time, peak
+/// memory, and the hardware parallelism the numbers were measured on.
+inline std::string run_info_json(double wall_seconds) {
+  std::ostringstream os;
+  os << "{\"wall_seconds\": " << wall_seconds
+     << ", \"peak_rss_kb\": " << peak_rss_kb()
+     << ", \"hw_threads\": " << std::thread::hardware_concurrency() << "}";
+  return os.str();
 }
 
 inline void print_scale_note(std::ostream& os) {

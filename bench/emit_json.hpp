@@ -10,9 +10,11 @@
 //   {
 //     "schema": "rofl-bench-v1",
 //     "benchmarks": {
-//       "BM_VnBestMatch": {"ns_per_op": 41.2, "iterations": 16384000},
+//       "BM_VnBestMatch": {"ns_per_op": 41.2, "ops_per_sec": 2.4e7,
+//                          "iterations": 16384000},
 //       ...
 //     },
+//     "run": {"wall_seconds": ..., "peak_rss_kb": ..., "hw_threads": ...},
 //     "metrics": { ... }   // optional obs::Registry snapshot (see below)
 //   }
 //
@@ -28,6 +30,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -35,6 +38,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "bench_common.hpp"
 
 namespace rofl::bench {
 
@@ -71,12 +76,17 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
     }
     out << "{\n  \"schema\": \"rofl-bench-v1\",\n  \"benchmarks\": {\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
-      out << "    \"" << escape(results_[i].first) << "\": {\"ns_per_op\": "
-          << results_[i].second.ns_per_op
-          << ", \"iterations\": " << results_[i].second.iterations << "}";
+      const Entry& e = results_[i].second;
+      out << "    \"" << escape(results_[i].first)
+          << "\": {\"ns_per_op\": " << e.ns_per_op << ", \"ops_per_sec\": "
+          << (e.ns_per_op > 0.0 ? 1e9 / e.ns_per_op : 0.0)
+          << ", \"iterations\": " << e.iterations << "}";
       out << (i + 1 < results_.size() ? ",\n" : "\n");
     }
-    out << "  }";
+    out << "  },\n  \"run\": "
+        << run_info_json(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count());
     if (!metrics_json.empty()) out << ",\n  \"metrics\": " << metrics_json;
     out << "\n}\n";
     return path;
@@ -113,6 +123,7 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
   }
 
   std::vector<std::pair<std::string, Entry>> results_;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
 /// The custom main body shared by bench binaries that emit trajectories:

@@ -16,6 +16,7 @@
 // bench re-runs the reference cell and fails unless digest and metrics
 // snapshot reproduce byte-for-byte -- the same gate scripts/check.sh applies
 // to the roflsim audit command.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -31,10 +32,12 @@ namespace {
 struct ChurnCell {
   std::size_t events = 0;
   double loss = 0.0;
+  double wall_seconds = 0.0;  // host wall time of this cell's run
   audit::ChurnRunResult res;
 };
 
 ChurnCell run_cell(std::size_t events, double loss) {
+  const auto t0 = std::chrono::steady_clock::now();
   ChurnCell cell;
   cell.events = events;
   cell.loss = loss;
@@ -53,6 +56,9 @@ ChurnCell run_cell(std::size_t events, double loss) {
   }
   const auto schedule = audit::make_churn_schedule(cc, bench::kSeed);
   cell.res = audit::run_churn(params, schedule);
+  cell.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return cell;
 }
 
@@ -78,10 +84,20 @@ void write_json(const std::vector<ChurnCell>& cells,
         << ", \"audits\": " << r.audits << ", \"hard\": " << r.hard
         << ", \"soft\": " << r.soft
         << ", \"converged\": " << (r.converged ? "true" : "false")
+        << ", \"events_dispatched\": " << r.events_dispatched
+        << ", \"events_per_sec\": "
+        << (c.wall_seconds > 0.0
+                ? static_cast<double>(r.events_dispatched) / c.wall_seconds
+                : 0.0)
         << ", \"digest\": \"" << r.digest << "\"}"
         << (i + 1 < cells.size() ? ",\n" : "\n");
   }
-  out << "  ],\n  \"metrics\": " << reference.metrics_json << "}\n";
+  out << "  ],\n  \"run\": " << bench::run_info_json([&] {
+    double total = 0.0;
+    for (const auto& c : cells) total += c.wall_seconds;
+    return total;
+  }());
+  out << ",\n  \"metrics\": " << reference.metrics_json << "}\n";
   std::cout << "JSON written to " << path << "\n";
 }
 

@@ -14,6 +14,7 @@
 // loss level and the full obs::Registry snapshot of the reference run, so
 // scripts/check.sh can diff two same-seed runs for bit-identical fault
 // accounting.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -39,10 +40,13 @@ struct FaultSweepResult {
   double delivery = 0.0;       // mid-churn data-plane success rate
   double repair_msgs = 0.0;    // faults-off repair pass cost
   bool converged = false;      // strict ring verification after repair
+  std::uint64_t events_dispatched = 0;
+  double wall_seconds = 0.0;   // host wall time of this level's run
   std::string metrics_json;    // full registry snapshot (determinism gate)
 };
 
 FaultSweepResult run_level(double loss, std::uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
   FaultSweepResult res;
   res.loss = loss;
 
@@ -150,6 +154,10 @@ FaultSweepResult run_level(double loss, std::uint64_t seed) {
     std::cerr << "loss=" << loss << ": rings NOT canonical after repair: "
               << err << "\n";
   }
+  res.events_dispatched = net.simulator().events_dispatched();
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return res;
 }
 
@@ -173,10 +181,20 @@ void write_json(const std::vector<FaultSweepResult>& sweep,
         << ", \"retries_exhausted\": " << r.retries_exhausted
         << ", \"flaps\": " << r.flaps << ", \"delivery\": " << r.delivery
         << ", \"repair_msgs\": " << r.repair_msgs
-        << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
-        << (i + 1 < sweep.size() ? ",\n" : "\n");
+        << ", \"converged\": " << (r.converged ? "true" : "false")
+        << ", \"events_dispatched\": " << r.events_dispatched
+        << ", \"events_per_sec\": "
+        << (r.wall_seconds > 0.0
+                ? static_cast<double>(r.events_dispatched) / r.wall_seconds
+                : 0.0)
+        << "}" << (i + 1 < sweep.size() ? ",\n" : "\n");
   }
-  out << "  ],\n  \"metrics\": " << reference.metrics_json << "\n}\n";
+  out << "  ],\n  \"run\": " << bench::run_info_json([&] {
+    double total = 0.0;
+    for (const auto& r : sweep) total += r.wall_seconds;
+    return total;
+  }());
+  out << ",\n  \"metrics\": " << reference.metrics_json << "\n}\n";
   std::cout << "JSON written to " << path << "\n";
 }
 

@@ -1,0 +1,209 @@
+// fig_scale -- sharded-simulator scale sweep (BENCH_shard.json).
+//
+// The figures in section 6 stop where one event loop on one core stops; the
+// sharded engine (DESIGN.md section 13) is what lets the same seeded churn
+// workload reach the paper's claimed scales.  This bench sweeps shard counts
+// over a >=100k-host internet-like topology, reporting events/sec and peak
+// RSS as first-class metrics, then runs the 1M-host cell from the
+// EXPERIMENTS.md recipe.
+//
+// Two gates decide the exit code:
+//   - determinism: the 1-shard and 4-shard runs of the same seed must agree
+//     byte-for-byte on merged metrics and bit-for-bit on flight-recorder and
+//     shard-audit digests, and every cell must audit clean;
+//   - speedup: >=2x events/sec at 4 shards vs 1 -- enforced only when the
+//     host actually has >=4 hardware threads (on fewer cores the workers
+//     time-slice and the number measures oversubscription, not the engine).
+//
+// Output: a console table plus BENCH_shard.json (override the path with
+// ROFL_SHARD_JSON; empty string suppresses emission).  peak_rss_kb is the
+// process high-water mark at the end of each cell, so within one run it is
+// monotone; the 1M-host cell's value is the honest figure for that scale.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/shard_audit.hpp"
+#include "bench_common.hpp"
+#include "interdomain/shard_model.hpp"
+#include "util/table.hpp"
+
+namespace rofl {
+namespace {
+
+struct ScaleCell {
+  std::uint64_t hosts = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cross_msgs = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  long rss_kb = 0;
+  std::uint64_t flight_digest = 0;
+  std::string audit_digest;
+  bool clean = false;
+  std::string metrics_json;  // kept only where a gate compares it
+};
+
+inter::ScaleParams make_params(std::uint64_t hosts, std::uint32_t shards) {
+  inter::ScaleParams p;
+  p.hosts = hosts;
+  p.shards = shards;
+  p.seed = bench::kSeed;
+  p.trace_sample = 16;  // exercise the flight-recorder digest gate
+  if (hosts >= 1'000'000) {
+    // ~3000 ASes, short horizon: the point is reaching the scale at all.
+    p.topo.tier1_count = 10;
+    p.topo.tier2_count = 120;
+    p.topo.tier3_count = 500;
+    p.topo.stub_count = 2400;
+    p.duration_ms = bench::full_scale() ? 1'000.0 : 200.0;
+  } else {
+    p.duration_ms = bench::full_scale() ? 2'000.0 : 1'000.0;
+  }
+  return p;
+}
+
+ScaleCell run_cell(std::uint64_t hosts, std::uint32_t shards,
+                   bool keep_metrics) {
+  ScaleCell cell;
+  cell.hosts = hosts;
+  cell.shards = shards;
+
+  inter::ShardScaleModel model(make_params(hosts, shards));
+  const auto stats = model.run();
+  const audit::ShardAuditReport rep = audit::audit_scale_run(model);
+
+  cell.events = stats.processed;
+  cell.cross_msgs = stats.cross_shard_msgs;
+  cell.batches = stats.batches;
+  cell.wall_seconds = stats.wall_seconds;
+  cell.events_per_sec =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.processed) / stats.wall_seconds
+          : 0.0;
+  cell.rss_kb = bench::peak_rss_kb();
+  cell.flight_digest = model.flight_digest();
+  cell.audit_digest = rep.digest();
+  cell.clean = rep.clean();
+  if (!cell.clean) {
+    std::cerr << "hosts=" << hosts << " shards=" << shards
+              << ": shard audit NOT clean\n"
+              << rep.to_string();
+  }
+  if (keep_metrics) cell.metrics_json = model.merged_metrics().to_json(2);
+  return cell;
+}
+
+void write_json(const std::vector<ScaleCell>& cells, double speedup,
+                bool deterministic, double total_wall) {
+  std::string path = "BENCH_shard.json";
+  if (const char* env = std::getenv("ROFL_SHARD_JSON")) path = env;
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "fig_scale: cannot open " << path << "\n";
+    return;
+  }
+  out << "{\n  \"schema\": \"rofl-bench-shard-v1\",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    char digest[20];
+    std::snprintf(digest, sizeof digest, "0x%016llx",
+                  static_cast<unsigned long long>(c.flight_digest));
+    out << "    {\"hosts\": " << c.hosts << ", \"shards\": " << c.shards
+        << ", \"events\": " << c.events
+        << ", \"cross_shard_msgs\": " << c.cross_msgs
+        << ", \"batches\": " << c.batches
+        << ", \"wall_seconds\": " << c.wall_seconds
+        << ", \"events_per_sec\": " << c.events_per_sec
+        << ", \"peak_rss_kb\": " << c.rss_kb << ", \"flight_digest\": \""
+        << digest << "\", \"audit\": \"" << c.audit_digest
+        << "\", \"clean\": " << (c.clean ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"speedup_4_vs_1\": " << speedup
+      << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n  \"run\": " << bench::run_info_json(total_wall) << "\n}\n";
+  std::cout << "JSON written to " << path << "\n";
+}
+
+}  // namespace
+}  // namespace rofl
+
+int main() {
+  using namespace rofl;
+  bench::print_scale_note(std::cout);
+  print_banner(std::cout,
+               "Sharded engine: events/sec and peak RSS, 100k-1M hosts");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "[hardware threads: " << hw << "]\n\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t sweep_hosts = 100'000;
+  std::vector<ScaleCell> cells;
+
+  Table t({"hosts", "shards", "events", "cross-shard", "batches", "wall s",
+           "events/sec", "rss MB"});
+  const auto add = [&](const ScaleCell& c) {
+    cells.push_back(c);
+    t.add_row({static_cast<std::int64_t>(c.hosts),
+               static_cast<std::int64_t>(c.shards),
+               static_cast<std::int64_t>(c.events),
+               static_cast<std::int64_t>(c.cross_msgs),
+               static_cast<std::int64_t>(c.batches), c.wall_seconds,
+               c.events_per_sec, static_cast<double>(c.rss_kb) / 1024.0});
+  };
+
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    add(run_cell(sweep_hosts, shards, /*keep_metrics=*/shards == 1 ||
+                                                       shards == 4));
+  }
+  // The 1M-host cell (EXPERIMENTS.md recipe): completing it with peak RSS
+  // recorded is the acceptance bar; shard count capped by the hardware.
+  add(run_cell(1'000'000, hw >= 4 ? 4u : std::max(1u, hw),
+               /*keep_metrics=*/false));
+  t.print(std::cout);
+
+  const ScaleCell& s1 = cells[0];
+  const ScaleCell& s4 = cells[2];
+  const double speedup =
+      s1.events_per_sec > 0.0 ? s4.events_per_sec / s1.events_per_sec : 0.0;
+
+  // Gate 1: shard-count independence -- same seed, same bytes.
+  const bool deterministic = s1.metrics_json == s4.metrics_json &&
+                             s1.flight_digest == s4.flight_digest &&
+                             s1.audit_digest == s4.audit_digest &&
+                             s1.events == s4.events;
+  bool all_clean = true;
+  for (const auto& c : cells) all_clean = all_clean && c.clean;
+  std::cout << "\nshards 1 vs 4 at " << sweep_hosts << " hosts: "
+            << (deterministic
+                    ? "bit-identical metrics + flight/audit digests"
+                    : "MISMATCH")
+            << "\nshard audits: " << (all_clean ? "all clean" : "VIOLATIONS")
+            << "\n";
+
+  // Gate 2: parallel speedup, meaningful only with the cores to run on.
+  std::cout << "speedup 4 shards vs 1: " << speedup << "x";
+  bool speedup_ok = true;
+  if (hw >= 4) {
+    speedup_ok = speedup >= 2.0;
+    std::cout << (speedup_ok ? " (>=2x gate: PASS)" : " (>=2x gate: FAIL)");
+  } else {
+    std::cout << " (gate skipped: " << hw
+              << " hardware thread(s); workers time-slice one core)";
+  }
+  std::cout << "\n";
+
+  const double total_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  write_json(cells, speedup, deterministic, total_wall);
+  return (deterministic && all_clean && speedup_ok) ? 0 : 1;
+}

@@ -37,9 +37,13 @@ BASELINE_REWRITES = [
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "rofl-bench-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {name: row["ns_per_op"] for name, row in doc["benchmarks"].items()}
+    schema = doc.get("schema", "")
+    if not schema.startswith("rofl-bench"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    # Sweep-style emitters (churn/faults/shard) carry no per-benchmark
+    # timings; treat them as an empty set so a diff degrades gracefully.
+    return {name: row["ns_per_op"]
+            for name, row in doc.get("benchmarks", {}).items()}
 
 
 def flat_counterpart(name):
@@ -85,13 +89,23 @@ def cmd_summary(args):
 
 def cmd_compare(args):
     old, new = load(args.old), load(args.new)
-    common = sorted(set(old) & set(new))
-    if not common:
-        sys.exit("no common benchmarks between the two files")
-    width = max(len(n) for n in common)
+    names = sorted(set(old) | set(new))
+    if not names:
+        sys.exit("no benchmarks in either file")
+    width = max(len(n) for n in names)
     print(f"{'benchmark':<{width}}  {'old ns':>10}  {'new ns':>10}  {'delta':>8}")
     regressions = 0
-    for name in common:
+    for name in names:
+        # A bench introduced after the old snapshot was taken is "new", not
+        # an error; one that disappeared is "removed".  Neither regresses.
+        if name not in old:
+            print(f"{name:<{width}}  {'-':>10}  {new[name]:>10.1f}  "
+                  f"{'new':>8}")
+            continue
+        if name not in new:
+            print(f"{name:<{width}}  {old[name]:>10.1f}  {'-':>10}  "
+                  f"{'removed':>8}")
+            continue
         delta = (new[name] - old[name]) / old[name] * 100.0
         flag = ""
         if delta > args.tolerance:
@@ -99,12 +113,6 @@ def cmd_compare(args):
             flag = "  <-- regression"
         print(f"{name:<{width}}  {old[name]:>10.1f}  {new[name]:>10.1f}  "
               f"{delta:>+7.1f}%{flag}")
-    only_old = sorted(set(old) - set(new))
-    only_new = sorted(set(new) - set(old))
-    if only_old:
-        print(f"\nonly in {args.old}: {', '.join(only_old)}")
-    if only_new:
-        print(f"only in {args.new}: {', '.join(only_new)}")
     if regressions:
         print(f"\n{regressions} benchmark(s) regressed beyond "
               f"{args.tolerance:.0f}%")

@@ -66,6 +66,22 @@ build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
   --loss 0.05 > /dev/null
 grep -q '"audit.runs"' build/audit_run1.json
 
+# Shard-determinism smoke: the same seeded scale scenario at 1 and 4 shards
+# must produce byte-identical merged metrics and identical flight-recorder /
+# shard-audit digests (the shard count may change performance, never
+# results), and the shard audit must be clean (roflsim exits nonzero
+# otherwise).
+build/tools/roflsim shard --shards 1 --hosts 20000 --ases 400 \
+  --duration 500 --seed 11 --metrics-json build/shard_run1.json \
+  > build/shard_out1.txt
+build/tools/roflsim shard --shards 4 --hosts 20000 --ases 400 \
+  --duration 500 --seed 11 --metrics-json build/shard_run4.json \
+  > build/shard_out4.txt
+cmp build/shard_run1.json build/shard_run4.json
+cmp <(grep -E 'flight digest|shard audit' build/shard_out1.txt) \
+    <(grep -E 'flight digest|shard audit' build/shard_out4.txt)
+grep -q '"scale.ops.lookup"' build/shard_run1.json
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then

@@ -228,6 +228,7 @@ ChurnRunResult run_churn(const ChurnRunParams& params,
   res.soft = auditor.total_soft();
   res.digest = auditor.reports_digest();
   res.reports = auditor.reports();
+  res.events_dispatched = net.simulator().events_dispatched();
   return res;
 }
 

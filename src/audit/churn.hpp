@@ -97,6 +97,8 @@ struct ChurnRunResult {
   std::uint64_t crashes = 0;
   std::uint64_t routes = 0;
   std::uint64_t delivered = 0;
+  /// Simulator events dispatched over the whole run (run-summary reporting).
+  std::uint64_t events_dispatched = 0;
   // Audit outcome: every scheduled audit plus one final post-repair audit.
   std::uint64_t audits = 0;
   std::uint64_t hard = 0;

@@ -1,0 +1,49 @@
+// shard_audit.hpp -- post-quiescence invariant checks for sharded runs.
+//
+// The mid-run Auditor (auditor.hpp) walks a single-threaded engine's state;
+// the sharded simulator needs its own gate because the failure modes are
+// different: a lost or duplicated cross-shard frame, a lookahead violation,
+// a non-monotone shard clock, or a registration cascade that left an anchor
+// ring inconsistent with the home AS's ground truth.  All checks run after
+// run() returns (the engine is quiescent, so every cascade has completed)
+// and inspect only sharding-independent state -- per-entity send/processed
+// counts, the model's ring maps, engine monotonicity flags -- so the report
+// and its digest are bit-identical for every shard count of the same seed.
+// That identity is itself part of the determinism gate: check.sh and CI
+// byte-compare the digest between --shards 1 and --shards N runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interdomain/shard_model.hpp"
+
+namespace rofl::audit {
+
+struct ShardAuditReport {
+  std::uint64_t checks = 0;  // individual assertions evaluated
+  /// "check-name: detail" lines, in deterministic order.  Every violation
+  /// from these checks is hard: quiescent state has no tolerated staleness.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  /// Multi-line human rendering (header + one line per violation).
+  [[nodiscard]] std::string to_string() const;
+  /// "checks=<n>;hard=<v>;fnv=<hex64>" -- same shape as Auditor digests, so
+  /// the determinism gates grep for it the same way.
+  [[nodiscard]] std::string digest() const;
+};
+
+/// Audits a completed ShardScaleModel run:
+///   1. per-entity sequence conservation (every send processed exactly once,
+///      including engine seeds) -- catches lost/duplicated channel frames;
+///   2. per-shard clock monotonicity and lookahead compliance -- catches
+///      conservative-synchronization bugs;
+///   3. ring/ground-truth consistency: slot s of AS t is live iff
+///      id_for(t, s) is registered at every anchor on t's chain, and no
+///      anchor holds an entry its subtree never produced.
+[[nodiscard]] ShardAuditReport audit_scale_run(
+    const inter::ShardScaleModel& model);
+
+}  // namespace rofl::audit

@@ -87,6 +87,14 @@ class FlightRecorder {
   [[nodiscard]] bool wrapped() const { return full_; }
   [[nodiscard]] std::uint64_t records_seen() const { return next_seq_; }
 
+  /// Commutative digest over every record ever written (not just the ones
+  /// still retained): per-record FNV-style hashes combined by wrapping
+  /// addition, excluding the recorder-assigned seq.  Because the combination
+  /// is order-independent, the digests of N per-shard recorders sum to the
+  /// digest one recorder would have produced for the same records in any
+  /// interleaving -- the property the sharded determinism gate compares.
+  [[nodiscard]] std::uint64_t content_digest() const { return content_digest_; }
+
   /// All retained records, oldest first.
   [[nodiscard]] std::vector<HopRecord> all() const;
 
@@ -110,6 +118,7 @@ class FlightRecorder {
   bool full_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_trace_id_ = 1;
+  std::uint64_t content_digest_ = 0;
 };
 
 }  // namespace rofl::obs

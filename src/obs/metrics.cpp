@@ -98,6 +98,23 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  assert(bounds_ == other.bounds_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 namespace {
 
 template <typename Cells>
@@ -188,6 +205,20 @@ void Registry::reset() {
   for (CounterCell& c : counters_) c.value = 0;
   for (GaugeCell& g : gauges_) g.value = 0.0;
   for (HistCell& h : histograms_) h.hist.reset();
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const CounterCell& c : other.counters_) {
+    counters_[counter(c.name)].value += c.value;
+  }
+  for (const GaugeCell& g : other.gauges_) {
+    const MetricId id = gauge(g.name);
+    gauges_[id].value = std::max(gauges_[id].value, g.value);
+  }
+  for (const HistCell& h : other.histograms_) {
+    const MetricId id = histogram(h.name, h.hist.bounds());
+    histograms_[id].hist.merge_from(h.hist);
+  }
 }
 
 }  // namespace rofl::obs

@@ -70,6 +70,11 @@ class Histogram {
 
   void reset();
 
+  /// Adds another histogram's contents bucket-by-bucket.  Requires identical
+  /// bounds.  Exact (order-independent) when every recorded sample is an
+  /// integral value below 2^53.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;     // ascending upper bounds
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
@@ -127,6 +132,18 @@ class Registry {
   /// "histograms": {name: {count, sum, min, max, p50, p90, p99}}}.
   /// `indent` spaces prefix every emitted line (for embedding).
   [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// Folds another registry into this one by metric name: counters add,
+  /// gauges take the max (a sum would double-count point-in-time readings),
+  /// histograms add bucket-by-bucket (bounds must match where names collide).
+  /// Metrics only present in `other` are registered here.
+  ///
+  /// This is how the sharded simulator produces its merged snapshot.  The
+  /// result is independent of merge order for counters and for histograms
+  /// whose samples are exactly representable (integral values) -- the
+  /// discipline sharded workloads must follow for bit-identical snapshots
+  /// across shard counts (DESIGN.md section 13).
+  void merge_from(const Registry& other);
   /// Human-readable table of every metric.
   void print_table(std::ostream& os) const;
 

@@ -146,12 +146,25 @@ Network::Transfer Network::faulty_transfer(Transfer t, sim::MsgCategory cat,
   return t;
 }
 
+void Network::set_shard_map(std::vector<std::uint32_t> map) {
+  assert(map.empty() || map.size() == routers_.size());
+  shard_map_ = std::move(map);
+  if (!shard_map_.empty()) {
+    shard_cross_msgs_id_ = sim_.metrics().counter("shards.cross_msgs");
+    shard_cross_bytes_id_ = sim_.metrics().counter("shards.cross_bytes");
+  }
+}
+
 Network::Exchange Network::exchange_once(
     NodeIndex a, NodeIndex b, sim::MsgCategory cat,
     const std::vector<std::uint8_t>& frame) {
   Exchange ex;
   ex.t = unicast(a, b, cat, frame.size());
   if (!ex.t.ok) return ex;
+  if (!shard_map_.empty() && a != b && shard_map_[a] != shard_map_[b]) {
+    sim_.metrics().add(shard_cross_msgs_id_);
+    sim_.metrics().add(shard_cross_bytes_id_, frame.size());
+  }
   // The frame reached b; the injector may still have garbled bits on the
   // way.  The receiver decodes CRC-verified before touching any state, so a
   // corrupted frame is indistinguishable from a lost one.

@@ -184,6 +184,18 @@ class Network {
   void set_fault_injector(sim::FaultInjector* injector) { faults_ = injector; }
   [[nodiscard]] sim::FaultInjector* fault_injector() const { return faults_; }
 
+  // -- sharded execution ----------------------------------------------------
+  /// Declares which shard each router belongs to (sim::balanced_shard_map
+  /// output; empty = unsharded).  Control exchanges whose endpoints live on
+  /// different shards are then counted on "shards.cross_msgs" /
+  /// "shards.cross_bytes" -- the wire volume that would cross SPSC channels
+  /// when this topology runs under the sharded simulator, and the number the
+  /// partition heuristic is judged by.
+  void set_shard_map(std::vector<std::uint32_t> map);
+  [[nodiscard]] const std::vector<std::uint32_t>& shard_map() const {
+    return shard_map_;
+  }
+
   /// Schedules the plan's link flaps and router crash/restart windows as
   /// simulator events driving fail_link/restore_link and
   /// fail_router/restore_router.  Call once after construction; events fire
@@ -345,6 +357,10 @@ class Network {
   obs::MetricId stale_ptrs_id_ = 0;
   obs::MetricId encode_failures_id_ = 0;
   obs::MetricId codec_rejected_id_ = 0;
+  // Sharded-execution accounting (set_shard_map); empty when unsharded.
+  std::vector<std::uint32_t> shard_map_;
+  obs::MetricId shard_cross_msgs_id_ = 0;
+  obs::MetricId shard_cross_bytes_id_ = 0;
   // Wire size of a bare data packet / teardown frame, measured from the
   // encoder once at construction; the forwarding hot loop charges bytes
   // without re-encoding per hop.

@@ -17,17 +17,23 @@
 //   --metrics      print the full metrics registry after the run
 //
 // Every run prints its seed; identical invocations reproduce exactly.
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
 #include "audit/churn.hpp"
+#include "audit/shard_audit.hpp"
 #include "audit/shrink.hpp"
 #include "baselines/cmu_ethernet.hpp"
 #include "interdomain/inter_network.hpp"
+#include "interdomain/shard_model.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_export.hpp"
 #include "rofl/network.hpp"
@@ -69,6 +75,34 @@ Args parse(int argc, char** argv, int from) {
   }
   return a;
 }
+
+/// Peak resident set of this process in KiB (ru_maxrss unit on Linux).
+long peak_rss_kb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return u.ru_maxrss;
+}
+
+/// The one-line run summary every command prints at exit.  Wall time and RSS
+/// are host-side observations, so the line goes to stdout only -- never into
+/// --metrics-json files, which the determinism gates byte-compare.
+struct RunSummary {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  void print(std::uint64_t events) const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double eps =
+        wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+    std::cout << "run-summary: events=" << events << " wall=" << std::fixed
+              << std::setprecision(3) << wall << "s events/sec="
+              << static_cast<std::uint64_t>(eps)
+              << " peak-rss=" << peak_rss_kb() / 1024 << "MB\n"
+              << std::defaultfloat;
+  }
+};
 
 graph::IspTopology isp_from_args(const Args& a, Rng& rng) {
   const std::string name = a.str("isp", "as3967");
@@ -181,6 +215,7 @@ int cmd_topology(const Args& a) {
 }
 
 int cmd_intra(const Args& a) {
+  const RunSummary summary;
   const std::uint64_t seed = a.num("seed", 1);
   Rng rng(seed);
   const auto topo = isp_from_args(a, rng);
@@ -240,10 +275,12 @@ int cmd_intra(const Args& a) {
   t.add_row({std::string("ring verified"), std::string(rings_ok ? "yes" : err)});
   t.print(std::cout);
   watch.finish(net.simulator(), last_trace);
+  summary.print(net.simulator().events_dispatched());
   return rings_ok ? 0 : 1;
 }
 
 int cmd_inter(const Args& a) {
+  const RunSummary summary;
   const std::uint64_t seed = a.num("seed", 1);
   Rng rng(seed);
   graph::AsGenParams gp;
@@ -313,10 +350,12 @@ int cmd_inter(const Args& a) {
   t.add_row({std::string("rings verified"), std::string(rings_ok ? "yes" : err)});
   t.print(std::cout);
   watch.finish(net.simulator(), last_trace);
+  summary.print(net.simulator().events_dispatched());
   return rings_ok ? 0 : 1;
 }
 
 int cmd_partition(const Args& a) {
+  const RunSummary summary;
   const std::uint64_t seed = a.num("seed", 1);
   Rng rng(seed);
   graph::IspTopology topo = isp_from_args(a, rng);
@@ -357,10 +396,12 @@ int cmd_partition(const Args& a) {
   t.print(std::cout);
   std::cout << "reconverged: " << (ok ? "yes" : err) << "\n";
   watch.finish(net.simulator(), 0);
+  summary.print(net.simulator().events_dispatched());
   return ok ? 0 : 1;
 }
 
 int cmd_faults(const Args& a) {
+  const RunSummary summary;
   const std::uint64_t seed = a.num("seed", 1);
   Rng rng(seed);
   graph::IspTopology topo = isp_from_args(a, rng);
@@ -494,10 +535,12 @@ int cmd_faults(const Args& a) {
               std::string(rings_ok ? "yes" : err)});
   t2.print(std::cout);
   watch.finish(net.simulator(), last_trace);
+  summary.print(net.simulator().events_dispatched());
   return rings_ok ? 0 : 1;
 }
 
 int cmd_audit(const Args& a) {
+  const RunSummary summary;
   const std::uint64_t seed = a.num("seed", 1);
 
   audit::ChurnConfig cc;
@@ -584,7 +627,73 @@ int cmd_audit(const Args& a) {
       std::cout << " pick=" << e.pick << "\n";
     }
   }
+  summary.print(res.events_dispatched);
   return failed ? 1 : 0;
+}
+
+int cmd_shard(const Args& a) {
+  const RunSummary summary;
+  inter::ScaleParams p;
+  p.seed = a.num("seed", 1);
+  p.shards = static_cast<std::uint32_t>(a.num("shards", 1));
+  p.hosts = a.num("hosts", 100'000);
+  p.duration_ms = a.dbl("duration", 2000.0);
+  p.tick_ms = a.dbl("tick", 50.0);
+  p.op_rate_per_host_hz = a.dbl("rate", 1.0);
+  p.lookahead_ms = a.dbl("lookahead", 1.0);
+  p.slots_per_as = static_cast<std::uint32_t>(a.num("slots", 64));
+  // --ases scales the default AS mix proportionally (default 1518 total).
+  const double scale = a.dbl("ases", 0.0) > 0.0
+                           ? a.dbl("ases", 0.0) / 1518.0
+                           : 1.0;
+  p.topo.tier2_count = static_cast<std::size_t>(60.0 * scale);
+  p.topo.tier3_count = static_cast<std::size_t>(250.0 * scale);
+  p.topo.stub_count = static_cast<std::size_t>(1200.0 * scale);
+
+  inter::ShardScaleModel model(p);
+  const auto stats = model.run();
+  const audit::ShardAuditReport rep = audit::audit_scale_run(model);
+
+  std::cout << "[seed " << p.seed << "] " << model.topology().as_count()
+            << " ASes, " << p.hosts << " hosts, " << p.shards
+            << " shard(s), lookahead " << p.lookahead_ms << "ms\n";
+  Table t({"metric", "value"});
+  t.add_row({std::string("events processed"),
+             static_cast<std::int64_t>(stats.processed)});
+  t.add_row({std::string("cross-entity msgs"),
+             static_cast<std::int64_t>(stats.entity_msgs)});
+  t.add_row({std::string("cross-shard msgs"),
+             static_cast<std::int64_t>(stats.cross_shard_msgs)});
+  t.add_row({std::string("sync batches"),
+             static_cast<std::int64_t>(stats.batches)});
+  t.add_row({std::string("end time [ms]"), stats.end_time_ms});
+  t.print(std::cout);
+
+  const obs::Registry merged = model.merged_metrics();
+  if (a.flag("metrics")) {
+    std::cout << "\n-- merged metrics --\n";
+    merged.print_table(std::cout);
+  }
+  std::ostringstream digest;
+  digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
+         << model.flight_digest();
+  std::cout << "flight digest: " << digest.str() << "\n";
+  std::cout << "shard audit: " << rep.digest() << "\n";
+  if (!rep.clean() || a.flag("report")) std::cout << rep.to_string();
+
+  const std::string metrics_path = a.str("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << merged.to_json() << "\n";
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+
+  summary.print(stats.processed);
+  return rep.clean() ? 0 : 1;
 }
 
 void usage() {
@@ -603,8 +712,15 @@ void usage() {
       "                    [--settle MS]\n"
       "                    [--initial-hosts N] [--report] [--shrink]\n"
       "                    [--shrink-probes N]\n"
+      "                    [--metrics-json FILE]\n"
+      "  roflsim shard     [--shards N] [--hosts N] [--ases N] [--duration MS]\n"
+      "                    [--tick MS] [--rate OPS_PER_HOST_HZ] [--slots N]\n"
+      "                    [--lookahead MS] [--report] [--metrics]\n"
       "                    [--metrics-json FILE]\n\n"
       "All commands accept --seed S (default 1); runs are reproducible.\n"
+      "`shard` runs the per-AS scale model on the sharded parallel simulator;\n"
+      "its metrics, flight digest, and audit digest are bit-identical for\n"
+      "every --shards value of the same seed.\n"
       "Observability (intra/inter/partition):\n"
       "  --trace FILE   write a Perfetto/chrome://tracing timeline\n"
       "  --traceroute   print the hop-by-hop dump of the last delivered route\n"
@@ -626,6 +742,7 @@ int main(int argc, char** argv) {
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "faults") return cmd_faults(args);
   if (cmd == "audit") return cmd_audit(args);
+  if (cmd == "shard") return cmd_shard(args);
   usage();
   return 2;
 }
