@@ -49,6 +49,9 @@ ChurnCell run_cell(std::size_t events, double loss) {
   params.pop_count = bench::full_scale() ? 8 : 5;
   params.initial_hosts = bench::full_scale() ? 64 : 32;
   params.seed = bench::kSeed;
+  // Windowed telemetry: BENCH_churn.json embeds the reference cell's
+  // per-window join/repair/teardown series (the convergence-curve view).
+  params.timeline_window_ms = 25.0;
   if (loss > 0.0) {
     params.use_faults = true;
     params.faults.defaults.loss = loss;
@@ -97,6 +100,18 @@ void write_json(const std::vector<ChurnCell>& cells,
     for (const auto& c : cells) total += c.wall_seconds;
     return total;
   }());
+  // Per-window delta series from the reference cell: convergence traffic
+  // over sim time (deterministic; part of the reproduction gate below).
+  out << ",\n  \"series\": {\n    \"window_ms\": "
+      << reference.timeline_window_ms;
+  for (const auto& [name, values] : reference.timeline_series) {
+    out << ",\n    \"" << name << "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << values[i];
+    }
+    out << "]";
+  }
+  out << "\n  }";
   out << ",\n  \"metrics\": " << reference.metrics_json << "}\n";
   std::cout << "JSON written to " << path << "\n";
 }
@@ -151,7 +166,9 @@ int main() {
   const ChurnCell again = run_cell(event_counts.front(), 0.02);
   const auto& ref = cells[1].res;
   const bool identical = again.res.digest == ref.digest &&
-                         again.res.metrics_json == ref.metrics_json;
+                         again.res.metrics_json == ref.metrics_json &&
+                         again.res.timeline_jsonl == ref.timeline_jsonl &&
+                         !ref.timeline_jsonl.empty();
   std::cout << "same-seed reproduction at loss=0.02: "
             << (identical ? "bit-identical digest + metrics" : "MISMATCH")
             << "\n";

@@ -18,9 +18,11 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/timeline.hpp"
 #include "rofl/network.hpp"
 #include "sim/faults.hpp"
 #include "util/table.hpp"
@@ -43,6 +45,9 @@ struct FaultSweepResult {
   std::uint64_t events_dispatched = 0;
   double wall_seconds = 0.0;   // host wall time of this level's run
   std::string metrics_json;    // full registry snapshot (determinism gate)
+  /// Per-window delta series over the faulty phase (convergence curves).
+  double timeline_window_ms = 0.0;
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> series;
 };
 
 FaultSweepResult run_level(double loss, std::uint64_t seed) {
@@ -78,6 +83,12 @@ FaultSweepResult run_level(double loss, std::uint64_t seed) {
                          &net.simulator().metrics());
   net.set_fault_injector(&inj);
   net.schedule_fault_plan(plan);
+
+  // Windowed telemetry over the faulty phase (SPF wall-clock histograms
+  // excluded, same rule as the metrics snapshot below).
+  obs::Timeline timeline(&net.simulator().metrics(),
+                         obs::Timeline::Config{10.0, 4096, {"recompute_ms"}});
+  net.simulator().set_timeline(&timeline);
 
   const std::size_t hosts = bench::full_scale() ? 600 : 150;
   const int churn_ops = bench::full_scale() ? 200 : 60;
@@ -144,6 +155,15 @@ FaultSweepResult run_level(double loss, std::uint64_t seed) {
   res.flaps = inj.flaps();
   res.metrics_json = net.simulator().metrics().to_json(2);
 
+  // Snapshot the series before the faults-off repair, like the metrics.
+  timeline.flush(net.simulator().now_ms());
+  net.simulator().set_timeline(nullptr);
+  res.timeline_window_ms = timeline.window_ms();
+  for (const char* name : {"faults.dropped", "faults.retries", "msgs.join",
+                           "msgs.repair", "msgs.data"}) {
+    res.series.emplace_back(name, timeline.counter_series(name));
+  }
+
   // Faults off: one repair pass must restore canonical rings.
   net.set_fault_injector(nullptr);
   const auto rs = net.repair_partitions();
@@ -194,6 +214,17 @@ void write_json(const std::vector<FaultSweepResult>& sweep,
     for (const auto& r : sweep) total += r.wall_seconds;
     return total;
   }());
+  // Reference level's per-window deltas: what convergence cost over time.
+  out << ",\n  \"series\": {\n    \"window_ms\": "
+      << reference.timeline_window_ms;
+  for (const auto& [name, values] : reference.series) {
+    out << ",\n    \"" << name << "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << values[i];
+    }
+    out << "]";
+  }
+  out << "\n  }";
   out << ",\n  \"metrics\": " << reference.metrics_json << "\n}\n";
   std::cout << "JSON written to " << path << "\n";
 }

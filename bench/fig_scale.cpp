@@ -30,6 +30,8 @@
 #include "audit/shard_audit.hpp"
 #include "bench_common.hpp"
 #include "interdomain/shard_model.hpp"
+#include "obs/timeline.hpp"
+#include "sim/profiler.hpp"
 #include "util/table.hpp"
 
 namespace rofl {
@@ -47,7 +49,11 @@ struct ScaleCell {
   std::uint64_t flight_digest = 0;
   std::string audit_digest;
   bool clean = false;
-  std::string metrics_json;  // kept only where a gate compares it
+  std::string metrics_json;   // kept only where a gate compares it
+  std::string timeline_jsonl; // merged windowed series (same gate)
+  std::string profile_json;   // per-shard busy/stall/idle (wall clock)
+  std::vector<std::uint64_t> events_series;  // per-window sim.events deltas
+  double timeline_window_ms = 0.0;
 };
 
 inter::ScaleParams make_params(std::uint64_t hosts, std::uint32_t shards) {
@@ -56,6 +62,11 @@ inter::ScaleParams make_params(std::uint64_t hosts, std::uint32_t shards) {
   p.shards = shards;
   p.seed = bench::kSeed;
   p.trace_sample = 16;  // exercise the flight-recorder digest gate
+  // Windowed telemetry + engine self-profile on every cell: the timeline is
+  // deterministic (folds into the shard-count gate below); the profile is
+  // wall-clock reporting only and never compared.
+  p.timeline_window_ms = 50.0;
+  p.profile = true;
   if (hosts >= 1'000'000) {
     // ~3000 ASes, short horizon: the point is reaching the scale at all.
     p.topo.tier1_count = 10;
@@ -97,6 +108,13 @@ ScaleCell run_cell(std::uint64_t hosts, std::uint32_t shards,
               << rep.to_string();
   }
   if (keep_metrics) cell.metrics_json = model.merged_metrics().to_json(2);
+  const obs::Timeline timeline = model.merged_timeline();
+  if (keep_metrics) cell.timeline_jsonl = timeline.to_jsonl();
+  cell.events_series = timeline.counter_series("sim.events");
+  cell.timeline_window_ms = timeline.window_ms();
+  if (model.profiler() != nullptr) {
+    cell.profile_json = model.profiler()->to_json();
+  }
   return cell;
 }
 
@@ -124,10 +142,27 @@ void write_json(const std::vector<ScaleCell>& cells, double speedup,
         << ", \"events_per_sec\": " << c.events_per_sec
         << ", \"peak_rss_kb\": " << c.rss_kb << ", \"flight_digest\": \""
         << digest << "\", \"audit\": \"" << c.audit_digest
-        << "\", \"clean\": " << (c.clean ? "true" : "false") << "}"
-        << (i + 1 < cells.size() ? ",\n" : "\n");
+        << "\", \"clean\": " << (c.clean ? "true" : "false");
+    if (!c.profile_json.empty()) out << ", \"profile\": " << c.profile_json;
+    out << "}" << (i + 1 < cells.size() ? ",\n" : "\n");
   }
-  out << "  ],\n  \"speedup_4_vs_1\": " << speedup
+  // Windowed events/sec over sim time from the 1-shard reference cell; the
+  // determinism gate guarantees every other shard count yields these bytes.
+  const ScaleCell& ref = cells.front();
+  out << "  ],\n  \"series\": {\n    \"window_ms\": " << ref.timeline_window_ms
+      << ",\n    \"events_per_window\": [";
+  for (std::size_t i = 0; i < ref.events_series.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << ref.events_series[i];
+  }
+  out << "],\n    \"events_per_sec\": [";
+  const double per_sec = ref.timeline_window_ms > 0.0
+                             ? 1000.0 / ref.timeline_window_ms
+                             : 0.0;
+  for (std::size_t i = 0; i < ref.events_series.size(); ++i) {
+    out << (i == 0 ? "" : ", ")
+        << static_cast<double>(ref.events_series[i]) * per_sec;
+  }
+  out << "]\n  },\n  \"speedup_4_vs_1\": " << speedup
       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
       << ",\n  \"run\": " << bench::run_info_json(total_wall) << "\n}\n";
   std::cout << "JSON written to " << path << "\n";
@@ -175,8 +210,12 @@ int main() {
   const double speedup =
       s1.events_per_sec > 0.0 ? s4.events_per_sec / s1.events_per_sec : 0.0;
 
-  // Gate 1: shard-count independence -- same seed, same bytes.
+  // Gate 1: shard-count independence -- same seed, same bytes.  The merged
+  // timeline is part of the contract: windowed deltas fold shard-count
+  // independently just like the merged registry.
   const bool deterministic = s1.metrics_json == s4.metrics_json &&
+                             s1.timeline_jsonl == s4.timeline_jsonl &&
+                             !s1.timeline_jsonl.empty() &&
                              s1.flight_digest == s4.flight_digest &&
                              s1.audit_digest == s4.audit_digest &&
                              s1.events == s4.events;

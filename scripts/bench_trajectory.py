@@ -8,14 +8,25 @@ BENCH_datapath.json (see bench/emit_json.hpp).  Three subcommands:
               that pairs every *Baseline bench with its flat-datapath
               counterpart and reports the speedup factor.
   compare  -- diff two BENCH_datapath.json files (e.g. from two commits)
-              and print per-benchmark deltas.
+              and print per-benchmark deltas.  Exits 1 when any benchmark
+              regresses beyond its threshold, so it works as a CI perf gate
+              (scripts/check.sh wires it in under ROFL_CHECK_FULL against
+              the baseline named by ROFL_BENCH_BASELINE).
   summary  -- re-print the pairing table for an existing JSON file.
+
+compare thresholds: --tolerance sets the default allowed slowdown percent;
+per-benchmark overrides come from --thresholds FILE (JSON, see
+scripts/bench_thresholds.json: {"default": pct, "overrides": {name: pct}})
+and/or repeatable --override NAME=PCT flags (highest precedence).  Override
+names match benchmarks by substring, so "SimulatorChurn" covers every sized
+variant of that bench.
 
 Typical trajectory workflow:
 
   python3 scripts/bench_trajectory.py run --out before.json   # at HEAD~1
   python3 scripts/bench_trajectory.py run --out after.json    # at HEAD
-  python3 scripts/bench_trajectory.py compare before.json after.json
+  python3 scripts/bench_trajectory.py compare before.json after.json \\
+      --thresholds scripts/bench_thresholds.json
 """
 
 import argparse
@@ -87,13 +98,51 @@ def cmd_summary(args):
     print_summary(load(args.json))
 
 
+def load_thresholds(args):
+    """Resolves (default_pct, [(pattern, pct)...]) from flags and the
+    optional thresholds file.  --override beats the file, which beats
+    --tolerance."""
+    default = args.tolerance
+    overrides = []
+    if args.thresholds:
+        with open(args.thresholds) as f:
+            doc = json.load(f)
+        if not isinstance(doc, dict):
+            sys.exit(f"{args.thresholds}: expected a JSON object")
+        default = float(doc.get("default", default))
+        file_over = doc.get("overrides", {})
+        if not isinstance(file_over, dict):
+            sys.exit(f"{args.thresholds}: \"overrides\" must be an object")
+        overrides.extend((pat, float(pct)) for pat, pct in file_over.items())
+    for spec in args.override or []:
+        pat, sep, pct = spec.partition("=")
+        if not sep or not pat:
+            sys.exit(f"bad --override {spec!r} (want NAME=PCT)")
+        try:
+            overrides.append((pat, float(pct)))
+        except ValueError:
+            sys.exit(f"bad --override percent in {spec!r}")
+    return default, overrides
+
+
+def threshold_for(name, default, overrides):
+    """Last matching override wins (so --override beats the file)."""
+    pct = default
+    for pat, value in overrides:
+        if pat in name:
+            pct = value
+    return pct
+
+
 def cmd_compare(args):
     old, new = load(args.old), load(args.new)
+    default, overrides = load_thresholds(args)
     names = sorted(set(old) | set(new))
     if not names:
         sys.exit("no benchmarks in either file")
     width = max(len(n) for n in names)
-    print(f"{'benchmark':<{width}}  {'old ns':>10}  {'new ns':>10}  {'delta':>8}")
+    print(f"{'benchmark':<{width}}  {'old ns':>10}  {'new ns':>10}  "
+          f"{'delta':>8}  {'limit':>6}")
     regressions = 0
     for name in names:
         # A bench introduced after the old snapshot was taken is "new", not
@@ -106,17 +155,19 @@ def cmd_compare(args):
             print(f"{name:<{width}}  {old[name]:>10.1f}  {'-':>10}  "
                   f"{'removed':>8}")
             continue
+        limit = threshold_for(name, default, overrides)
         delta = (new[name] - old[name]) / old[name] * 100.0
         flag = ""
-        if delta > args.tolerance:
+        if delta > limit:
             regressions += 1
             flag = "  <-- regression"
         print(f"{name:<{width}}  {old[name]:>10.1f}  {new[name]:>10.1f}  "
-              f"{delta:>+7.1f}%{flag}")
+              f"{delta:>+7.1f}%  {limit:>5.0f}%{flag}")
     if regressions:
-        print(f"\n{regressions} benchmark(s) regressed beyond "
-              f"{args.tolerance:.0f}%")
+        print(f"\n{regressions} benchmark(s) regressed beyond their "
+              f"threshold")
         sys.exit(1)
+    print("\ncompare: no regressions beyond thresholds")
 
 
 def main():
@@ -142,6 +193,12 @@ def main():
     comp.add_argument("new")
     comp.add_argument("--tolerance", type=float, default=10.0,
                       help="flag regressions beyond this percent (default 10)")
+    comp.add_argument("--thresholds", default="",
+                      help="JSON file with {\"default\": pct, \"overrides\": "
+                           "{name-substring: pct}}")
+    comp.add_argument("--override", action="append", metavar="NAME=PCT",
+                      help="per-benchmark threshold override (repeatable, "
+                           "substring match, beats --thresholds)")
     comp.set_defaults(fn=cmd_compare)
 
     args = p.parse_args()

@@ -22,10 +22,16 @@ ctest --test-dir build-asan --output-on-failure -j
 python3 scripts/bench_trajectory.py run --min-time 0.05
 
 # Observability smoke: a small sim with the trace sink + flight recorder on
-# must emit a timeline that chrome://tracing / Perfetto would accept.
+# must emit a trace that chrome://tracing / Perfetto would accept, and with
+# --timeline the trace must also carry live "ph":"C" counter tracks (the
+# intra model is synchronous, so gate on msgs.join rather than sim.events).
 build/tools/roflsim intra --hosts 200 --routes 100 --seed 7 \
-  --trace build/trace_smoke.json --traceroute --metrics > /dev/null
-python3 scripts/validate_trace.py build/trace_smoke.json --min-events 50
+  --trace build/trace_smoke.json --timeline build/timeline_smoke.jsonl \
+  --traceroute --metrics > /dev/null
+python3 scripts/validate_trace.py build/trace_smoke.json --min-events 50 \
+  --require-counter msgs.join
+build/tools/roflsim timeline --file build/timeline_smoke.jsonl \
+  --metric msgs > /dev/null
 
 # Fault-matrix smoke: churn under 5% loss with link flaps must converge to
 # canonical rings (roflsim exits nonzero otherwise), and two same-seed runs
@@ -82,10 +88,35 @@ cmp <(grep -E 'flight digest|shard audit' build/shard_out1.txt) \
     <(grep -E 'flight digest|shard audit' build/shard_out4.txt)
 grep -q '"scale.ops.lookup"' build/shard_run1.json
 
+# Timeline-determinism smoke: the merged timeline (per-window counter deltas,
+# gauges, histogram percentiles) must also be shard-count independent.  The
+# JSONL trailer carries wall-clock provenance ({"run": ...}), which varies by
+# construction, so scrub it before the byte-compare (DESIGN.md section 14).
+build/tools/roflsim shard --shards 1 --hosts 20000 --ases 400 \
+  --duration 500 --seed 11 --timeline build/shard_tl1.jsonl > /dev/null
+build/tools/roflsim shard --shards 4 --hosts 20000 --ases 400 \
+  --duration 500 --seed 11 --timeline build/shard_tl4.jsonl > /dev/null
+cmp <(grep -v '"run"' build/shard_tl1.jsonl) \
+    <(grep -v '"run"' build/shard_tl4.jsonl)
+grep -q '"sim.events"' build/shard_tl1.jsonl
+grep -q '"run"' build/shard_tl1.jsonl
+build/tools/roflsim timeline --file build/shard_tl1.jsonl \
+  --metric sim.events > /dev/null
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then
       "$b"
     fi
   done
+  # Perf gate: diff the fresh datapath snapshot against a pinned baseline
+  # (checkout-relative path in ROFL_BENCH_BASELINE).  Per-benchmark headroom
+  # comes from scripts/bench_thresholds.json; exits 1 on regression.
+  if [ -n "${ROFL_BENCH_BASELINE:-}" ] && [ -f "${ROFL_BENCH_BASELINE}" ]; then
+    python3 scripts/bench_trajectory.py compare "${ROFL_BENCH_BASELINE}" \
+      BENCH_datapath.json --thresholds scripts/bench_thresholds.json
+  else
+    echo "check.sh: no bench baseline (set ROFL_BENCH_BASELINE to a" \
+         "BENCH_datapath.json from a prior run); skipping perf compare"
+  fi
 fi

@@ -2,17 +2,23 @@
 """Validate a Chrome trace-event file emitted by rofl::obs::Tracer.
 
 Usage: validate_trace.py trace.json [--min-events N]
+                                    [--require-counter NAME]...
 
 Checks (exit 1 with a message on the first failure):
   * the file is well-formed JSON with a non-empty "traceEvents" list
   * every event has the required keys for its phase
     ("name", "cat", "ph", "ts", "pid", "tid"; complete events also "dur";
     instant events also "s")
-  * phases are ones the exporter emits ('X', 'i', 'M')
+  * phases are ones the exporter emits ('X', 'i', 'C', 'M')
   * timestamps are finite, non-negative, and non-decreasing in file order
     across non-metadata events (the exporter clamps, so a violation means
     the clamp regressed)
   * durations are finite and non-negative
+  * counter events ('C', the Timeline's live counter tracks) carry a
+    non-empty "args" object whose values are all finite numbers -- Perfetto
+    silently drops malformed counter samples, so we fail loudly instead
+  * every --require-counter NAME (repeatable) names a counter track that
+    actually appears in the file
 
 This is the per-PR smoke gate scripts/check.sh runs against a small
 simulation; it is intentionally strict about the invariants Perfetto and
@@ -26,7 +32,7 @@ import math
 import sys
 
 REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
-KNOWN_PHASES = {"X", "i", "M"}
+KNOWN_PHASES = {"X", "i", "C", "M"}
 
 
 def fail(msg: str) -> None:
@@ -39,6 +45,10 @@ def main() -> None:
     ap.add_argument("trace", help="path to trace.json")
     ap.add_argument("--min-events", type=int, default=1,
                     help="require at least this many non-metadata events")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a 'C' track with this name exists "
+                         "(repeatable)")
     args = ap.parse_args()
 
     try:
@@ -53,6 +63,8 @@ def main() -> None:
 
     last_ts = -math.inf
     real_events = 0
+    counter_events = 0
+    counter_tracks: set[str] = set()
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
@@ -78,13 +90,32 @@ def main() -> None:
                 fail(f"complete event {i} has bad dur {dur!r}")
         if ph == "i" and ev.get("s") not in ("t", "p", "g"):
             fail(f"instant event {i} has bad scope {ev.get('s')!r}")
+        if ph == "C":
+            counter_events += 1
+            counter_tracks.add(ev["name"])
+            cargs = ev.get("args")
+            if not isinstance(cargs, dict) or not cargs:
+                fail(f"counter event {i} ({ev['name']!r}) has no args object")
+            for key, value in cargs.items():
+                if (not isinstance(value, (int, float))
+                        or isinstance(value, bool)
+                        or not math.isfinite(value)):
+                    fail(f"counter event {i} ({ev['name']!r}) arg {key!r} "
+                         f"is not a finite number: {value!r}")
+
+    for name in args.require_counter:
+        if name not in counter_tracks:
+            known = ", ".join(sorted(counter_tracks)) or "(none)"
+            fail(f"required counter track {name!r} not found "
+                 f"(tracks present: {known})")
 
     if real_events < args.min_events:
         fail(f"only {real_events} non-metadata events "
              f"(need >= {args.min_events})")
 
-    print(f"validate_trace: OK: {args.trace}: {real_events} events, "
-          f"{len(events) - real_events} metadata records, "
+    print(f"validate_trace: OK: {args.trace}: {real_events} events "
+          f"({counter_events} counter samples on {len(counter_tracks)} "
+          f"tracks), {len(events) - real_events} metadata records, "
           f"ts spans [0, {last_ts}] us")
 
 

@@ -1,10 +1,12 @@
 #include "audit/churn.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "graph/isp_topology.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 
 namespace rofl::audit {
 
@@ -187,6 +189,17 @@ ChurnRunResult run_churn(const ChurnRunParams& params,
     }
   }
 
+  // Timeline attaches after the initial population: the setup burst is the
+  // baseline snapshot, so the windowed series show the churn phase alone.
+  std::optional<obs::Timeline> timeline;
+  if (params.timeline_window_ms > 0.0) {
+    timeline.emplace(&net.simulator().metrics(),
+                     obs::Timeline::Config{params.timeline_window_ms,
+                                           params.timeline_capacity,
+                                           {"recompute_ms"}});
+    net.simulator().set_timeline(&*timeline);
+  }
+
   // The run ends only after the last churn event AND every fault window.
   double last = 0.0;
   for (const ChurnEvent& e : schedule) last = std::max(last, e.t_ms);
@@ -213,6 +226,16 @@ ChurnRunResult run_churn(const ChurnRunParams& params,
   // Snapshot before the faults-off repair so two same-seed runs compare the
   // churn phase itself.
   res.metrics_json = scrubbed_metrics(net.simulator());
+  if (timeline.has_value()) {
+    timeline->flush(net.simulator().now_ms());
+    res.timeline_jsonl = timeline->to_jsonl();
+    res.timeline_window_ms = params.timeline_window_ms;
+    for (const char* name : {"sim.events", "msgs.join", "msgs.repair",
+                             "msgs.teardown", "msgs.data"}) {
+      res.timeline_series.emplace_back(name, timeline->counter_series(name));
+    }
+    net.simulator().set_timeline(nullptr);
+  }
 
   net.set_fault_injector(nullptr);
   (void)net.repair_partitions();

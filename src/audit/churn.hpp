@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "audit/auditor.hpp"
@@ -84,6 +85,12 @@ struct ChurnRunParams {
   /// stream -- shrinking the schedule never changes the starting state.
   std::size_t initial_hosts = 64;
   std::uint64_t seed = 1;
+  /// Timeline sampling window on the sim clock; 0 disables the timeline.
+  /// The sampler attaches after the initial population, so the series cover
+  /// the churn phase itself, not the setup burst.  Wall-clock histograms
+  /// (recompute_ms) are excluded from the export, mirroring metrics_json.
+  double timeline_window_ms = 0.0;
+  std::size_t timeline_capacity = 4096;
 };
 
 struct ChurnRunResult {
@@ -109,6 +116,15 @@ struct ChurnRunResult {
   /// histogram lines scrubbed (they measure host CPU, not simulated
   /// behavior) so two same-seed runs compare byte-for-byte.
   std::string metrics_json;
+  /// Timeline export (one JSON object per window; empty when the timeline
+  /// was disabled).  Deterministic: contains no wall-clock fields.
+  std::string timeline_jsonl;
+  double timeline_window_ms = 0.0;
+  /// Per-window delta series of the convergence-relevant counters
+  /// (sim.events, msgs.join, msgs.repair, msgs.teardown, msgs.data), for
+  /// embedding in BENCH_churn.json.
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>>
+      timeline_series;
 };
 
 /// Executes `schedule` (plus params.faults) over a fresh seeded network with

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "obs/flight_recorder.hpp"
+#include "sim/profiler.hpp"
 #include "wire/messages.hpp"
 
 namespace rofl::inter {
@@ -162,6 +163,16 @@ ShardScaleModel::ShardScaleModel(const ScaleParams& params)
   engine_ = std::make_unique<sim::ShardedSimulator>(shard_map_, cfg);
   engine_->set_registry_init(
       [](obs::Registry& reg) { register_metrics(reg, nullptr); });
+  if (params_.timeline_window_ms > 0.0) {
+    engine_->enable_timeline(obs::Timeline::Config{
+        params_.timeline_window_ms, params_.timeline_capacity, {}});
+  }
+  if (params_.profile) {
+    profiler_ = std::make_unique<sim::EngineProfiler>(params_.shards);
+    profiler_->set_kind_names(
+        {"", "tick", "register", "unregister", "lookup", "resp"});
+    engine_->set_profiler(profiler_.get());
+  }
   {
     // Ids are identical across shard registries (same registrations in the
     // same order); capture them once from a scratch registry.

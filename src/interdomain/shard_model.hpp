@@ -66,6 +66,13 @@ struct ScaleParams {
   /// Trace every Nth lookup per source AS through the flight recorder
   /// (0 disables tracing).
   std::uint32_t trace_sample = 64;
+  /// Timeline sampling window on the sim clock; 0 disables the timeline.
+  /// The merged timeline is shard-count independent (DESIGN.md section 14).
+  double timeline_window_ms = 0.0;
+  std::size_t timeline_capacity = 4096;
+  /// Wall-clock engine self-profile (busy/stall/idle per shard); the profile
+  /// is reporting-only and never enters determinism-gated artifacts.
+  bool profile = false;
 };
 
 class ShardScaleModel {
@@ -91,6 +98,14 @@ class ShardScaleModel {
   }
   [[nodiscard]] std::uint64_t flight_digest() const {
     return engine_->flight_digest();
+  }
+  /// Merged per-shard timelines; requires timeline_window_ms > 0 and run().
+  [[nodiscard]] obs::Timeline merged_timeline() const {
+    return engine_->merged_timeline();
+  }
+  /// The engine self-profile, or nullptr when params.profile is false.
+  [[nodiscard]] const sim::EngineProfiler* profiler() const {
+    return profiler_.get();
   }
 
   /// The deterministic label of slot `slot` homed at AS `as`.
@@ -153,6 +168,7 @@ class ShardScaleModel {
   std::vector<double> target_cdf_;                  // host-weighted pick
   std::vector<AsState> state_;
   std::vector<std::uint32_t> shard_map_;
+  std::unique_ptr<sim::EngineProfiler> profiler_;
   std::unique_ptr<sim::ShardedSimulator> engine_;
   MetricIds ids_{};
   std::size_t frame_bytes_ = 0;  // RingMerge wire size (all kinds share it)

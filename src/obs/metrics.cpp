@@ -98,9 +98,9 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
-void Histogram::merge_from(const Histogram& other) {
-  assert(bounds_ == other.bounds_);
-  if (other.count_ == 0) return;
+bool Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  if (other.count_ == 0) return true;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
@@ -113,6 +113,7 @@ void Histogram::merge_from(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  return true;
 }
 
 namespace {
@@ -152,7 +153,7 @@ MetricId Registry::histogram(std::string_view name,
   return static_cast<MetricId>(histograms_.size() - 1);
 }
 
-std::string Registry::to_json(int indent) const {
+std::string Registry::to_json(int indent, bool with_buckets) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   std::ostringstream os;
   os << "{\n";
@@ -179,7 +180,20 @@ std::string Registry::to_json(int indent) const {
        << ", \"min\": " << h.min() << ", \"max\": " << h.max()
        << ", \"p50\": " << h.percentile(0.5)
        << ", \"p90\": " << h.percentile(0.9)
-       << ", \"p99\": " << h.percentile(0.99) << "}";
+       << ", \"p99\": " << h.percentile(0.99);
+    if (with_buckets) {
+      os << ", \"bounds\": [";
+      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+        os << (b == 0 ? "" : ", ") << h.bounds()[b];
+      }
+      // One more bucket than bounds: the trailing entry is the overflow.
+      os << "], \"buckets\": [";
+      for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+        os << (b == 0 ? "" : ", ") << h.bucket(b);
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << (histograms_.empty() ? "" : "\n" + pad + "  ") << "}\n";
   os << pad << "}";
@@ -217,7 +231,11 @@ void Registry::merge_from(const Registry& other) {
   }
   for (const HistCell& h : other.histograms_) {
     const MetricId id = histogram(h.name, h.hist.bounds());
-    histograms_[id].hist.merge_from(h.hist);
+    // A name collision with different bounds is a registration bug between
+    // the two registries; the merge skips it rather than corrupting buckets.
+    const bool ok = histograms_[id].hist.merge_from(h.hist);
+    assert(ok && "histogram bounds mismatch across registries");
+    (void)ok;
   }
 }
 

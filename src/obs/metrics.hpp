@@ -70,10 +70,12 @@ class Histogram {
 
   void reset();
 
-  /// Adds another histogram's contents bucket-by-bucket.  Requires identical
-  /// bounds.  Exact (order-independent) when every recorded sample is an
+  /// Adds another histogram's contents bucket-by-bucket, overflow included.
+  /// Returns false -- and leaves this histogram untouched -- when the bucket
+  /// bounds differ (two histograms with different layouts have no meaningful
+  /// sum).  Exact (order-independent) when every recorded sample is an
   /// integral value below 2^53.
-  void merge_from(const Histogram& other);
+  [[nodiscard]] bool merge_from(const Histogram& other);
 
  private:
   std::vector<double> bounds_;     // ascending upper bounds
@@ -130,8 +132,13 @@ class Registry {
   // -- export ---------------------------------------------------------------
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, min, max, p50, p90, p99}}}.
-  /// `indent` spaces prefix every emitted line (for embedding).
-  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// `indent` spaces prefix every emitted line (for embedding).  With
+  /// `with_buckets`, every histogram also carries its full distribution as
+  /// parallel "bounds" / "buckets" arrays (buckets has one extra trailing
+  /// entry: the overflow count), so external tooling can reconstruct CDFs
+  /// instead of settling for three percentiles.
+  [[nodiscard]] std::string to_json(int indent = 0,
+                                    bool with_buckets = false) const;
 
   /// Folds another registry into this one by metric name: counters add,
   /// gauges take the max (a sum would double-count point-in-time readings),

@@ -41,6 +41,12 @@ void Tracer::instant(std::string_view name, std::string_view cat, double ts_us,
              std::move(args)});
 }
 
+void Tracer::counter(std::string_view name, double ts_us, double value,
+                     std::uint32_t track) {
+  push(Event{std::string(name), "counter", 'C', ts_us, 0.0, track,
+             {TraceArg{"value", value}}});
+}
+
 void Tracer::name_track(std::uint32_t track, std::string_view name) {
   push(Event{"thread_name", "__metadata", 'M', 0.0, 0.0, track,
              {TraceArg{"name", std::string(name)}}});

@@ -39,6 +39,12 @@ class Tracer {
   void instant(std::string_view name, std::string_view cat, double ts_us,
                std::uint32_t track = 0, std::vector<TraceArg> args = {});
 
+  /// A counter ("C") sample: Perfetto renders each distinct name as its own
+  /// graph track.  obs::Timeline emits these live at every window close (one
+  /// sample per nonzero counter delta), so the series stay in trace order.
+  void counter(std::string_view name, double ts_us, double value,
+               std::uint32_t track = 0);
+
   /// Names a track in the viewer (thread_name metadata record).
   void name_track(std::uint32_t track, std::string_view name);
 
@@ -56,7 +62,7 @@ class Tracer {
   struct Event {
     std::string name;
     std::string cat;
-    char ph;  // 'X', 'i', or 'M' (metadata)
+    char ph;  // 'X', 'i', 'C' (counter), or 'M' (metadata)
     double ts_us;
     double dur_us;
     std::uint32_t track;

@@ -1,0 +1,67 @@
+#include "sim/profiler.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rofl::sim {
+
+std::string EngineProfiler::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "{\n" << pad << "  \"shards\": [\n";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardProfile& p = shards_[s];
+    os << pad << "    {\"shard\": " << s << ", \"busy_s\": " << p.busy_s
+       << ", \"stall_s\": " << p.stall_s << ", \"idle_s\": " << p.idle_s
+       << ", \"busy_frac\": " << p.busy_frac()
+       << ", \"stall_frac\": " << p.stall_frac()
+       << ", \"idle_frac\": " << p.idle_frac()
+       << ", \"events\": " << p.events << ", \"spsc_hwm\": " << p.spsc_hwm
+       << ", \"kinds\": [";
+    bool first = true;
+    for (std::size_t k = 0; k < p.kinds.size(); ++k) {
+      if (p.kinds[k].events == 0) continue;
+      os << (first ? "" : ", ") << "{\"kind\": \"";
+      if (k < kind_names_.size() && !kind_names_[k].empty()) {
+        os << kind_names_[k];
+      } else {
+        os << k;
+      }
+      os << "\", \"events\": " << p.kinds[k].events
+         << ", \"busy_s\": " << p.kinds[k].busy_s << "}";
+      first = false;
+    }
+    os << "]}" << (s + 1 < shards_.size() ? ",\n" : "\n");
+  }
+  os << pad << "  ]\n" << pad << "}";
+  return os.str();
+}
+
+void EngineProfiler::print_table(std::ostream& os) const {
+  Table t({"shard", "busy%", "stall%", "idle%", "events", "spsc hwm",
+           "top kind"});
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardProfile& p = shards_[s];
+    std::size_t top = p.kinds.size();
+    for (std::size_t k = 0; k < p.kinds.size(); ++k) {
+      if (top == p.kinds.size() || p.kinds[k].busy_s > p.kinds[top].busy_s) {
+        top = k;
+      }
+    }
+    std::string top_name = "-";
+    if (top < p.kinds.size() && p.kinds[top].events > 0) {
+      top_name = top < kind_names_.size() && !kind_names_[top].empty()
+                     ? kind_names_[top]
+                     : std::to_string(top);
+    }
+    t.add_row({static_cast<std::int64_t>(s), p.busy_frac() * 100.0,
+               p.stall_frac() * 100.0, p.idle_frac() * 100.0,
+               static_cast<std::int64_t>(p.events),
+               static_cast<std::int64_t>(p.spsc_hwm), top_name});
+  }
+  t.print(os);
+}
+
+}  // namespace rofl::sim

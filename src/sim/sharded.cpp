@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "sim/profiler.hpp"
+
 namespace rofl::sim {
 
 namespace {
@@ -106,6 +108,13 @@ void ShardContext::send(EntityId dst, double delay_ms, std::uint32_t kind,
     // ring is transient back-pressure, never deadlock.
     std::this_thread::yield();
   }
+  if (eng.profiler_ != nullptr) {
+    // Producer-side occupancy estimate right after the push: an approximate
+    // high-water mark of the channel this shard feeds (wall-state only).
+    EngineProfiler::ShardProfile& p = eng.profiler_->shard(shard_);
+    p.spsc_hwm = std::max(p.spsc_hwm,
+                          static_cast<std::uint64_t>(chan.size_approx()));
+  }
 }
 
 ShardedSimulator::ShardedSimulator(std::vector<std::uint32_t> map, Config cfg)
@@ -144,6 +153,15 @@ void ShardedSimulator::set_registry_init(RegistryInit init) {
   registry_init_ = std::move(init);
   if (registry_init_) {
     for (auto& sh : shards_) registry_init_(sh->registry);
+  }
+}
+
+void ShardedSimulator::enable_timeline(obs::Timeline::Config cfg) {
+  assert(!ran_);
+  timeline_enabled_ = true;
+  timeline_cfg_ = cfg;
+  for (auto& sh : shards_) {
+    sh->timeline = std::make_unique<obs::Timeline>(&sh->registry, cfg);
   }
 }
 
@@ -228,6 +246,14 @@ void ShardedSimulator::shard_loop(std::uint32_t s) {
   const double lookahead = cfg_.lookahead_ms;
   const std::uint32_t n = shard_count();
   ShardContext ctx(this, s);
+  // Wall-clock self-profile: each loop iteration is attributed whole to
+  // busy (executed >= 1 event), stall (queued work blocked by the horizon),
+  // or idle (empty queue).  Individual handler invocations are additionally
+  // timed per event kind.  All of it is wall state; none of it feeds back
+  // into scheduling, so profiled runs stay bit-identical to unprofiled ones.
+  EngineProfiler::ShardProfile* prof =
+      profiler_ != nullptr ? &profiler_->shard(s) : nullptr;
+  auto mark = std::chrono::steady_clock::now();
   while (!done_.load(std::memory_order_acquire)) {
     // 1. Horizon from the other shards' promises (INF when single-shard).
     double horizon = kInf;
@@ -261,10 +287,36 @@ void ShardedSimulator::shard_loop(std::uint32_t s) {
         sh.processed_by_src[ev.src]++;
       }
       sh.processed++;
+      // Close elapsed windows BEFORE any registry writes for this event
+      // (same order as Simulator::step): the event-count increment must land
+      // in the window containing item.when, or the boundary attribution
+      // would depend on how events split across shards.
+      if (sh.timeline != nullptr) sh.timeline->advance_to(item.when);
+      sh.registry.add(sh.events_id);
       ctx.self_ = ev.dst;
       ctx.now_ms_ = ev.when;
-      handler_(ctx, ev);
+      if (prof != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        handler_(ctx, ev);
+        const auto t1 = std::chrono::steady_clock::now();
+        prof->add_event(ev.kind,
+                        std::chrono::duration<double>(t1 - t0).count());
+      } else {
+        handler_(ctx, ev);
+      }
       ++batch;
+    }
+    if (prof != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(now - mark).count();
+      mark = now;
+      if (batch > 0) {
+        prof->busy_s += dt;
+      } else if (!sh.queue.empty()) {
+        prof->stall_s += dt;  // lookahead wait: work queued, horizon too low
+      } else {
+        prof->idle_s += dt;
+      }
     }
     if (batch > 0) {
       sh.batches++;
@@ -287,6 +339,14 @@ ShardedSimulator::RunStats ShardedSimulator::run() {
   assert(!ran_);
   assert(handler_ && "set_handler before run");
   ran_ = true;
+  // Register the dispatch counter last -- after any registry_init -- so user
+  // metric ids keep starting at 0 (models capture ids from a scratch registry
+  // that knows nothing of engine-internal metrics).  Same name as the
+  // single-threaded engine's counter, so the merged timeline exposes one
+  // canonical events/sec series either way.
+  for (auto& sh : shards_) {
+    sh->events_id = sh->registry.counter("sim.events");
+  }
   const auto wall_start = std::chrono::steady_clock::now();
   if (shard_count() == 1) {
     shard_loop(0);
@@ -315,6 +375,14 @@ ShardedSimulator::RunStats ShardedSimulator::run() {
     stats_.monotone = stats_.monotone && sh->monotone;
   }
   for (const std::uint64_t sent : sent_by_entity_) stats_.entity_msgs += sent;
+  if (timeline_enabled_) {
+    // Flush every shard to the GLOBAL end time (not its own last event):
+    // all shards then hold windows [0, floor(end/W)], which is what makes
+    // the merged timeline independent of the shard count -- a shard that
+    // went quiet early still contributes its final gauge values (and zero
+    // deltas) to the trailing windows.
+    for (auto& sh : shards_) sh->timeline->flush(stats_.end_time_ms);
+  }
   return stats_;
 }
 
@@ -322,6 +390,13 @@ obs::Registry ShardedSimulator::merged_metrics() const {
   obs::Registry merged;
   if (registry_init_) registry_init_(merged);
   for (const auto& sh : shards_) merged.merge_from(sh->registry);
+  return merged;
+}
+
+obs::Timeline ShardedSimulator::merged_timeline() const {
+  assert(timeline_enabled_ && "enable_timeline before run");
+  obs::Timeline merged(timeline_cfg_);
+  for (const auto& sh : shards_) merged.merge_from(*sh->timeline);
   return merged;
 }
 

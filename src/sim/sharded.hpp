@@ -47,11 +47,14 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_queue.hpp"
 
 namespace rofl::sim {
+
+class EngineProfiler;
 
 /// A simulated actor (for the interdomain scale model: one AS).  Entities
 /// are dense indices; each is owned by exactly one shard.
@@ -181,6 +184,19 @@ class ShardedSimulator {
   void seed_event(double when_ms, EntityId dst, std::uint32_t kind,
                   const void* payload = nullptr, std::size_t size = 0);
 
+  /// Enables per-shard timeline sampling (one obs::Timeline over each
+  /// shard's private registry, advanced on the sim clock before every
+  /// dispatch).  Call before run().  At quiescence every shard's timeline is
+  /// flushed to the *global* end time, so all shards close the identical
+  /// window range -- the property merged_timeline() needs for bit-identical
+  /// output at any shard count.
+  void enable_timeline(obs::Timeline::Config cfg);
+  [[nodiscard]] bool timeline_enabled() const { return timeline_enabled_; }
+
+  /// Installs a wall-clock self-profiler (must have shard_count() shards).
+  /// Wall time only -- never merged into metrics, timelines, or digests.
+  void set_profiler(EngineProfiler* profiler) { profiler_ = profiler; }
+
   /// Spawns one worker per shard, runs to global quiescence, joins, and
   /// returns the run statistics.  Callable once.
   RunStats run();
@@ -192,6 +208,9 @@ class ShardedSimulator {
   [[nodiscard]] obs::Registry merged_metrics() const;
   /// Wrapping sum of the per-shard recorder content digests.
   [[nodiscard]] std::uint64_t flight_digest() const;
+  /// Per-shard timelines folded by absolute window index (commutative, like
+  /// merged_metrics); requires enable_timeline() before run().
+  [[nodiscard]] obs::Timeline merged_timeline() const;
 
   // -- audit surface (sharding-independent unless noted) --------------------
   /// Events each entity has sent (== its final sequence number).
@@ -222,6 +241,10 @@ class ShardedSimulator {
     std::vector<std::uint32_t> free_slots;
     obs::Registry registry;
     obs::FlightRecorder recorder;
+    /// "sim.events" in this shard's registry: events dispatched here.  The
+    /// per-window deltas of the merged counter are the events/sec series.
+    obs::MetricId events_id = 0;
+    std::unique_ptr<obs::Timeline> timeline;
     double now_ms = 0.0;
     // Per-source processed counts (audit: sequence conservation).
     std::vector<std::uint64_t> processed_by_src;
@@ -260,6 +283,9 @@ class ShardedSimulator {
   std::vector<std::uint64_t> sent_by_entity_;
   std::uint64_t seed_seq_ = 0;
   bool ran_ = false;
+  bool timeline_enabled_ = false;
+  obs::Timeline::Config timeline_cfg_;
+  EngineProfiler* profiler_ = nullptr;
   RunStats stats_;
 
   std::atomic<std::uint64_t> cross_sent_total_{0};

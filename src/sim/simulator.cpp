@@ -1,9 +1,12 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <string>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
+#include "sim/profiler.hpp"
 
 namespace rofl::sim {
 
@@ -75,6 +78,10 @@ void Simulator::schedule_at(double when_ms, Action action) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   const HeapItem item = queue_.pop();
+  // Close timeline windows before the dispatch is recorded anywhere, so all
+  // registry activity since the previous event -- and any counter-track
+  // samples the timeline emits -- lands ahead of this event in trace order.
+  if (timeline_ != nullptr) timeline_->advance_to(item.when);
   now_ms_ = item.when;
   // Move the payload out and recycle the slot before running it: the action
   // may schedule further events (growing or reusing the slab).
@@ -85,7 +92,17 @@ bool Simulator::step() {
     tracer_->instant("dispatch", "sim", now_ms_ * 1000.0, /*track=*/0,
                      {obs::TraceArg{"seq", item.seq}});
   }
-  action();
+  if (profiler_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    action();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    EngineProfiler::ShardProfile& p = profiler_->shard(0);
+    p.busy_s += dt;
+    p.add_event(0, dt);
+  } else {
+    action();
+  }
   return true;
 }
 

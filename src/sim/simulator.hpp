@@ -25,7 +25,13 @@
 #include "sim/event_queue.hpp"
 #include "util/inline_function.hpp"
 
+namespace rofl::obs {
+class Timeline;
+}  // namespace rofl::obs
+
 namespace rofl::sim {
+
+class EngineProfiler;
 
 /// Categories of network-level messages, for the paper's overhead metrics.
 enum class MsgCategory : std::uint8_t {
@@ -127,6 +133,18 @@ class Simulator {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
+  /// Installs (or removes) a timeline sampler over this simulator's
+  /// registry.  The engine advances it to each event's timestamp *before*
+  /// dispatch, so window membership is decided purely on the sim clock; the
+  /// caller flushes it at end of run (Timeline::flush(now_ms())).  Not owned.
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+  [[nodiscard]] obs::Timeline* timeline() const { return timeline_; }
+
+  /// Installs (or removes) a wall-clock self-profiler (shard 0 of a
+  /// 1-shard EngineProfiler).  Wall time never enters the registry or the
+  /// timeline -- see profiler.hpp.  Not owned.
+  void set_profiler(EngineProfiler* profiler) { profiler_ = profiler; }
+
   /// Events dispatched over this simulator's lifetime (the "sim.events"
   /// registry counter).
   [[nodiscard]] std::uint64_t events_dispatched() const {
@@ -149,6 +167,8 @@ class Simulator {
   obs::MetricId events_id_ = metrics_.counter("sim.events");
   Counters counters_{&metrics_};
   obs::Tracer* tracer_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  EngineProfiler* profiler_ = nullptr;
 };
 
 }  // namespace rofl::sim

@@ -193,6 +193,67 @@ TEST(Registry, JsonAndTableExportContainEveryMetric) {
   EXPECT_NE(table.str().find("spf.ms:"), std::string::npos);
 }
 
+// -- merge edge cases --------------------------------------------------------
+
+TEST(Histogram, MergeFromRejectsMismatchedBoundsWithoutMutating) {
+  Histogram target(std::vector<double>{1.0, 2.0, 4.0});
+  Histogram other(std::vector<double>{1.0, 3.0, 9.0});
+  target.record(1.5);
+  other.record(2.5);
+
+  EXPECT_FALSE(target.merge_from(other));
+  // The rejected merge must be a no-op: the target keeps exactly its own
+  // samples (a partial fold would silently corrupt merged exports).
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.sum(), 1.5);
+  EXPECT_EQ(target.bucket(1), 1u);  // (1, 2]
+  EXPECT_EQ(target.bucket(2), 0u);
+}
+
+TEST(Histogram, MergeFromAddsOverflowBuckets) {
+  Histogram a(std::vector<double>{1.0, 2.0});
+  Histogram b(std::vector<double>{1.0, 2.0});
+  a.record(100.0);  // overflow
+  b.record(50.0);   // overflow
+  b.record(0.5);    // bucket 0
+
+  EXPECT_TRUE(a.merge_from(b));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(2), 2u);  // overflow bucket is summed, not dropped
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(Registry, MergeFromAddsHistogramsBucketwise) {
+  Registry r1, r2;
+  const MetricId h1 = r1.histogram("lat", std::vector<double>{1.0, 2.0});
+  const MetricId h2 = r2.histogram("lat", std::vector<double>{1.0, 2.0});
+  r1.observe(h1, 0.5);
+  r2.observe(h2, 1.5);
+  r2.observe(h2, 9.0);
+
+  r1.merge_from(r2);
+  EXPECT_EQ(r1.histogram_at(h1).count(), 3u);
+  EXPECT_EQ(r1.histogram_at(h1).bucket(0), 1u);
+  EXPECT_EQ(r1.histogram_at(h1).bucket(1), 1u);
+  EXPECT_EQ(r1.histogram_at(h1).bucket(2), 1u);
+}
+
+TEST(Registry, ToJsonWithBucketsEmitsBoundsAndCounts) {
+  Registry r;
+  const MetricId h = r.histogram("lat", std::vector<double>{1.0, 2.0});
+  r.observe(h, 0.5);
+  r.observe(h, 9.0);
+
+  const std::string plain = r.to_json();
+  EXPECT_EQ(plain.find("\"bounds\""), std::string::npos);
+
+  const std::string with = r.to_json(0, /*with_buckets=*/true);
+  EXPECT_NE(with.find("\"bounds\": [1, 2]"), std::string::npos);
+  // One count per finite bucket plus the trailing overflow entry.
+  EXPECT_NE(with.find("\"buckets\": [1, 0, 1]"), std::string::npos);
+}
+
 // -- trace exporter ---------------------------------------------------------
 
 TEST(Tracer, TimestampsAreClampedNonDecreasing) {

@@ -9,22 +9,32 @@
 //                     [--fingers N] [--bloom] [--routes N] [--seed S]
 //   roflsim partition [--isp NAME] [--ids-per-pop N] [--seed S]
 //
-// Observability flags (intra / inter / partition):
-//   --trace FILE   write a Chrome trace-event timeline (open in
-//                  https://ui.perfetto.dev or chrome://tracing)
-//   --traceroute   record per-packet hops and print the traceroute-style
-//                  dump of the last delivered route
-//   --metrics      print the full metrics registry after the run
+// Observability flags (intra / inter / partition / faults / audit / shard):
+//   --trace FILE      write a Chrome trace-event timeline (open in
+//                     https://ui.perfetto.dev or chrome://tracing); with
+//                     --timeline also carries "ph":"C" counter tracks
+//   --traceroute      record per-packet hops and print the traceroute-style
+//                     dump of the last delivered route
+//   --metrics         print the full metrics registry after the run
+//   --timeline FILE   write windowed metric deltas as JSONL (one JSON object
+//                     per sim-clock window; wall-time only in the trailer)
+//   --timeline-window MS   sampling window width (default 25, shard: 50)
+//
+// `roflsim timeline --file F` renders a timeline JSONL file as an ASCII
+// sparkline/table report.
 //
 // Every run prints its seed; identical invocations reproduce exactly.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -35,8 +45,10 @@
 #include "interdomain/inter_network.hpp"
 #include "interdomain/shard_model.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_export.hpp"
 #include "rofl/network.hpp"
+#include "sim/profiler.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -123,34 +135,73 @@ graph::IspTopology isp_from_args(const Args& a, Rng& rng) {
   return graph::make_isp_topology(p, rng);
 }
 
+/// Writes a timeline JSONL file: the deterministic window lines followed by
+/// one "run" trailer carrying wall-clock provenance.  Determinism gates
+/// byte-compare these files after dropping the trailer (grep -v '"run"').
+bool write_timeline_jsonl(const std::string& path, const std::string& jsonl,
+                          double wall_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write timeline to " << path << "\n";
+    return false;
+  }
+  out << jsonl;
+  out << "{\"run\": {\"wall_seconds\": " << wall_seconds
+      << ", \"peak_rss_kb\": " << peak_rss_kb() << "}}\n";
+  std::cout << "timeline written to " << path << "\n";
+  return true;
+}
+
 // Observability hooks shared by the experiment commands: a timeline tracer
-// (--trace FILE), a per-packet flight recorder (--traceroute), and a metrics
-// dump (--metrics).  Declare before the Network so it outlives installation.
+// (--trace FILE), a per-packet flight recorder (--traceroute), a metrics
+// dump (--metrics), and a windowed metric sampler (--timeline FILE).
+// Declare before the Network so it outlives installation.
 struct ObsSession {
   obs::Tracer tracer;
   obs::FlightRecorder recorder{1 << 16};
+  std::unique_ptr<obs::Timeline> timeline;
   std::string trace_path;
+  std::string timeline_path;
+  double timeline_window_ms;
   bool want_trace;
   bool want_route_dump;
   bool want_metrics;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
 
   explicit ObsSession(const Args& a)
       : trace_path(a.str("trace", "")),
+        timeline_path(a.str("timeline", "")),
+        timeline_window_ms(a.dbl("timeline-window", 25.0)),
         want_trace(!a.str("trace", "").empty()),
         want_route_dump(a.flag("traceroute")),
         want_metrics(a.flag("metrics")) {}
 
   void install(sim::Simulator& sim) {
-    if (!want_trace) return;
-    tracer.name_track(0, "simulator");
-    tracer.name_track(1, "linkstate");
-    tracer.name_track(2, "rofl-intra");
-    tracer.name_track(3, "interdomain");
-    sim.set_tracer(&tracer);
+    if (want_trace) {
+      tracer.name_track(0, "simulator");
+      tracer.name_track(1, "linkstate");
+      tracer.name_track(2, "rofl-intra");
+      tracer.name_track(3, "interdomain");
+      sim.set_tracer(&tracer);
+    }
+    if (!timeline_path.empty()) {
+      // SPF recompute histograms measure host CPU; exclude them so two
+      // same-seed timeline files byte-compare (same rule as --metrics-json).
+      timeline = std::make_unique<obs::Timeline>(
+          &sim.metrics(),
+          obs::Timeline::Config{timeline_window_ms, 1 << 16,
+                                {"recompute_ms"}});
+      sim.set_timeline(timeline.get());
+      // Live counter tracks: every window close lands "ph":"C" samples in
+      // the trace, in sim-clock order, so Perfetto graphs them as series.
+      if (want_trace) timeline->set_trace_sink(&tracer, 0);
+    }
   }
 
   /// `last_trace` is the flight to pretty-print (0 = none delivered).
   void finish(sim::Simulator& sim, std::uint64_t last_trace) {
+    if (timeline != nullptr) timeline->flush(sim.now_ms());
     if (want_route_dump) {
       if (last_trace != 0) {
         std::cout << "\n" << recorder.format_trace(last_trace);
@@ -169,6 +220,13 @@ struct ObsSession {
       } else {
         std::cerr << "cannot write trace to " << trace_path << "\n";
       }
+    }
+    if (timeline != nullptr) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      (void)write_timeline_jsonl(timeline_path, timeline->to_jsonl(), wall);
     }
   }
 };
@@ -554,6 +612,9 @@ int cmd_audit(const Args& a) {
   params.audit_interval_ms = a.dbl("audit-interval", 25.0);
   params.settle_ms = a.dbl("settle", 300.0);
   params.seed = seed;
+  if (!a.str("timeline", "").empty()) {
+    params.timeline_window_ms = a.dbl("timeline-window", 25.0);
+  }
   const double loss = a.dbl("loss", 0.0);
   const double dup = a.dbl("dup", 0.0);
   const double corrupt = a.dbl("corrupt", 0.0);
@@ -609,6 +670,17 @@ int cmd_audit(const Args& a) {
     std::cout << "metrics written to " << metrics_path << "\n";
   }
 
+  const std::string timeline_path = a.str("timeline", "");
+  if (!timeline_path.empty()) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      summary.start)
+            .count();
+    if (!write_timeline_jsonl(timeline_path, res.timeline_jsonl, wall)) {
+      return 1;
+    }
+  }
+
   const bool failed = res.hard > 0 || !res.converged;
   if (failed && a.flag("shrink")) {
     std::cout << "\nshrinking the failing schedule (ddmin)...\n";
@@ -649,6 +721,12 @@ int cmd_shard(const Args& a) {
   p.topo.tier2_count = static_cast<std::size_t>(60.0 * scale);
   p.topo.tier3_count = static_cast<std::size_t>(250.0 * scale);
   p.topo.stub_count = static_cast<std::size_t>(1200.0 * scale);
+  const std::string timeline_path = a.str("timeline", "");
+  if (!timeline_path.empty()) {
+    p.timeline_window_ms = a.dbl("timeline-window", 50.0);
+    p.timeline_capacity = 1 << 16;
+  }
+  p.profile = a.flag("profile");
 
   inter::ShardScaleModel model(p);
   const auto stats = model.run();
@@ -681,6 +759,11 @@ int cmd_shard(const Args& a) {
   std::cout << "shard audit: " << rep.digest() << "\n";
   if (!rep.clean() || a.flag("report")) std::cout << rep.to_string();
 
+  if (model.profiler() != nullptr) {
+    std::cout << "\n-- engine profile (wall clock; reporting only) --\n";
+    model.profiler()->print_table(std::cout);
+  }
+
   const std::string metrics_path = a.str("metrics-json", "");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -688,12 +771,148 @@ int cmd_shard(const Args& a) {
       std::cerr << "cannot write " << metrics_path << "\n";
       return 1;
     }
-    out << merged.to_json() << "\n";
+    out << merged.to_json(0, /*with_buckets=*/true) << "\n";
     std::cout << "metrics written to " << metrics_path << "\n";
+  }
+
+  if (!timeline_path.empty()) {
+    const obs::Timeline merged_tl = model.merged_timeline();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      summary.start)
+            .count();
+    if (!write_timeline_jsonl(timeline_path, merged_tl.to_jsonl(), wall)) {
+      return 1;
+    }
   }
 
   summary.print(stats.processed);
   return rep.clean() ? 0 : 1;
+}
+
+// -- `roflsim timeline` report mode -----------------------------------------
+
+/// Parses the `"counters": {"name": V, ...}` object out of one timeline
+/// window line.  The exporter emits flat one-line JSON with no nesting
+/// inside the counters object, so a linear scan is sufficient (and keeps the
+/// report tool dependency-free).
+void parse_window_counters(
+    const std::string& line,
+    std::map<std::string, std::vector<std::uint64_t>>* series,
+    std::size_t window_ordinal) {
+  const std::size_t key = line.find("\"counters\":");
+  if (key == std::string::npos) return;
+  const std::size_t open = line.find('{', key);
+  const std::size_t close = line.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return;
+  std::size_t pos = open + 1;
+  while (pos < close) {
+    const std::size_t q1 = line.find('"', pos);
+    if (q1 == std::string::npos || q1 >= close) break;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 >= close) break;
+    const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t colon = line.find(':', q2);
+    if (colon == std::string::npos || colon >= close) break;
+    const std::uint64_t value = std::strtoull(line.c_str() + colon + 1,
+                                              nullptr, 10);
+    auto& vec = (*series)[name];
+    // Counters appear only in windows where their delta is nonzero; pad the
+    // gap with zeros so every series is aligned on the window axis.
+    if (vec.size() < window_ordinal) vec.resize(window_ordinal, 0);
+    vec.push_back(value);
+    pos = line.find(',', colon);
+    if (pos == std::string::npos || pos >= close) break;
+    ++pos;
+  }
+}
+
+/// Renders `values` as a fixed-width ASCII sparkline, rebinned by summation
+/// when there are more windows than columns.  Scale is per-series (peak bin
+/// maps to the densest glyph).
+std::string sparkline(const std::vector<std::uint64_t>& values,
+                      std::size_t width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // index of densest
+  if (values.empty() || width == 0) return "";
+  const std::size_t bins = std::min(width, values.size());
+  std::vector<std::uint64_t> binned(bins, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    binned[i * bins / values.size()] += values[i];
+  }
+  std::uint64_t peak = 0;
+  for (const std::uint64_t v : binned) peak = std::max(peak, v);
+  std::string out;
+  out.reserve(bins);
+  for (const std::uint64_t v : binned) {
+    const std::size_t level =
+        peak == 0 ? 0 : (v * kLevels + peak - 1) / peak;  // ceil; 0 stays 0
+    out.push_back(kRamp[level]);
+  }
+  return out;
+}
+
+int cmd_timeline(const Args& a) {
+  const std::string path = a.str("file", "");
+  if (path.empty()) {
+    std::cerr << "roflsim timeline --file FILE [--metric SUBSTR] [--width N]\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  const std::string filter = a.str("metric", "");
+  const std::size_t width = a.num("width", 56);
+
+  std::map<std::string, std::vector<std::uint64_t>> series;
+  std::size_t windows = 0;
+  double window_ms = 0.0, first_t = 0.0, last_t = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"window\"", 0) != 0) continue;
+    const std::size_t tkey = line.find("\"t_ms\":");
+    const double t = tkey == std::string::npos
+                         ? 0.0
+                         : std::strtod(line.c_str() + tkey + 7, nullptr);
+    if (windows == 0) first_t = t;
+    last_t = t;
+    parse_window_counters(line, &series, windows);
+    ++windows;
+  }
+  if (windows == 0) {
+    std::cerr << path << ": no timeline windows found\n";
+    return 1;
+  }
+  if (windows > 1) window_ms = (last_t - first_t) / double(windows - 1);
+
+  std::cout << path << ": " << windows << " windows";
+  if (window_ms > 0.0) std::cout << " x " << window_ms << "ms";
+  std::cout << ", sim time " << (first_t - window_ms < 0 ? 0.0
+                                                         : first_t - window_ms)
+            << ".." << last_t << "ms\n";
+
+  Table t({"metric", "total", "peak/win", "sparkline"});
+  std::size_t shown = 0;
+  for (auto& [name, values] : series) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    values.resize(windows, 0);  // trailing all-zero windows
+    std::uint64_t total = 0, peak = 0;
+    for (const std::uint64_t v : values) {
+      total += v;
+      peak = std::max(peak, v);
+    }
+    t.add_row({name, static_cast<std::int64_t>(total),
+               static_cast<std::int64_t>(peak), sparkline(values, width)});
+    ++shown;
+  }
+  if (shown == 0) {
+    std::cerr << "no counter matches --metric '" << filter << "'\n";
+    return 1;
+  }
+  t.print(std::cout);
+  return 0;
 }
 
 void usage() {
@@ -715,16 +934,22 @@ void usage() {
       "                    [--metrics-json FILE]\n"
       "  roflsim shard     [--shards N] [--hosts N] [--ases N] [--duration MS]\n"
       "                    [--tick MS] [--rate OPS_PER_HOST_HZ] [--slots N]\n"
-      "                    [--lookahead MS] [--report] [--metrics]\n"
-      "                    [--metrics-json FILE]\n\n"
+      "                    [--lookahead MS] [--report] [--metrics] [--profile]\n"
+      "                    [--metrics-json FILE]\n"
+      "  roflsim timeline  --file FILE [--metric SUBSTR] [--width N]\n\n"
       "All commands accept --seed S (default 1); runs are reproducible.\n"
       "`shard` runs the per-AS scale model on the sharded parallel simulator;\n"
-      "its metrics, flight digest, and audit digest are bit-identical for\n"
-      "every --shards value of the same seed.\n"
-      "Observability (intra/inter/partition):\n"
-      "  --trace FILE   write a Perfetto/chrome://tracing timeline\n"
-      "  --traceroute   print the hop-by-hop dump of the last delivered route\n"
-      "  --metrics      print the metrics registry after the run\n";
+      "its metrics, flight digest, audit digest, and --timeline file are\n"
+      "bit-identical for every --shards value of the same seed (--profile\n"
+      "prints the wall-clock busy/stall/idle engine profile per shard).\n"
+      "`timeline` renders a --timeline JSONL file as sparkline series.\n"
+      "Observability (intra/inter/partition/faults/audit/shard):\n"
+      "  --trace FILE        write a Perfetto/chrome://tracing timeline;\n"
+      "                      with --timeline it also carries counter tracks\n"
+      "  --traceroute        print the hop dump of the last delivered route\n"
+      "  --metrics           print the metrics registry after the run\n"
+      "  --timeline FILE     write windowed metric deltas as JSONL\n"
+      "  --timeline-window MS  window width (default 25; shard 50)\n";
 }
 
 }  // namespace
@@ -743,6 +968,7 @@ int main(int argc, char** argv) {
   if (cmd == "faults") return cmd_faults(args);
   if (cmd == "audit") return cmd_audit(args);
   if (cmd == "shard") return cmd_shard(args);
+  if (cmd == "timeline") return cmd_timeline(args);
   usage();
   return 2;
 }
