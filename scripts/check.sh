@@ -72,6 +72,30 @@ build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
   --loss 0.05 > /dev/null
 grep -q '"audit.runs"' build/audit_run1.json
 
+# Label-equivalence smoke: the label-switched fast path may change per-hop
+# cost and byte counters, never route outcomes (DESIGN.md section 15).  A
+# labels-on run under loss+duplication must converge with zero hard
+# violations (the intra.label.* auditor checks are active), its "routes
+# digest" must be byte-identical to the labels-off run of the same seed and
+# schedule, and a same-seed labels-on double run must produce byte-identical
+# metrics snapshots.
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --loss 0.05 --dup 0.02 --labels --metrics-json build/labels_run1.json \
+  > build/labels_out1.txt
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --loss 0.05 --dup 0.02 --labels --metrics-json build/labels_run2.json \
+  > build/labels_out2.txt
+build/tools/roflsim audit --events 120 --initial-hosts 32 --seed 11 \
+  --loss 0.05 --dup 0.02 --metrics-json build/labels_off.json \
+  > build/labels_off.txt
+cmp build/labels_run1.json build/labels_run2.json
+cmp <(grep 'routes digest' build/labels_out1.txt) \
+    <(grep 'routes digest' build/labels_out2.txt)
+cmp <(grep 'routes digest' build/labels_out1.txt) \
+    <(grep 'routes digest' build/labels_off.txt)
+grep -q '"labels.installed"' build/labels_run1.json
+grep -q '"labels.hits"' build/labels_run1.json
+
 # Shard-determinism smoke: the same seeded scale scenario at 1 and 4 shards
 # must produce byte-identical merged metrics and identical flight-recorder /
 # shard-audit digests (the shard count may change performance, never

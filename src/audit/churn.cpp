@@ -23,6 +23,32 @@ graph::NodeIndex live_router(const intra::Network& net, std::uint64_t pick) {
   return graph::kInvalidNode;
 }
 
+/// FNV-1a 64 over a route outcome's raw fields; trace_id is excluded so the
+/// digest is identical whether or not a flight recorder is installed.
+std::uint64_t fnv_route(std::uint64_t h, const intra::RouteStats& rs) {
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001B3ull;
+    }
+  };
+  const std::uint8_t delivered = rs.delivered ? 1 : 0;
+  mix(&delivered, sizeof(delivered));
+  mix(&rs.physical_hops, sizeof(rs.physical_hops));
+  mix(&rs.ring_hops, sizeof(rs.ring_hops));
+  mix(&rs.shortest_hops, sizeof(rs.shortest_hops));
+  mix(&rs.latency_ms, sizeof(rs.latency_ms));
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[i] = kDigits[v & 0xF];
+  return out;
+}
+
 /// Registry snapshot with wall-clock histogram lines removed.
 std::string scrubbed_metrics(sim::Simulator& sim) {
   std::istringstream in(sim.metrics().to_json(2));
@@ -44,6 +70,7 @@ struct ChurnRunner {
   const std::vector<ChurnEvent>* schedule = nullptr;
   ChurnRunResult* res = nullptr;
   std::vector<NodeId> roster;  // hosts joined by this run and still live
+  std::uint64_t routes_fnv = 0xCBF29CE484222325ull;
 
   void exec(std::size_t i) {
     const ChurnEvent& e = (*schedule)[i];
@@ -91,8 +118,16 @@ struct ChurnRunner {
         if (src == graph::kInvalidNode) return;
         const NodeId dest = roster[static_cast<std::size_t>(
             e.pick % roster.size())];
-        ++res->routes;
-        if (net->route(src, dest).delivered) ++res->delivered;
+        // Two packets per flow: the first greedy walk installs a label chain
+        // when labels are enabled, the second is served off it.  Folding
+        // both outcomes into the routes digest makes the labels-on/off
+        // equivalence gate cover the label replay path, not just installs.
+        for (int pkt = 0; pkt < 2; ++pkt) {
+          ++res->routes;
+          const intra::RouteStats rs = net->route(src, dest);
+          if (rs.delivered) ++res->delivered;
+          routes_fnv = fnv_route(routes_fnv, rs);
+        }
         return;
       }
     }
@@ -250,6 +285,9 @@ ChurnRunResult run_churn(const ChurnRunParams& params,
   res.hard = auditor.total_hard();
   res.soft = auditor.total_soft();
   res.digest = auditor.reports_digest();
+  res.routes_digest = "n=" + std::to_string(res.routes) + ";delivered=" +
+                      std::to_string(res.delivered) + ";fnv=" +
+                      hex64(runner.routes_fnv);
   res.reports = auditor.reports();
   res.events_dispatched = net.simulator().events_dispatched();
   return res;

@@ -30,6 +30,7 @@ enum class HopKind : std::uint8_t {
   kCachePointer,      // committed to a pointer-cache entry
   kEphemeralGateway,  // followed an ephemeral backpointer to its gateway
   kForward,           // one physical hop toward the committed pointer
+  kLabelSwitch,       // one physical hop via the label-switched fast path
   kStalePointer,      // chased pointer found dead; torn down and restarted
   kLevelEscalate,     // interdomain: escalated to a higher-level ring
   kPeeringCross,      // interdomain: crossed a peering link (section 4.2)

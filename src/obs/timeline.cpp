@@ -50,8 +50,13 @@ double window_percentile(const std::vector<double>& bounds,
 
 Timeline::Timeline(const Registry* registry, Config cfg)
     : registry_(registry), cfg_(std::move(cfg)) {
-  assert(cfg_.window_ms > 0.0);
-  assert(cfg_.capacity > 0);
+  // A zero-width (or NaN/negative) window would make advance_to spin
+  // closing windows forever; asserts vanish in Release builds, so sanitize
+  // unconditionally back to the documented defaults.
+  if (!std::isfinite(cfg_.window_ms) || cfg_.window_ms <= 0.0) {
+    cfg_.window_ms = Config{}.window_ms;
+  }
+  if (cfg_.capacity == 0) cfg_.capacity = Config{}.capacity;
   if (registry_ != nullptr) {
     // Baseline snapshot: deltas are measured against the registry's state at
     // timeline creation, so pre-run setup activity lands in window 0 rather

@@ -36,7 +36,9 @@ class Tracer;
 class Timeline {
  public:
   struct Config {
-    /// Window width on the simulation clock.
+    /// Window width on the simulation clock.  Non-finite or non-positive
+    /// widths (and a zero capacity) are replaced by these defaults at
+    /// construction -- a zero-width window would close windows forever.
     double window_ms = 50.0;
     /// Windows retained; when a run closes more, the oldest are dropped.
     /// Shard-count independence of the retained range holds as long as every

@@ -72,6 +72,14 @@ struct Config {
   /// of IDs any one router may host.  0 = unlimited.  Joins beyond the cap
   /// are refused at the gateway.
   std::size_t max_resident_ids_per_router = 0;
+  /// Label-switched fast path (DESIGN.md section 15): when a route over a
+  /// pointer path completes without resets, install per-hop labels along it
+  /// so later packets of the flow forward by array index instead of greedy
+  /// best-match.  Labels change cost, never paths: labels-on and labels-off
+  /// runs deliver byte-identical route outcomes.  Ignored (no installs) when
+  /// cache_data_paths is on -- snooping mutates caches at delivery, which a
+  /// labeled replay would skip.
+  bool enable_labels = false;
   /// Forwarding loop guard.
   std::uint32_t max_forwarding_hops = 100'000;
   /// Worker threads for the all-routers SPF recomputation that follows a
@@ -208,10 +216,33 @@ class Network {
   struct CacheTotals {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0;     // capacity-pressure LRU victims
+    std::uint64_t stale_drops = 0;   // teardown/invalidate/clear removals
     std::uint64_t entries = 0;
   };
   [[nodiscard]] CacheTotals cache_totals() const;
+
+  // -- label-switched fast path (DESIGN.md section 15) ----------------------
+  /// One installed flow: the physical path its labels ride and the greedy
+  /// bookkeeping a labeled replay must reproduce bit-for-bit.
+  struct LabelFlow {
+    std::vector<NodeIndex> path;        ///< routers, ingress..terminal
+    std::vector<std::uint32_t> labels;  ///< labels[i] switches at path[i]
+    /// stats.ring_hops greedy had committed when leaving path[i] (reported
+    /// when the injector drops the packet on link i).
+    std::vector<std::uint32_t> ring_hops_when_leaving;
+    std::uint32_t final_ring_hops = 0;  ///< ring_hops at delivery
+  };
+  using LabelFlowKey = std::pair<NodeIndex, NodeId>;
+  [[nodiscard]] const std::map<LabelFlowKey, LabelFlow>& label_flows() const {
+    return label_flows_;
+  }
+  /// Live label-table state summed over routers (benches / roflsim).
+  struct LabelTotals {
+    std::uint64_t flows = 0;
+    std::uint64_t entries = 0;
+  };
+  [[nodiscard]] LabelTotals label_totals() const;
 
   // -- oracle & verification (test/bench support; not used by the protocol) -
   /// Live host/router IDs -> hosting router.
@@ -340,6 +371,34 @@ class Network {
   /// host unreachable from the pointer owner; returns pointers torn.
   std::uint32_t tear_unreachable_pointers();
 
+  // -- label-switched fast path internals -----------------------------------
+  /// Tries to serve route(src, dest) off an installed label chain.  Returns
+  /// true when the packet was handled (delivered or fault-dropped) with
+  /// `stats` filled; false means fall back to greedy (flow missing or torn
+  /// down here).  The replay makes exactly the per-link fault-injector draws
+  /// greedy would make and charges the same packet counts, so labels-on and
+  /// labels-off runs stay in RNG lockstep.
+  bool route_labeled(NodeIndex src_router, const NodeId& dest,
+                     RouteStats& stats,
+                     const std::function<void(obs::HopKind, NodeIndex,
+                                              const NodeId&)>& rec);
+
+  /// Installs labels along `path` for (src, dest) and bulk-charges the
+  /// install signaling (one LabelInstall frame per link of the path).
+  void install_label_flow(NodeIndex src_router, const NodeId& dest,
+                          const std::vector<NodeIndex>& path,
+                          std::vector<std::uint32_t> ring_hops_when_leaving,
+                          std::uint32_t final_ring_hops);
+
+  /// Removes one flow's label entries and charges its teardown frames.
+  void teardown_label_flow(const LabelFlowKey& key);
+
+  /// Drops every installed flow.  Called on every ring/topology mutation
+  /// (join, leave, crash, restore, link flap, repair): labels must die with
+  /// their pointer path, and flushing keeps the network static between
+  /// mutations -- the property the greedy-equivalence contract rests on.
+  void flush_labels();
+
   void bootstrap_router_ring();
   [[nodiscard]] NodeIndex failover_router(NodeIndex failed) const;
   void cache_along_path(const std::vector<NodeIndex>& path, const NodeId& id,
@@ -357,6 +416,13 @@ class Network {
   obs::MetricId stale_ptrs_id_ = 0;
   obs::MetricId encode_failures_id_ = 0;
   obs::MetricId codec_rejected_id_ = 0;
+  // Label fast-path accounting (labels.* / bytes.label_install).
+  obs::MetricId labels_installed_id_ = 0;
+  obs::MetricId labels_hits_id_ = 0;
+  obs::MetricId labels_misses_id_ = 0;
+  obs::MetricId labels_teardowns_id_ = 0;
+  obs::MetricId labels_bytes_saved_id_ = 0;
+  obs::MetricId label_install_bytes_id_ = 0;
   // Sharded-execution accounting (set_shard_map); empty when unsharded.
   std::vector<std::uint32_t> shard_map_;
   obs::MetricId shard_cross_msgs_id_ = 0;
@@ -366,6 +432,12 @@ class Network {
   // without re-encoding per hop.
   std::size_t data_frame_bytes_ = 0;
   std::size_t teardown_frame_bytes_ = 0;
+  // Labeled-datapath frame sizes, also measured from the encoder: a labeled
+  // data packet swaps the two 16-byte flat labels for one u32 label, and the
+  // install/teardown signaling frames are full control messages.
+  std::size_t labeled_data_frame_bytes_ = 0;
+  std::size_t label_install_frame_bytes_ = 0;
+  std::size_t label_teardown_frame_bytes_ = 0;
   std::unique_ptr<linkstate::LinkStateMap> map_;
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -373,6 +445,8 @@ class Network {
   // Host identities for rejoin-after-router-failure (keyed by ID).
   std::map<NodeId, Identity> host_identities_;
   std::map<NodeId, HostClass> host_class_;
+  // Installed label flows, keyed by (ingress router, destination ID).
+  std::map<LabelFlowKey, LabelFlow> label_flows_;
 };
 
 }  // namespace rofl::intra

@@ -113,6 +113,7 @@ void PointerCache::erase(const NodeId& id) {
   const std::size_t pos = index_find(id);
   if (pos == index_.size()) return;
   erase_at(pos);
+  ++stale_drops_;  // staleness removal, never an LRU eviction
 }
 
 void PointerCache::evict_lru() {
@@ -149,6 +150,7 @@ void PointerCache::invalidate_through_link(NodeIndex u, NodeIndex v) {
 }
 
 void PointerCache::clear() {
+  stale_drops_ += index_.size();
   slots_.clear();
   free_slots_.clear();
   index_.clear();

@@ -73,6 +73,9 @@ class PointerCache {
   /// Capacity-pressure evictions only (LRU victims); entries dropped by
   /// erase/invalidate/clear are not counted.
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  /// Entries removed because their pointer went stale (erase, the
+  /// invalidate_through_* sweeps, clear) -- the complement of evictions().
+  [[nodiscard]] std::uint64_t stale_drops() const { return stale_drops_; }
 
   /// Structural self-check for tests: the sorted index, the slab, and the
   /// LRU list must describe the same entry set, the index must be sorted,
@@ -112,6 +115,7 @@ class PointerCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t stale_drops_ = 0;
 };
 
 }  // namespace rofl::intra

@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "rofl/label_table.hpp"
 #include "rofl/pointer_cache.hpp"
 #include "rofl/types.hpp"
 #include "util/flat_map.hpp"
@@ -81,6 +82,11 @@ class Router {
   PointerCache& cache() { return cache_; }
   const PointerCache& cache() const { return cache_; }
 
+  /// Label-switched fast path state (DESIGN.md section 15): dense label ->
+  /// {out-pointer, next label} entries consulted before any greedy work.
+  LabelTable& labels() { return labels_; }
+  const LabelTable& labels() const { return labels_; }
+
   /// Total routing-table entries held (resident vnode pointers + cache):
   /// the figure 6c memory metric.
   [[nodiscard]] std::size_t state_entries() const;
@@ -98,6 +104,7 @@ class Router {
   VnodeTable vnodes_;
   EphemeralTable ephemerals_;
   PointerCache cache_;
+  LabelTable labels_;
   std::uint64_t traversals_ = 0;
 
   // Greedy index over {resident IDs} U {their successors}, kept sorted by

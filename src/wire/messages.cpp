@@ -68,6 +68,20 @@ void put(ByteWriter& w, const Lsa& m) {
   w.u32(m.b);
 }
 
+void put(ByteWriter& w, const LabelInstall& m) {
+  write_node_id(w, m.dest);
+  w.u32(m.label);
+  w.u32(m.next_label);
+  w.u32(m.out);
+  w.u8(m.op);
+}
+
+void put(ByteWriter& w, const LabelTeardown& m) {
+  write_node_id(w, m.dest);
+  w.u32(m.label);
+  w.u8(m.reason);
+}
+
 void put(ByteWriter& w, const RingMerge& m) {
   write_node_id(w, m.id);
   w.u32(m.home_as);
@@ -190,6 +204,24 @@ std::optional<ControlMessage> get_ring_merge(ByteReader& r) {
   return RingMerge{*id, *home, *anchor, *level, *op};
 }
 
+std::optional<ControlMessage> get_label_install(ByteReader& r) {
+  const auto dest = read_node_id(r);
+  const auto label = r.u32();
+  const auto next_label = r.u32();
+  const auto out = r.u32();
+  const auto op = r.u8();
+  if (!dest || !label || !next_label || !out || !op) return std::nullopt;
+  return LabelInstall{*dest, *label, *next_label, *out, *op};
+}
+
+std::optional<ControlMessage> get_label_teardown(ByteReader& r) {
+  const auto dest = read_node_id(r);
+  const auto label = r.u32();
+  const auto reason = r.u8();
+  if (!dest || !label || !reason) return std::nullopt;
+  return LabelTeardown{*dest, *label, *reason};
+}
+
 bool counts_fit(const ControlMessage& m) {
   if (const auto* jr = std::get_if<JoinRequest>(&m)) {
     return jr->fingers.size() <= 0xFFFF;
@@ -217,6 +249,8 @@ std::size_t payload_size(const ControlMessage& m) {
     std::size_t operator()(const Keepalive&) const { return 8; }
     std::size_t operator()(const Lsa&) const { return 21; }
     std::size_t operator()(const RingMerge&) const { return 27; }
+    std::size_t operator()(const LabelInstall&) const { return 29; }
+    std::size_t operator()(const LabelTeardown&) const { return 21; }
   };
   return std::visit(Sizer{}, m);
 }
@@ -245,6 +279,12 @@ PacketType type_of(const ControlMessage& m) {
     PacketType operator()(const Lsa&) const { return PacketType::kLsa; }
     PacketType operator()(const RingMerge&) const {
       return PacketType::kRingMerge;
+    }
+    PacketType operator()(const LabelInstall&) const {
+      return PacketType::kLabelInstall;
+    }
+    PacketType operator()(const LabelTeardown&) const {
+      return PacketType::kLabelTeardown;
     }
   };
   return std::visit(Typer{}, m);
@@ -282,6 +322,8 @@ std::optional<ControlMessage> decode_control(
     case PacketType::kKeepalive: m = get_keepalive(r); break;
     case PacketType::kLsa: m = get_lsa(r); break;
     case PacketType::kRingMerge: m = get_ring_merge(r); break;
+    case PacketType::kLabelInstall: m = get_label_install(r); break;
+    case PacketType::kLabelTeardown: m = get_label_teardown(r); break;
     default: return std::nullopt;  // kData / kCapabilityGrant carry no codec
   }
   if (!m.has_value() || !r.exhausted()) return std::nullopt;
@@ -290,9 +332,8 @@ std::optional<ControlMessage> decode_control(
 
 std::size_t control_wire_size(const ControlMessage& m) {
   // Packet framing for a control frame (no as_path, no capability, no
-  // packet-level fingers): 4 header + 16 dst + 16 src + 8 trace + 2 as_path
-  // count + 2 finger count + 2 payload length + 4 CRC = 54 bytes.
-  return 54 + payload_size(m);
+  // packet-level fingers) is kFrameOverhead = 54 bytes.
+  return kFrameOverhead + payload_size(m);
 }
 
 }  // namespace rofl::wire::msg

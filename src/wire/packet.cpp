@@ -175,8 +175,13 @@ std::size_t Packet::wire_size() const {
 }
 
 std::size_t Packet::fragments(std::size_t mtu) const {
+  // Guard the framing boundary: with mtu <= kFrameOverhead the effective
+  // payload per fragment is zero or negative, and the old arithmetic
+  // (unsigned) turned that into nonsense counts.  Such an MTU cannot carry
+  // this packet at all, so report 0 fragments and let callers treat it as a
+  // refusal.
+  if (mtu <= kFrameOverhead) return 0;
   const std::size_t size = wire_size();
-  if (mtu == 0) return size;
   return (size + mtu - 1) / mtu;
 }
 

@@ -33,15 +33,24 @@ enum class PacketType : std::uint8_t {
   kPointerInstall = 9,
   kLsa = 10,
   kRingMerge = 11,
+  // Label-switched fast path (DESIGN.md section 15): install/retire one hop
+  // of a per-flow label chain along a stabilized pointer path.
+  kLabelInstall = 12,
+  kLabelTeardown = 13,
 };
 
 /// Highest assigned PacketType -- decode's range check derives from this so
 /// adding a type cannot silently leave it rejected on the wire.
 inline constexpr std::uint8_t kMaxPacketType =
-    static_cast<std::uint8_t>(PacketType::kRingMerge);
+    static_cast<std::uint8_t>(PacketType::kLabelTeardown);
 
 inline constexpr std::uint8_t kVersion = 1;
 inline constexpr std::size_t kDefaultMtu = 1500;
+/// Fixed framing cost of a control frame with no variable-length fields:
+/// 4 header + 16 dst + 16 src + 8 trace + 2 as_path count + 2 finger count +
+/// 2 payload length + 4 CRC.  An MTU at or below this carries no payload per
+/// fragment, so fragmentation is impossible.
+inline constexpr std::size_t kFrameOverhead = 54;
 
 struct CapabilityField {
   NodeId source;
@@ -98,7 +107,10 @@ struct Packet {
   [[nodiscard]] std::size_t wire_size() const;
 
   /// Number of MTU-sized network packets this message occupies -- the
-  /// quantity the paper charges for finger-carrying joins.
+  /// quantity the paper charges for finger-carrying joins.  An MTU at or
+  /// below kFrameOverhead leaves no room for payload (the effective
+  /// payload-per-fragment would wrap negative), so it yields 0: "cannot be
+  /// fragmented", never a bogus huge count.
   [[nodiscard]] std::size_t fragments(std::size_t mtu = kDefaultMtu) const;
 
   friend bool operator==(const Packet&, const Packet&) = default;

@@ -206,5 +206,39 @@ TEST(PointerCache, ClearEmptiesEverything) {
   EXPECT_EQ(pc.size(), 1u);
 }
 
+TEST(PointerCache, StaleDropsCountedSeparatelyFromEvictions) {
+  // Regression for the accounting split: evictions() counts only LRU
+  // capacity victims; every staleness removal (erase, the invalidate
+  // sweeps, clear) lands in stale_drops() instead.
+  PointerCache pc(2);
+  pc.insert(id(1), 1, {0, 1});
+  pc.insert(id(2), 2, {0, 2});
+  pc.erase(id(1));
+  EXPECT_EQ(pc.stale_drops(), 1u);
+  EXPECT_EQ(pc.evictions(), 0u);
+  pc.erase(id(99));  // absent: no count
+  EXPECT_EQ(pc.stale_drops(), 1u);
+
+  // Capacity pressure: pure eviction, no stale drop.
+  pc.insert(id(3), 3, {0, 3});
+  pc.insert(id(4), 4, {0, 4});
+  EXPECT_EQ(pc.evictions(), 1u);
+  EXPECT_EQ(pc.stale_drops(), 1u);
+
+  // Invalidation sweeps route through erase and count as stale drops.
+  pc.invalidate_through_router(3);  // kills id(3)'s route {0, 3}
+  EXPECT_EQ(pc.stale_drops(), 2u);
+  pc.invalidate_through_link(0, 4);  // kills id(4)'s route {0, 4}
+  EXPECT_EQ(pc.stale_drops(), 3u);
+  EXPECT_EQ(pc.evictions(), 1u);
+
+  pc.insert(id(5), 5, {});
+  pc.insert(id(6), 6, {});
+  pc.clear();
+  EXPECT_EQ(pc.stale_drops(), 5u);
+  EXPECT_EQ(pc.evictions(), 1u);
+  EXPECT_TRUE(pc.invariants_ok());
+}
+
 }  // namespace
 }  // namespace rofl::intra

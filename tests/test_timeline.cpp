@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,28 @@
 
 namespace rofl::obs {
 namespace {
+
+TEST(Timeline, DegenerateConfigIsSanitizedToDefaults) {
+  // Regression: "--timeline-window 0" used to reach the constructor
+  // unchecked; a zero-width window makes advance_to close windows forever
+  // (and the guarding asserts vanish in Release).  The constructor now
+  // repairs non-finite/non-positive widths and a zero capacity back to the
+  // documented defaults.
+  Registry reg;
+  const MetricId c = reg.counter("ops");
+  const Timeline::Config defaults;
+  for (const double bad :
+       {0.0, -5.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    Timeline tl(&reg, Timeline::Config{bad, 8, {}});
+    EXPECT_EQ(tl.window_ms(), defaults.window_ms);
+    reg.add(c, 1);
+    tl.flush(10.0);  // must terminate and attribute normally
+    ASSERT_GE(tl.size(), 1u);
+  }
+  Timeline zero_cap(&reg, Timeline::Config{10.0, 0, {}});
+  EXPECT_EQ(zero_cap.capacity(), defaults.capacity);
+}
 
 TEST(Timeline, DeltasLandInTheWindowContainingTheActivity) {
   Registry reg;

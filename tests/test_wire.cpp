@@ -296,6 +296,21 @@ TEST(Packet, FragmentsAgainstMtu) {
   EXPECT_GE(p.fragments(1500), 4u);
 }
 
+TEST(Packet, FragmentsRejectsMtuBelowFramingOverhead) {
+  // Regression: an MTU at or below the fixed per-fragment framing overhead
+  // (54 bytes: header, addresses, trace id, counts, length, CRC) can carry
+  // zero payload bytes, so no finite fragment count exists.  fragments()
+  // reports 0 ("cannot be framed") instead of a bogus huge count.
+  Packet p;
+  EXPECT_EQ(p.fragments(0), 0u);
+  EXPECT_EQ(p.fragments(1), 0u);
+  EXPECT_EQ(p.fragments(kFrameOverhead), 0u);
+  // First usable MTU: one payload byte per fragment, plain ceiling above.
+  EXPECT_EQ(p.fragments(kFrameOverhead + 1),
+            (p.wire_size() + kFrameOverhead) / (kFrameOverhead + 1));
+  EXPECT_GT(p.fragments(kFrameOverhead + 1), 0u);
+}
+
 TEST(Packet, NodeIdSerialization) {
   ByteWriter w;
   const NodeId id(0xFFEEDDCCBBAA9988ull, 0x7766554433221100ull);

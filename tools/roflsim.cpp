@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -86,6 +87,19 @@ Args parse(int argc, char** argv, int from) {
     }
   }
   return a;
+}
+
+/// Validated --timeline-window: obs::Timeline silently repairs a degenerate
+/// width back to its default, so the CLI rejects one loudly instead of
+/// letting "--timeline-window 0" sample at a width the user never asked for.
+double timeline_window_arg(const Args& a, double dflt) {
+  const double w = a.dbl("timeline-window", dflt);
+  if (!std::isfinite(w) || w <= 0.0) {
+    std::cerr << "--timeline-window must be a positive width in ms (got "
+              << a.str("timeline-window", "") << ")\n";
+    std::exit(2);
+  }
+  return w;
 }
 
 /// Peak resident set of this process in KiB (ru_maxrss unit on Linux).
@@ -172,7 +186,7 @@ struct ObsSession {
   explicit ObsSession(const Args& a)
       : trace_path(a.str("trace", "")),
         timeline_path(a.str("timeline", "")),
-        timeline_window_ms(a.dbl("timeline-window", 25.0)),
+        timeline_window_ms(timeline_window_arg(a, 25.0)),
         want_trace(!a.str("trace", "").empty()),
         want_route_dump(a.flag("traceroute")),
         want_metrics(a.flag("metrics")) {}
@@ -279,6 +293,7 @@ int cmd_intra(const Args& a) {
   const auto topo = isp_from_args(a, rng);
   intra::Config cfg;
   cfg.cache_capacity = a.num("cache", 2048);
+  cfg.enable_labels = a.flag("labels");
   ObsSession watch(a);
   intra::Network net(&topo, cfg, seed + 1);
   watch.install(net.simulator());
@@ -330,6 +345,16 @@ int cmd_intra(const Args& a) {
              stretch.empty() ? 0.0 : stretch.mean()});
   t.add_row({std::string("mean state entries/router"),
              net.mean_state_entries()});
+  if (cfg.enable_labels) {
+    const auto lt = net.label_totals();
+    obs::Registry& m = net.simulator().metrics();
+    t.add_row({std::string("label flows / entries"),
+               std::to_string(lt.flows) + " / " + std::to_string(lt.entries)});
+    t.add_row(
+        {std::string("label hits / misses"),
+         std::to_string(m.counter_value(m.counter("labels.hits"))) + " / " +
+             std::to_string(m.counter_value(m.counter("labels.misses")))});
+  }
   t.add_row({std::string("ring verified"), std::string(rings_ok ? "yes" : err)});
   t.print(std::cout);
   watch.finish(net.simulator(), last_trace);
@@ -464,7 +489,9 @@ int cmd_faults(const Args& a) {
   Rng rng(seed);
   graph::IspTopology topo = isp_from_args(a, rng);
   ObsSession watch(a);
-  intra::Network net(&topo, intra::Config{}, seed + 1);
+  intra::Config fcfg;
+  fcfg.enable_labels = a.flag("labels");
+  intra::Network net(&topo, fcfg, seed + 1);
   watch.install(net.simulator());
   if (watch.want_route_dump) net.set_flight_recorder(&watch.recorder);
 
@@ -613,8 +640,9 @@ int cmd_audit(const Args& a) {
   params.settle_ms = a.dbl("settle", 300.0);
   params.seed = seed;
   if (!a.str("timeline", "").empty()) {
-    params.timeline_window_ms = a.dbl("timeline-window", 25.0);
+    params.timeline_window_ms = timeline_window_arg(a, 25.0);
   }
+  params.net_cfg.enable_labels = a.flag("labels");
   const double loss = a.dbl("loss", 0.0);
   const double dup = a.dbl("dup", 0.0);
   const double corrupt = a.dbl("corrupt", 0.0);
@@ -651,6 +679,7 @@ int cmd_audit(const Args& a) {
   t.add_row({std::string("converged after repair"),
              std::string(res.converged ? "yes" : res.err)});
   t.add_row({std::string("audit digest"), res.digest});
+  t.add_row({std::string("routes digest"), res.routes_digest});
   t.print(std::cout);
 
   if (a.flag("report")) {
@@ -723,7 +752,7 @@ int cmd_shard(const Args& a) {
   p.topo.stub_count = static_cast<std::size_t>(1200.0 * scale);
   const std::string timeline_path = a.str("timeline", "");
   if (!timeline_path.empty()) {
-    p.timeline_window_ms = a.dbl("timeline-window", 50.0);
+    p.timeline_window_ms = timeline_window_arg(a, 50.0);
     p.timeline_capacity = 1 << 16;
   }
   p.profile = a.flag("profile");
@@ -920,18 +949,19 @@ void usage() {
       "roflsim -- ROFL (Routing on Flat Labels) experiment driver\n\n"
       "  roflsim topology  [--isp as1221|as1239|as3257|as3967 | --internet]\n"
       "  roflsim intra     [--isp NAME] [--hosts N] [--routes N] [--cache N]\n"
+      "                    [--labels]\n"
       "  roflsim inter     [--ids N] [--strategy eph|single|multi|peering]\n"
       "                    [--fingers N] [--bloom] [--routes N]\n"
       "  roflsim partition [--isp NAME] [--ids-per-pop N]\n"
       "  roflsim faults    [--isp NAME] [--hosts N] [--churn N] [--loss P]\n"
       "                    [--dup P] [--corrupt P] [--jitter MS] [--flaps N]\n"
-      "                    [--metrics-json FILE]\n"
+      "                    [--labels] [--metrics-json FILE]\n"
       "  roflsim audit     [--routers N] [--pops N] [--events N] [--loss P]\n"
       "                    [--dup P] [--corrupt P] [--audit-interval MS]\n"
       "                    [--settle MS]\n"
       "                    [--initial-hosts N] [--report] [--shrink]\n"
       "                    [--shrink-probes N]\n"
-      "                    [--metrics-json FILE]\n"
+      "                    [--labels] [--metrics-json FILE]\n"
       "  roflsim shard     [--shards N] [--hosts N] [--ases N] [--duration MS]\n"
       "                    [--tick MS] [--rate OPS_PER_HOST_HZ] [--slots N]\n"
       "                    [--lookahead MS] [--report] [--metrics] [--profile]\n"
@@ -949,7 +979,12 @@ void usage() {
       "  --traceroute        print the hop dump of the last delivered route\n"
       "  --metrics           print the metrics registry after the run\n"
       "  --timeline FILE     write windowed metric deltas as JSONL\n"
-      "  --timeline-window MS  window width (default 25; shard 50)\n";
+      "  --timeline-window MS  window width (default 25; shard 50; must be a\n"
+      "                      positive number -- 0 is rejected, not defaulted)\n"
+      "  --labels            label-switched fast path for established flows\n"
+      "                      (intra/faults/audit).  Route outcomes are\n"
+      "                      byte-identical with and without it: `audit`\n"
+      "                      prints a mode-independent \"routes digest\".\n";
 }
 
 }  // namespace
