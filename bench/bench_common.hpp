@@ -11,8 +11,6 @@
 // ROFL_BENCH_FULL=1 for runs closer to the paper's (minutes).
 #pragma once
 
-#include <sys/resource.h>
-
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -22,6 +20,7 @@
 #include "graph/as_topology.hpp"
 #include "graph/isp_topology.hpp"
 #include "util/rng.hpp"
+#include "util/rusage.hpp"
 
 namespace rofl::bench {
 
@@ -51,12 +50,9 @@ inline graph::AsTopology make_inter_topology(Rng& rng) {
   return graph::AsTopology::make_internet_like(p, rng);
 }
 
-/// Peak resident set size of this process (ru_maxrss; KiB on Linux).
-inline long peak_rss_kb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;
-}
+/// Peak resident set size in KiB; the ru_maxrss unit guard (bytes on
+/// macOS/BSD, KiB on Linux) lives in util/rusage.hpp.
+using util::peak_rss_kb;
 
 /// Run-level provenance embedded in every BENCH_*.json: wall time, peak
 /// memory, and the hardware parallelism the numbers were measured on.

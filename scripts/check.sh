@@ -127,6 +127,24 @@ grep -q '"run"' build/shard_tl1.jsonl
 build/tools/roflsim timeline --file build/shard_tl1.jsonl \
   --metric sim.events > /dev/null
 
+# Net smoke: the control plane over actual sockets (DESIGN.md section 16).
+# An 8-router live UDP mesh must converge its join storm with a clean ring
+# audit (roflsim exits nonzero otherwise), also under loss + duplication;
+# the deterministic loopback backend must hit the section 6.3 byte-parity
+# gate (1638 bytes per 256-finger JoinRequest, enforced by the run itself);
+# and spawn mode -- one real process per router -- must do the same over a
+# fixed port range.  Hard timeouts: a wedged mesh fails, never hangs CI.
+timeout 120 build/tools/roflsim net --routers 8 --hosts 400 --fingers 8 \
+  --seed 11 > /dev/null
+timeout 120 build/tools/roflsim net --routers 8 --hosts 300 --fingers 8 \
+  --seed 11 --loss 0.02 --dup 0.01 > /dev/null
+timeout 120 build/tools/roflsim net --backend loopback --routers 4 \
+  --hosts 200 --fingers 256 --seed 11 > build/net_loopback.txt
+grep -q 'byte parity (6.3).*exact' build/net_loopback.txt
+timeout 120 build/tools/roflsim net --spawn --routers 6 --hosts 240 \
+  --fingers 8 --seed 11 --base-port 47500 > build/net_spawn.txt
+grep -q 'audit=clean' build/net_spawn.txt
+
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do
     if [ -x "$b" ] && [ "$(basename "$b")" != "micro_datapath" ]; then

@@ -1,0 +1,537 @@
+#include "net/mesh.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <thread>
+
+#include "net/loopback.hpp"
+#include "net/udp.hpp"
+#include "util/rng.hpp"
+
+namespace rofl::net {
+
+namespace {
+
+LiveRouterConfig router_config(const MeshConfig& cfg, RouterId self) {
+  LiveRouterConfig rc;
+  rc.self = self;
+  rc.bootstrap = 0;
+  rc.fingers = cfg.fingers;
+  rc.max_outstanding = cfg.max_outstanding;
+  rc.conditions = cfg.conditions;
+  // Independent fault stream per router, derived from the mesh seed.
+  rc.fault_seed = cfg.seed * 1'000'003ull + self + 1;
+  rc.timeline_window_ms = cfg.timeline_window_ms;
+  return rc;
+}
+
+/// Distributes identities: seeds host 0 at the bootstrap router, queues the
+/// rest on their gateways.
+void assign_hosts(const MeshConfig& cfg, std::vector<Identity> ids,
+                  const std::vector<LiveRouter*>& routers) {
+  for (std::uint32_t h = 0; h < ids.size(); ++h) {
+    const RouterId gw = h % cfg.routers;
+    // Entries for routers another process owns are null (spawn-mode workers
+    // only instantiate their own router).
+    if (h == 0) {
+      if (routers[0] != nullptr) routers[0]->seed(ids[h]);
+    } else if (routers[gw] != nullptr) {
+      routers[gw]->enqueue_join(std::move(ids[h]));
+    }
+  }
+}
+
+void merge_router(MeshResult& result, LiveRouter& r) {
+  result.metrics.merge_from(r.registry());
+  result.joins_completed += r.joins_completed();
+  if (result.timeline != nullptr && r.timeline() != nullptr) {
+    result.timeline->merge_from(*r.timeline());
+  }
+}
+
+MeshResult make_result(const MeshConfig& cfg) {
+  MeshResult result;
+  if (cfg.timeline_window_ms > 0.0) {
+    obs::Timeline::Config tc;
+    tc.window_ms = cfg.timeline_window_ms;
+    result.timeline = std::make_unique<obs::Timeline>(tc);
+  }
+  return result;
+}
+
+/// On a missed deadline with ROFL_NET_DEBUG=1, dump what kept each router
+/// busy -- the fastest way to see *which* exchange is wedged.
+void maybe_debug_dump(bool converged, const std::vector<LiveRouter*>& raw) {
+  if (converged || std::getenv("ROFL_NET_DEBUG") == nullptr) return;
+  for (LiveRouter* r : raw) {
+    if (r != nullptr) r->debug_dump(std::cerr);
+  }
+}
+
+std::vector<std::pair<NodeId, RouterId>> expected_owners(
+    const MeshConfig& cfg, const std::vector<Identity>& ids) {
+  std::vector<std::pair<NodeId, RouterId>> expected;
+  expected.reserve(ids.size());
+  for (std::uint32_t h = 0; h < ids.size(); ++h) {
+    expected.emplace_back(ids[h].id(), h % cfg.routers);
+  }
+  return expected;
+}
+
+MeshResult run_mesh_loopback(const MeshConfig& cfg) {
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<LoopbackTransport>> transports;
+  std::vector<std::unique_ptr<LiveRouter>> routers;
+  std::vector<LiveRouter*> raw;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    transports.push_back(std::make_unique<LoopbackTransport>(r, &hub));
+    if (cfg.rate_pps > 0.0) transports.back()->set_rate_limit(cfg.rate_pps);
+    routers.push_back(
+        std::make_unique<LiveRouter>(router_config(cfg, r), transports[r].get()));
+    raw.push_back(routers.back().get());
+  }
+  const std::vector<Identity> ids = make_identities(cfg.seed, cfg.hosts);
+  assign_hosts(cfg, ids, raw);
+
+  // Virtual clock: every router steps at the same instant, one round per
+  // tick.  Deterministic end to end -- same seed, same byte counts.
+  constexpr double kTickMs = 0.25;
+  double now = 0.0;
+  bool converged = false;
+  while (now < cfg.deadline_ms) {
+    for (auto& r : routers) r->step(now);
+    converged = std::all_of(routers.begin(), routers.end(),
+                            [](const auto& r) { return r->quiescent(); });
+    if (converged) break;
+    now += kTickMs;
+  }
+
+  MeshResult result = make_result(cfg);
+  result.converged = converged;
+  result.elapsed_ms = now;
+  maybe_debug_dump(converged, raw);
+  std::vector<std::pair<RouterId, Vnode>> collected;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    routers[r]->finish(now);
+    merge_router(result, *routers[r]);
+    for (const auto& [id, v] : routers[r]->vnodes()) {
+      collected.emplace_back(r, v);
+    }
+  }
+  result.audit = audit_ring(collected, expected_owners(cfg, ids));
+  return result;
+}
+
+MeshResult run_mesh_udp(const MeshConfig& cfg) {
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<std::unique_ptr<LiveRouter>> routers;
+  std::vector<LiveRouter*> raw;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    transports.push_back(std::make_unique<UdpTransport>(r, /*port=*/0));
+    if (cfg.rate_pps > 0.0) transports.back()->set_rate_limit(cfg.rate_pps);
+    routers.push_back(
+        std::make_unique<LiveRouter>(router_config(cfg, r), transports[r].get()));
+    raw.push_back(routers.back().get());
+  }
+  for (RouterId a = 0; a < cfg.routers; ++a) {
+    for (RouterId b = 0; b < cfg.routers; ++b) {
+      transports[a]->set_peer(b, transports[b]->port());
+    }
+  }
+  const std::vector<Identity> ids = make_identities(cfg.seed, cfg.hosts);
+  assign_hosts(cfg, ids, raw);
+
+  // One event-loop thread per router.  The driver only reads the per-router
+  // atomics; router internals stay single-threaded.
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<std::atomic<bool>>> quiet;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    quiet.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.routers);
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    threads.emplace_back([&, r] {
+      LiveRouter& router = *raw[r];
+      while (!stop.load(std::memory_order_acquire)) {
+        router.step(UdpTransport::wall_ms());
+        quiet[r]->store(router.quiescent(), std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            router.quiescent() ? 500 : 50));
+      }
+    });
+  }
+
+  const double start = UdpTransport::wall_ms();
+  bool converged = false;
+  while (UdpTransport::wall_ms() - start < cfg.deadline_ms) {
+    converged = std::all_of(quiet.begin(), quiet.end(), [](const auto& q) {
+      return q->load(std::memory_order_acquire);
+    });
+    if (converged) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double elapsed = UdpTransport::wall_ms() - start;
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  for (auto& t : transports) t->stop();
+
+  MeshResult result = make_result(cfg);
+  result.converged = converged;
+  result.elapsed_ms = elapsed;
+  maybe_debug_dump(converged, raw);
+  std::vector<std::pair<RouterId, Vnode>> collected;
+  const double end_ms = UdpTransport::wall_ms();
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    routers[r]->finish(end_ms);
+    merge_router(result, *routers[r]);
+    for (const auto& [id, v] : routers[r]->vnodes()) {
+      collected.emplace_back(r, v);
+    }
+  }
+  result.audit = audit_ring(collected, expected_owners(cfg, ids));
+  return result;
+}
+
+// -- spawn mode serialization -------------------------------------------------
+
+constexpr std::size_t kVnodeWire = 56;  // 3x16-byte id + 2x u32 owner
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+void serialize_vnode(std::vector<std::uint8_t>& out, const Vnode& v) {
+  put_u64(out, v.id.hi());
+  put_u64(out, v.id.lo());
+  put_u64(out, v.succ.hi());
+  put_u64(out, v.succ.lo());
+  put_u64(out, static_cast<std::uint64_t>(v.succ_owner) << 32 |
+                   v.pred_owner);  // both owners packed in one word
+  put_u64(out, v.pred.hi());
+  put_u64(out, v.pred.lo());
+}
+
+Vnode deserialize_vnode(const std::uint8_t* p) {
+  Vnode v;
+  v.id = NodeId{get_u64(p), get_u64(p + 8)};
+  v.succ = NodeId{get_u64(p + 16), get_u64(p + 24)};
+  const std::uint64_t owners = get_u64(p + 32);
+  v.succ_owner = static_cast<RouterId>(owners >> 32);
+  v.pred_owner = static_cast<RouterId>(owners & 0xFFFFFFFFu);
+  v.pred = NodeId{get_u64(p + 40), get_u64(p + 48)};
+  return v;
+}
+
+constexpr std::size_t kVnodesPerChunk =
+    (kMaxDatagram - kPumpHeaderBytes) / kVnodeWire;
+
+}  // namespace
+
+std::vector<Identity> make_identities(std::uint64_t seed,
+                                      std::uint32_t hosts) {
+  Rng rng(seed);
+  std::vector<Identity> ids;
+  ids.reserve(hosts);
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    ids.push_back(Identity::generate(rng));
+  }
+  return ids;
+}
+
+MeshAuditReport audit_ring(
+    const std::vector<std::pair<RouterId, Vnode>>& collected,
+    std::vector<std::pair<NodeId, RouterId>> expected) {
+  MeshAuditReport rep;
+  rep.population = collected.size();
+  rep.expected = expected.size();
+  const auto defect = [&rep](const std::string& what) {
+    ++rep.error_count;
+    if (rep.errors.size() < 10) rep.errors.push_back(what);
+  };
+
+  std::sort(expected.begin(), expected.end());
+  std::map<NodeId, std::pair<RouterId, Vnode>> by_id;
+  for (const auto& [owner, v] : collected) {
+    if (!by_id.emplace(v.id, std::make_pair(owner, v)).second) {
+      defect("duplicate id " + v.id.to_string());
+    }
+  }
+  if (rep.population != rep.expected) {
+    defect("population " + std::to_string(rep.population) + " != expected " +
+           std::to_string(rep.expected));
+  }
+
+  const std::size_t n = expected.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [id, want_owner] = expected[i];
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      defect("missing id " + id.to_string());
+      continue;
+    }
+    const auto& [owner, v] = it->second;
+    if (owner != want_owner) {
+      defect("id " + id.to_string() + " homed on router " +
+             std::to_string(owner) + ", expected " +
+             std::to_string(want_owner));
+    }
+    const auto& [next_id, next_owner] = expected[(i + 1) % n];
+    const auto& [prev_id, prev_owner] = expected[(i + n - 1) % n];
+    if (v.succ != next_id || v.succ_owner != next_owner) {
+      defect("id " + id.to_string() + " succ " + v.succ.to_string() + "@" +
+             std::to_string(v.succ_owner) + ", expected " +
+             next_id.to_string() + "@" + std::to_string(next_owner));
+    }
+    if (v.pred != prev_id || v.pred_owner != prev_owner) {
+      defect("id " + id.to_string() + " pred " + v.pred.to_string() + "@" +
+             std::to_string(v.pred_owner) + ", expected " +
+             prev_id.to_string() + "@" + std::to_string(prev_owner));
+    }
+  }
+  return rep;
+}
+
+MeshResult run_mesh(const MeshConfig& cfg) {
+  return cfg.backend == MeshBackend::kLoopback ? run_mesh_loopback(cfg)
+                                               : run_mesh_udp(cfg);
+}
+
+// -- spawn mode ---------------------------------------------------------------
+
+int run_mesh_worker(const MeshConfig& cfg, RouterId self) {
+  const RouterId driver = cfg.routers;  // the driver sits past the routers
+  UdpTransport transport(self,
+                         static_cast<std::uint16_t>(cfg.base_port + self));
+  for (RouterId r = 0; r <= cfg.routers; ++r) {
+    transport.set_peer(r, static_cast<std::uint16_t>(cfg.base_port + r));
+  }
+  if (cfg.rate_pps > 0.0) transport.set_rate_limit(cfg.rate_pps);
+  LiveRouter router(router_config(cfg, self), &transport);
+  assign_hosts(cfg, make_identities(cfg.seed, cfg.hosts),
+               [&] {
+                 std::vector<LiveRouter*> raw(cfg.routers, nullptr);
+                 raw[self] = &router;
+                 return raw;
+               }());
+
+  // Pre-serialized state chunks are built lazily once kStop arrives.
+  std::vector<std::vector<std::uint8_t>> chunks;
+  bool stopping = false;
+  double next_signal_ms = 0.0;
+  const double start = UdpTransport::wall_ms();
+  while (true) {
+    const double now = UdpTransport::wall_ms();
+    if (now - start > cfg.deadline_ms + 10'000.0) return 3;  // orphaned
+    router.step(now);
+
+    RxFrame h;
+    while (router.poll_harness(h)) {
+      if (h.op == PumpOp::kStop && !stopping) {
+        stopping = true;
+        next_signal_ms = 0.0;
+        std::vector<std::uint8_t> buf;
+        for (const auto& [id, v] : router.vnodes()) {
+          serialize_vnode(buf, v);
+          if (buf.size() >= kVnodesPerChunk * kVnodeWire) {
+            chunks.push_back(std::move(buf));
+            buf.clear();
+          }
+        }
+        if (!buf.empty() || chunks.empty()) chunks.push_back(std::move(buf));
+      } else if (h.op == PumpOp::kStateAck) {
+        return 0;
+      }
+    }
+
+    if (now >= next_signal_ms) {
+      next_signal_ms = now + 300.0;
+      if (stopping) {
+        // Retransmit the whole table until the driver acks; it dedups by
+        // chunk index, so repeats are harmless.
+        for (std::size_t i = 0; i < chunks.size(); ++i) {
+          const std::uint32_t arg = static_cast<std::uint32_t>(i) << 16 |
+                                    static_cast<std::uint32_t>(chunks.size());
+          transport.send(driver, PumpOp::kStateChunk, arg, chunks[i], now);
+        }
+      } else if (router.quiescent()) {
+        transport.send(driver, PumpOp::kDone,
+                       static_cast<std::uint32_t>(router.joins_completed()),
+                       {}, now);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        router.quiescent() ? 500 : 50));
+  }
+}
+
+int run_mesh_spawn(const MeshConfig& cfg, const std::string& exe,
+                   std::ostream& out) {
+  const RouterId driver_id = cfg.routers;
+  UdpTransport transport(
+      driver_id, static_cast<std::uint16_t>(cfg.base_port + driver_id));
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    transport.set_peer(r, static_cast<std::uint16_t>(cfg.base_port + r));
+  }
+
+  std::vector<pid_t> pids;
+  const auto arg = [](auto v) { return std::to_string(v); };
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      std::vector<std::string> argv_s = {
+          exe, "net", "--worker", arg(r), "--routers", arg(cfg.routers),
+          "--hosts", arg(cfg.hosts), "--fingers", arg(cfg.fingers),
+          "--seed", arg(cfg.seed), "--base-port", arg(cfg.base_port),
+          "--deadline-ms", arg(cfg.deadline_ms),
+          "--loss", arg(cfg.conditions.loss),
+          "--dup", arg(cfg.conditions.duplicate),
+          "--jitter", arg(cfg.conditions.jitter_ms),
+          "--corrupt", arg(cfg.conditions.corrupt),
+          "--rate", arg(cfg.rate_pps)};
+      std::vector<char*> argv;
+      argv.reserve(argv_s.size() + 1);
+      for (auto& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      ::execv(exe.c_str(), argv.data());
+      ::_exit(127);  // exec failed
+    }
+    if (pid < 0) {
+      out << "net: fork failed for worker " << r << "\n";
+      for (const pid_t p : pids) ::kill(p, SIGKILL);
+      for (const pid_t p : pids) ::waitpid(p, nullptr, 0);
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+
+  std::vector<bool> done(cfg.routers, false);
+  std::vector<std::uint64_t> done_joins(cfg.routers, 0);
+  // chunks[worker][index]; sized on the first chunk that reveals the total.
+  std::vector<std::vector<std::vector<std::uint8_t>>> chunks(cfg.routers);
+  std::vector<bool> state_complete(cfg.routers, false);
+  bool stop_sent = false;
+  double next_signal_ms = 0.0;
+  const double start = UdpTransport::wall_ms();
+  bool ok = true;
+
+  while (true) {
+    const double now = UdpTransport::wall_ms();
+    if (now - start > cfg.deadline_ms) {
+      out << "net: deadline after " << (now - start) / 1000.0
+          << "s; killing workers\n";
+      ok = false;
+      break;
+    }
+    RxFrame rx;
+    while (transport.poll(rx)) {
+      if (rx.src >= cfg.routers) continue;
+      if (rx.op == PumpOp::kDone) {
+        done[rx.src] = true;
+        done_joins[rx.src] = rx.arg;
+      } else if (rx.op == PumpOp::kStateChunk) {
+        const std::uint32_t index = rx.arg >> 16;
+        const std::uint32_t total = rx.arg & 0xFFFF;
+        auto& w = chunks[rx.src];
+        if (w.size() != total) w.assign(total, {});
+        if (index < total && w[index].empty()) {
+          w[index] = std::move(rx.frame);
+          // Empty chunks exist (a worker can own zero vnodes); mark with a
+          // sentinel byte so "received" is distinguishable.
+          if (w[index].empty()) w[index] = {0xFF};
+        }
+        state_complete[rx.src] =
+            !w.empty() && std::all_of(w.begin(), w.end(), [](const auto& c) {
+              return !c.empty();
+            });
+      }
+    }
+
+    const bool all_done =
+        std::all_of(done.begin(), done.end(), [](bool d) { return d; });
+    const bool all_state = std::all_of(state_complete.begin(),
+                                       state_complete.end(),
+                                       [](bool s) { return s; });
+    if (all_state) break;
+    if (all_done) stop_sent = true;
+    if (now >= next_signal_ms) {
+      next_signal_ms = now + 200.0;
+      for (RouterId r = 0; r < cfg.routers; ++r) {
+        if (stop_sent && !state_complete[r]) {
+          transport.send(r, PumpOp::kStop, 0, {}, now);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Ack state so workers exit, then reap (escalating to SIGKILL on timeout).
+  const double ack_until = UdpTransport::wall_ms() + 5'000.0;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    transport.send(r, PumpOp::kStateAck, 0, {}, UdpTransport::wall_ms());
+  }
+  std::vector<bool> reaped(cfg.routers, false);
+  while (UdpTransport::wall_ms() < ack_until) {
+    bool all = true;
+    for (RouterId r = 0; r < cfg.routers; ++r) {
+      if (reaped[r]) continue;
+      if (::waitpid(pids[r], nullptr, WNOHANG) == pids[r]) {
+        reaped[r] = true;
+      } else {
+        all = false;
+        transport.send(r, PumpOp::kStateAck, 0, {}, UdpTransport::wall_ms());
+      }
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    if (!reaped[r]) {
+      ::kill(pids[r], SIGKILL);
+      ::waitpid(pids[r], nullptr, 0);
+    }
+  }
+  transport.stop();
+  if (!ok) return 1;
+
+  std::vector<std::pair<RouterId, Vnode>> collected;
+  for (RouterId r = 0; r < cfg.routers; ++r) {
+    for (const auto& c : chunks[r]) {
+      if (c.size() == 1 && c[0] == 0xFF) continue;  // empty-table sentinel
+      for (std::size_t off = 0; off + kVnodeWire <= c.size();
+           off += kVnodeWire) {
+        collected.emplace_back(r, deserialize_vnode(c.data() + off));
+      }
+    }
+  }
+  const std::vector<Identity> ids = make_identities(cfg.seed, cfg.hosts);
+  const MeshAuditReport audit = audit_ring(collected, expected_owners(cfg, ids));
+  std::uint64_t joins = 0;
+  for (const std::uint64_t j : done_joins) joins += j;
+
+  out << "net: spawn mesh routers=" << cfg.routers << " hosts=" << cfg.hosts
+      << " joins=" << joins << " population=" << audit.population << "/"
+      << audit.expected << " audit=" << (audit.ok() ? "clean" : "DEFECTS")
+      << "\n";
+  for (const auto& e : audit.errors) out << "net:   defect: " << e << "\n";
+  return audit.ok() ? 0 : 1;
+}
+
+}  // namespace rofl::net

@@ -1,0 +1,215 @@
+// router.hpp -- the control plane run over a real Transport.
+//
+// LiveRouter is the distributed counterpart of the simulator's intradomain
+// engine: each process-or-thread-resident router owns the virtual nodes homed
+// on it and runs ROFL's join protocol purely by exchanging wire::Packet
+// frames through a Transport -- no shared state, no global event queue, no
+// oracle.  The message set is exactly the simulator's (the 11 ControlMessage
+// types); no new wire types were added for live operation:
+//
+//   Locate            the greedy predecessor-locate walk, forwarded router to
+//                     router; the requester's router id rides in the packet
+//                     source label (NodeId::from_u64(router)).
+//   PointerInstall    op=2 (refill) doubles as the locate answer sent back to
+//                     the requester; op=1 (set-predecessor) tells the old
+//                     successor's owner about the splice, retried until acked.
+//   JoinRequest       sent by the joiner's gateway to the located predecessor
+//                     owner, carrying the self-certifying public key and the
+//                     compact finger payload whose size section 6.3 prices
+//                     (256 fingers -> 1638 bytes).
+//   JoinReply         the splice answer: predecessor + adopted successor set.
+//                     An *empty* successor set is a redirect -- the ring moved
+//                     under the walk and the gateway must re-locate.
+//   Keepalive         seq echoes the install nonce: the ack that retires a
+//                     pending set-predecessor retransmission.
+//
+// Reliability: the transport is best-effort by design (impairment layer,
+// kernel drops, RX-ring overflow), so every exchange the router originates
+// sits behind sim::RetryPolicy timers -- resend with exponential backoff, and
+// on exhaustion restart the locate from the bootstrap router.  Receivers are
+// idempotent instead of careful: the splicer caches its JoinReply per joined
+// id and re-replies verbatim, set-predecessor applies the Chord notify rule
+// (accept only a strictly closer predecessor) so stale or reordered installs
+// cannot regress a pointer, and duplicate transmissions never arrive at all
+// (transport dedup).
+//
+// Threading: a LiveRouter is single-threaded -- all calls from one driver
+// thread, with step(now_ms) doing one pump/drain/retry pass.  The UDP mesh
+// gives each router its own thread and wall-clock time; the loopback mesh
+// round-robins all routers on one thread with a virtual clock, which is what
+// makes the byte-parity runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "sim/faults.hpp"
+#include "util/identity.hpp"
+#include "util/node_id.hpp"
+#include "wire/messages.hpp"
+
+namespace rofl::net {
+
+/// One ring-resident virtual node homed on this router.
+struct Vnode {
+  NodeId id;
+  NodeId succ;
+  RouterId succ_owner = 0;
+  NodeId pred;
+  RouterId pred_owner = 0;
+};
+
+struct LiveRouterConfig {
+  RouterId self = 0;
+  RouterId bootstrap = 0;          ///< where fresh locate walks start
+  std::uint32_t fingers = 256;     ///< CompactFingers per JoinRequest (6.3)
+  std::uint32_t max_outstanding = 8;  ///< concurrent joins per gateway
+  sim::RetryPolicy retry{/*max_attempts=*/10, /*timeout_ms=*/40.0,
+                         /*backoff=*/1.6, /*max_timeout_ms=*/500.0};
+  /// Netem-style impairment applied at this router's socket boundary.
+  sim::NetworkConditions conditions;
+  std::uint64_t fault_seed = 1;
+  /// Timeline window width in ms; 0 disables the timeline.
+  double timeline_window_ms = 0.0;
+};
+
+class LiveRouter {
+ public:
+  /// `transport` must outlive the router; the router installs its own
+  /// FaultInjector (built from cfg.conditions) on it.
+  LiveRouter(LiveRouterConfig cfg, Transport* transport);
+
+  /// Installs the bootstrap identity with self-looped pointers -- the one-node
+  /// ring every walk can terminate against.  Call on exactly one router.
+  void seed(const Identity& first);
+
+  /// Queues one host identity this gateway will join into the ring.
+  void enqueue_join(Identity ident);
+
+  /// One event-loop pass: flush delayed sends, drain received frames, start
+  /// queued joins, fire retry timers, advance the timeline.
+  void step(double now_ms);
+
+  /// True when every queued join completed and no install awaits an ack.
+  [[nodiscard]] bool quiescent() const {
+    return queued_.empty() && active_.empty() && installs_.empty();
+  }
+
+  [[nodiscard]] std::uint64_t joins_completed() const {
+    return joins_completed_;
+  }
+  [[nodiscard]] std::uint64_t joins_queued_total() const {
+    return joins_queued_total_;
+  }
+
+  /// Harness (non-kData) frames received, for the mesh driver to consume.
+  bool poll_harness(RxFrame& out);
+
+  [[nodiscard]] const std::map<NodeId, Vnode>& vnodes() const {
+    return vnodes_;
+  }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] obs::Timeline* timeline() { return timeline_.get(); }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+
+  /// End-of-run: fold the transport's pump counters into the registry and
+  /// flush the timeline.  Call once, after traffic has stopped.
+  void finish(double now_ms);
+
+  /// Diagnostic snapshot of everything that keeps quiescent() false: active
+  /// join tasks, unacked installs, and queue depth.  The mesh drivers print
+  /// this when a run misses its deadline and ROFL_NET_DEBUG=1 is set.
+  void debug_dump(std::ostream& os) const;
+
+ private:
+  struct JoinTask {
+    explicit JoinTask(Identity i) : ident(std::move(i)) {}
+    Identity ident;
+    NodeId target;
+    std::uint64_t nonce = 0;
+    enum class St : std::uint8_t { kLocating, kJoining } st = St::kLocating;
+    RouterId locate_at = 0;  ///< router the current locate was sent to
+    RouterId join_to = 0;    ///< predecessor owner the JoinRequest went to
+    unsigned attempt = 0;
+    double timeout_ms = 0.0;
+    double deadline_ms = 0.0;
+    double started_ms = 0.0;
+  };
+
+  /// A set-predecessor install awaiting its Keepalive ack.
+  struct PendingInstall {
+    RouterId dst = 0;
+    wire::msg::PointerInstall msg;
+    unsigned attempt = 0;
+    double timeout_ms = 0.0;
+    double deadline_ms = 0.0;
+  };
+
+  void send_control(RouterId dst, const wire::msg::ControlMessage& m,
+                    const NodeId& src, const NodeId& dst_id,
+                    std::uint64_t trace_id, double now_ms);
+  void start_locate(JoinTask& t, RouterId at, double now_ms);
+  void send_join_request(JoinTask& t, double now_ms);
+  void handle_frame(const RxFrame& rx, double now_ms);
+  void on_locate(const wire::Packet& pkt, const wire::msg::Locate& m,
+                 double now_ms);
+  void on_pointer_install(const wire::Packet& pkt,
+                          const wire::msg::PointerInstall& m, double now_ms);
+  void on_join_request(const wire::Packet& pkt,
+                       const wire::msg::JoinRequest& m, double now_ms);
+  void on_join_reply(const wire::Packet& pkt, const wire::msg::JoinReply& m,
+                     double now_ms);
+  void on_keepalive(const wire::Packet& pkt, const wire::msg::Keepalive& m);
+  void apply_set_predecessor(const NodeId& subject, const NodeId& neighbor,
+                             RouterId neighbor_owner);
+  void schedule_install(RouterId dst, const NodeId& subject,
+                        const NodeId& neighbor, RouterId neighbor_owner,
+                        double now_ms);
+  /// Local vnode with the smallest nonzero clockwise distance to `target`
+  /// (the best predecessor candidate this router knows); nullptr when none.
+  Vnode* best_predecessor(const NodeId& target);
+  JoinTask* task_by_nonce(std::uint64_t nonce);
+
+  LiveRouterConfig cfg_;
+  Transport* transport_;
+  obs::Registry registry_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::unique_ptr<obs::Timeline> timeline_;
+
+  std::map<NodeId, Vnode> vnodes_;
+  std::deque<Identity> queued_;
+  std::vector<JoinTask> active_;
+  std::unordered_map<std::uint64_t, PendingInstall> installs_;
+  /// Encoded JoinReply per spliced id: the idempotent re-reply for
+  /// retransmitted JoinRequests.
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> join_cache_;
+  std::deque<RxFrame> harness_rx_;
+
+  std::uint64_t nonce_counter_ = 0;
+  std::uint64_t joins_completed_ = 0;
+  std::uint64_t joins_queued_total_ = 0;
+
+  // MetricIds, registered in constructor order (identical across routers so
+  // registries and timelines merge by dense id).
+  obs::MetricId tx_frames_ = 0, tx_bytes_ = 0, rx_frames_ = 0, rx_bytes_ = 0;
+  obs::MetricId dedup_dropped_ = 0, ring_dropped_ = 0, decode_failed_ = 0;
+  obs::MetricId malformed_ = 0, throttle_waits_ = 0;
+  obs::MetricId retrans_ = 0, acks_ = 0, redirects_ = 0, locate_steps_ = 0;
+  obs::MetricId joins_done_id_ = 0, joins_rejected_ = 0;
+  struct PerType {
+    obs::MetricId msgs = 0;
+    obs::MetricId bytes = 0;
+  };
+  std::unordered_map<std::uint8_t, PerType> per_type_;  // by PacketType
+  obs::MetricId join_latency_ = 0;  // histogram
+};
+
+}  // namespace rofl::net

@@ -1,0 +1,84 @@
+// udp.hpp -- real-socket Transport backend (localhost UDP).
+//
+// One datagram socket per router, bound to 127.0.0.1.  The pump is split
+// across two threads the way high-rate measurement tools structure theirs
+// (FlashRoute et al., PAPERS.md):
+//
+//   * TX runs on the caller's event-loop thread: token-bucket rate limiting
+//     (sleeping out stalls in wall time), impairment draws, sendto().
+//   * RX is a dedicated thread parked in recvfrom() with a short timeout; it
+//     pushes raw datagrams into a bounded SPSC ring.  The event loop drains
+//     the ring via poll(), where header parsing and dedup happen -- so the
+//     RX thread does no work that could make it fall behind the socket.
+//
+// The SPSC pairing is honored exactly as util/spsc_queue.hpp demands: the RX
+// thread is the only producer, the event-loop thread the only consumer, and
+// nobody else ever looks at the ring.  When the ring is full the RX thread
+// drops the datagram and counts it (ring_dropped, an atomic it owns); to the
+// protocol that is indistinguishable from network loss and the normal
+// retry/backoff machinery recovers.
+//
+// Ports: bind with port 0 to let the kernel pick (tests), or a fixed port
+// (the spawn-mode mesh, where worker k derives its port from a shared base).
+// Peers are registered explicitly with set_peer(id, port) -- ROFL's flat
+// labels name routers, and this map is the only place a router id meets a
+// network address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/spsc_queue.hpp"
+
+namespace rofl::net {
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts the
+  /// RX thread.  Throws std::runtime_error if the socket cannot be set up.
+  explicit UdpTransport(RouterId self, std::uint16_t port = 0,
+                        std::size_t ring_capacity = 8192);
+  ~UdpTransport() override;
+
+  /// The locally bound UDP port (resolved after a port-0 bind).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Registers where router `id` listens.  Must cover every send() target;
+  /// only called during mesh setup, before traffic starts.
+  void set_peer(RouterId id, std::uint16_t port);
+
+  bool poll(RxFrame& out) override;
+
+  /// Datagrams the RX thread discarded because the ring was full.  Stable
+  /// only after stop() (the RX thread owns the cell while running).
+  [[nodiscard]] std::uint64_t ring_dropped() const override {
+    return ring_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the RX thread and closes the socket.  Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Monotonic wall clock in milliseconds, the `now_ms` timebase every
+  /// UDP-backend caller must use for send()/pump().
+  static double wall_ms();
+
+ private:
+  void raw_send(RouterId dst, std::vector<std::uint8_t> datagram) override;
+  double throttle_wait(double now_ms, double wait_ms) override;
+  void rx_loop();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unordered_map<RouterId, std::uint16_t> peers_;
+  util::SpscQueue<std::vector<std::uint8_t>*> ring_;
+  std::atomic<std::uint64_t> ring_dropped_{0};
+  std::atomic<bool> running_{false};
+  std::thread rx_thread_;
+};
+
+}  // namespace rofl::net

@@ -36,7 +36,10 @@ class EngineProfiler {
     double stall_s = 0.0;  // events queued but none below the horizon
     double idle_s = 0.0;   // local queue empty
     std::uint64_t events = 0;
-    std::uint64_t spsc_hwm = 0;  // max occupancy seen across outbound channels
+    // Max occupancy seen across this shard's INBOUND channels, sampled by
+    // the consumer (drain) side only -- SpscQueue::size_approx is undefined
+    // from a third thread (see util/spsc_queue.hpp).
+    std::uint64_t spsc_hwm = 0;
     std::vector<KindStats> kinds;  // indexed by event kind
 
     void add_event(std::uint32_t kind, double dt_s) {

@@ -108,13 +108,6 @@ void ShardContext::send(EntityId dst, double delay_ms, std::uint32_t kind,
     // ring is transient back-pressure, never deadlock.
     std::this_thread::yield();
   }
-  if (eng.profiler_ != nullptr) {
-    // Producer-side occupancy estimate right after the push: an approximate
-    // high-water mark of the channel this shard feeds (wall-state only).
-    EngineProfiler::ShardProfile& p = eng.profiler_->shard(shard_);
-    p.spsc_hwm = std::max(p.spsc_hwm,
-                          static_cast<std::uint64_t>(chan.size_approx()));
-  }
 }
 
 ShardedSimulator::ShardedSimulator(std::vector<std::uint32_t> map, Config cfg)
@@ -201,6 +194,17 @@ bool ShardedSimulator::drain_inbound(std::uint32_t s) {
   for (std::uint32_t src = 0; src < shard_count(); ++src) {
     if (src == s) continue;
     util::SpscQueue<ShardEvent>& chan = *channels_[src * shard_count() + s];
+    if (profiler_ != nullptr) {
+      // Consumer-side occupancy sample before the drain: the high-water mark
+      // of this shard's inbound channels (wall-state only).  SpscQueue's
+      // size_approx is only meaningful from the producer or consumer thread
+      // (a third observer can read the indices torn against each other); the
+      // drain loop is the consumer, so this is the one legitimate place to
+      // watch channel depth.
+      EngineProfiler::ShardProfile& p = profiler_->shard(s);
+      p.spsc_hwm = std::max(p.spsc_hwm,
+                            static_cast<std::uint64_t>(chan.size_approx()));
+    }
     ShardEvent ev;
     while (chan.pop(ev)) {
       if (!any) {

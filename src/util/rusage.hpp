@@ -1,0 +1,26 @@
+// rusage.hpp -- portable process resource readings.
+//
+// The one consumer-facing wrinkle: getrusage's ru_maxrss field is in
+// kilobytes on Linux but in *bytes* on macOS and the BSDs.  Every caller
+// wants KiB (BENCH_*.json "peak_rss_kb" fields, the roflsim run-summary
+// line), so the platform guard lives here, once, instead of being silently
+// wrong in per-binary copies.
+#pragma once
+
+#include <sys/resource.h>
+
+namespace rofl::util {
+
+/// Peak resident set size of this process in KiB, on every platform.
+inline long peak_rss_kb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+#if defined(__APPLE__) || defined(__FreeBSD__) || defined(__NetBSD__) || \
+    defined(__OpenBSD__) || defined(__DragonFly__)
+  return u.ru_maxrss / 1024;  // bytes on macOS/BSD
+#else
+  return u.ru_maxrss;  // KiB on Linux
+#endif
+}
+
+}  // namespace rofl::util

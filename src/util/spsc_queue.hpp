@@ -10,6 +10,11 @@
 // push() is non-blocking and returns false when full -- the shard loop spins
 // with a yield, which is safe because the consumer drains unconditionally on
 // every iteration regardless of how far its clock may advance.
+//
+// Thread contract: this is a TWO-thread structure.  Exactly one thread may
+// call push() (the producer) and exactly one thread may call pop() (the
+// consumer); size_approx() is meaningful only from one of those two threads
+// (see its comment).  There is no safe third-party observer role.
 #pragma once
 
 #include <atomic>
@@ -52,7 +57,15 @@ class SpscQueue {
     return true;
   }
 
-  /// Consumer-side size estimate (exact when the producer is quiescent).
+  /// Occupancy estimate.  Only valid from the producer or the consumer
+  /// thread: the two indices are loaded separately, so a caller that owns
+  /// neither index can observe them torn against each other -- e.g. read a
+  /// stale tail, then a head the consumer has since advanced PAST that tail,
+  /// and the unsigned difference wraps to a preposterous count.  From the
+  /// producer the estimate errs low (consumer may still be draining); from
+  /// the consumer it errs low the other way (producer may still be filling);
+  /// from any third thread it is garbage, not merely stale.  EngineProfiler's
+  /// spsc_hwm is therefore sampled by each channel's consumer only.
   [[nodiscard]] std::size_t size_approx() const {
     return tail_.load(std::memory_order_acquire) -
            head_.load(std::memory_order_acquire);

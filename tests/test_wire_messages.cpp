@@ -24,7 +24,7 @@ Sha256::Digest random_key(Rng& rng) {
 /// One random instance of each message type, index-addressable so the fuzz
 /// loops sweep every variant alternative.
 ControlMessage random_message(Rng& rng, std::size_t which) {
-  switch (which % 9) {
+  switch (which % 11) {
     case 0: {
       JoinRequest m;
       m.nonce = rng.next_u64();
@@ -74,18 +74,28 @@ ControlMessage random_message(Rng& rng, std::size_t which) {
                  rng.next_u64(), static_cast<std::uint8_t>(rng.below(4)),
                  static_cast<std::uint32_t>(rng.below(1 << 20)),
                  static_cast<std::uint32_t>(rng.below(1 << 20))};
-    default:
+    case 8:
       return RingMerge{random_id(rng),
                        static_cast<std::uint32_t>(rng.below(1 << 20)),
                        static_cast<std::uint32_t>(rng.below(1 << 20)),
                        static_cast<std::uint16_t>(rng.below(1 << 16)),
                        static_cast<std::uint8_t>(rng.below(3))};
+    case 9:
+      return LabelInstall{random_id(rng),
+                          static_cast<std::uint32_t>(rng.next_u64()),
+                          static_cast<std::uint32_t>(rng.next_u64()),
+                          static_cast<std::uint32_t>(rng.below(1 << 20)),
+                          static_cast<std::uint8_t>(rng.below(2))};
+    default:
+      return LabelTeardown{random_id(rng),
+                           static_cast<std::uint32_t>(rng.next_u64()),
+                           static_cast<std::uint8_t>(rng.below(3))};
   }
 }
 
 TEST(ControlMessages, RoundTripEveryType) {
   Rng rng(20260806);
-  for (std::size_t which = 0; which < 9; ++which) {
+  for (std::size_t which = 0; which < 11; ++which) {
     for (int trial = 0; trial < 40; ++trial) {
       const ControlMessage m = random_message(rng, which);
       const NodeId src = random_id(rng);
@@ -109,7 +119,7 @@ TEST(ControlMessages, RoundTripEveryType) {
 
 TEST(ControlMessages, ControlWireSizeMatchesEncoder) {
   Rng rng(7);
-  for (std::size_t which = 0; which < 9; ++which) {
+  for (std::size_t which = 0; which < 11; ++which) {
     for (int trial = 0; trial < 25; ++trial) {
       const ControlMessage m = random_message(rng, which);
       const auto frame = encode_control(m, random_id(rng), random_id(rng));
@@ -122,7 +132,7 @@ TEST(ControlMessages, ControlWireSizeMatchesEncoder) {
 
 TEST(ControlMessages, TruncationAlwaysRejected) {
   Rng rng(77);
-  for (std::size_t which = 0; which < 9; ++which) {
+  for (std::size_t which = 0; which < 11; ++which) {
     const ControlMessage m = random_message(rng, which);
     const auto frame = encode_control(m, random_id(rng), random_id(rng));
     ASSERT_FALSE(frame.empty());
@@ -137,7 +147,7 @@ TEST(ControlMessages, SingleBitFlipAlwaysRejected) {
   // CRC-32 detects every single-bit error; a flipped frame must never decode
   // into a silently different message.
   Rng rng(31337);
-  for (std::size_t which = 0; which < 9; ++which) {
+  for (std::size_t which = 0; which < 11; ++which) {
     const ControlMessage m = random_message(rng, which);
     const auto frame = encode_control(m, random_id(rng), random_id(rng));
     ASSERT_FALSE(frame.empty());

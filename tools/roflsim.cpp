@@ -24,7 +24,7 @@
 // sparkline/table report.
 //
 // Every run prints its seed; identical invocations reproduce exactly.
-#include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -45,17 +45,21 @@
 #include "baselines/cmu_ethernet.hpp"
 #include "interdomain/inter_network.hpp"
 #include "interdomain/shard_model.hpp"
+#include "net/mesh.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_export.hpp"
 #include "rofl/network.hpp"
 #include "sim/profiler.hpp"
+#include "util/rusage.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace rofl;
+
+void usage();
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -102,11 +106,52 @@ double timeline_window_arg(const Args& a, double dflt) {
   return w;
 }
 
-/// Peak resident set of this process in KiB (ru_maxrss unit on Linux).
-long peak_rss_kb() {
-  rusage u{};
-  getrusage(RUSAGE_SELF, &u);
-  return u.ru_maxrss;
+/// Numeric option that must be a strictly positive integer.  Args::num
+/// funnels through stoull, which silently wraps "-2" to a huge value, so the
+/// raw string is inspected: "--shards 0" or "--shards -2" exits 2 with usage
+/// instead of running a configuration the engine cannot mean.
+std::uint64_t positive_num_arg(const Args& a, const std::string& key,
+                               std::uint64_t dflt) {
+  const auto it = a.kv.find(key);
+  if (it == a.kv.end()) return dflt;
+  const std::uint64_t v =
+      it->second.find('-') == std::string::npos ? a.num(key, dflt) : 0;
+  if (v == 0) {
+    std::cerr << "--" << key << " must be a positive integer (got '"
+              << it->second << "')\n\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Non-negative numeric option (durations, rates-per-second): a negative or
+/// non-finite value exits 2 with usage rather than reaching an engine that
+/// would misbehave quietly (a negative lookahead, say, deadlocks the
+/// conservative sync protocol instead of erroring).
+double nonneg_dbl_arg(const Args& a, const std::string& key, double dflt) {
+  const double v = a.dbl(key, dflt);
+  if (!std::isfinite(v) || v < 0.0) {
+    std::cerr << "--" << key << " must be a non-negative number (got '"
+              << a.str(key, "") << "')\n\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Probability option: negative exits 2; above 1.0 clamps to 1.0 with a
+/// warning (the user almost certainly meant "always", so run -- but say so,
+/// because the fault injector would otherwise accept 1.2 and behave as 1.0
+/// without comment).
+double rate_arg(const Args& a, const std::string& key, double dflt) {
+  double v = nonneg_dbl_arg(a, key, dflt);
+  if (v > 1.0) {
+    std::cerr << "warning: --" << key << " " << v
+              << " clamped to 1.0 (probabilities cap at 1)\n";
+    v = 1.0;
+  }
+  return v;
 }
 
 /// The one-line run summary every command prints at exit.  Wall time and RSS
@@ -125,7 +170,7 @@ struct RunSummary {
     std::cout << "run-summary: events=" << events << " wall=" << std::fixed
               << std::setprecision(3) << wall << "s events/sec="
               << static_cast<std::uint64_t>(eps)
-              << " peak-rss=" << peak_rss_kb() / 1024 << "MB\n"
+              << " peak-rss=" << util::peak_rss_kb() / 1024 << "MB\n"
               << std::defaultfloat;
   }
 };
@@ -161,7 +206,7 @@ bool write_timeline_jsonl(const std::string& path, const std::string& jsonl,
   }
   out << jsonl;
   out << "{\"run\": {\"wall_seconds\": " << wall_seconds
-      << ", \"peak_rss_kb\": " << peak_rss_kb() << "}}\n";
+      << ", \"peak_rss_kb\": " << util::peak_rss_kb() << "}}\n";
   std::cout << "timeline written to " << path << "\n";
   return true;
 }
@@ -496,10 +541,10 @@ int cmd_faults(const Args& a) {
   if (watch.want_route_dump) net.set_flight_recorder(&watch.recorder);
 
   sim::FaultPlan plan;
-  plan.defaults.loss = a.dbl("loss", 0.05);
-  plan.defaults.duplicate = a.dbl("dup", 0.0);
-  plan.defaults.jitter_ms = a.dbl("jitter", 0.0);
-  plan.defaults.corrupt = a.dbl("corrupt", 0.0);
+  plan.defaults.loss = rate_arg(a, "loss", 0.05);
+  plan.defaults.duplicate = rate_arg(a, "dup", 0.0);
+  plan.defaults.jitter_ms = nonneg_dbl_arg(a, "jitter", 0.0);
+  plan.defaults.corrupt = rate_arg(a, "corrupt", 0.0);
   const std::uint64_t flap_count = a.num("flaps", 0);
   std::vector<std::pair<graph::NodeIndex, graph::NodeIndex>> edges;
   for (graph::NodeIndex u = 0; u < topo.graph.node_count(); ++u) {
@@ -643,9 +688,9 @@ int cmd_audit(const Args& a) {
     params.timeline_window_ms = timeline_window_arg(a, 25.0);
   }
   params.net_cfg.enable_labels = a.flag("labels");
-  const double loss = a.dbl("loss", 0.0);
-  const double dup = a.dbl("dup", 0.0);
-  const double corrupt = a.dbl("corrupt", 0.0);
+  const double loss = rate_arg(a, "loss", 0.0);
+  const double dup = rate_arg(a, "dup", 0.0);
+  const double corrupt = rate_arg(a, "corrupt", 0.0);
   if (loss > 0.0 || dup > 0.0 || corrupt > 0.0) {
     params.use_faults = true;
     params.faults.defaults.loss = loss;
@@ -732,16 +777,172 @@ int cmd_audit(const Args& a) {
   return failed ? 1 : 0;
 }
 
+// -- `roflsim net` live-mesh mode -------------------------------------------
+
+/// Builds the MeshConfig shared by driver, in-process runs, and spawn-mode
+/// workers; every numeric knob is validated here so a worker re-invoked with
+/// driver-generated flags takes the same path as a hand-typed run.
+net::MeshConfig mesh_config_from_args(const Args& a) {
+  net::MeshConfig cfg;
+  cfg.routers = static_cast<std::uint32_t>(positive_num_arg(a, "routers", 8));
+  cfg.hosts = static_cast<std::uint32_t>(positive_num_arg(a, "hosts", 400));
+  cfg.fingers = static_cast<std::uint32_t>(positive_num_arg(a, "fingers", 256));
+  cfg.seed = a.num("seed", 1);
+  cfg.conditions.loss = rate_arg(a, "loss", 0.0);
+  cfg.conditions.duplicate = rate_arg(a, "dup", 0.0);
+  cfg.conditions.corrupt = rate_arg(a, "corrupt", 0.0);
+  cfg.conditions.jitter_ms = nonneg_dbl_arg(a, "jitter", 0.0);
+  cfg.rate_pps = nonneg_dbl_arg(a, "rate", 0.0);
+  cfg.deadline_ms =
+      static_cast<double>(positive_num_arg(a, "deadline-ms", 60'000));
+  cfg.max_outstanding =
+      static_cast<std::uint32_t>(positive_num_arg(a, "outstanding", 8));
+  cfg.base_port =
+      static_cast<std::uint16_t>(positive_num_arg(a, "base-port", 47'100));
+  if (!a.str("timeline", "").empty()) {
+    cfg.timeline_window_ms = timeline_window_arg(a, 25.0);
+  }
+  const std::string backend = a.str("backend", "udp");
+  if (backend == "loopback") {
+    cfg.backend = net::MeshBackend::kLoopback;
+  } else if (backend == "udp") {
+    cfg.backend = net::MeshBackend::kUdp;
+  } else {
+    std::cerr << "unknown --backend '" << backend << "' (udp|loopback)\n";
+    std::exit(2);
+  }
+  return cfg;
+}
+
+int cmd_net(const Args& a, const char* argv0) {
+  const RunSummary summary;
+  const net::MeshConfig cfg = mesh_config_from_args(a);
+  const bool loopback = cfg.backend == net::MeshBackend::kLoopback;
+
+  // Spawn-mode worker: the driver re-invoked this binary.  Run the storm and
+  // exit; all reporting happens driver-side.
+  if (a.kv.contains("worker")) {
+    return net::run_mesh_worker(
+        cfg, static_cast<net::RouterId>(a.num("worker", 0)));
+  }
+
+  // Spawn-mode driver: fork one process per router over real UDP ports.
+  if (a.flag("spawn")) {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    const std::string exe = n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                                  : std::string(argv0);
+    return net::run_mesh_spawn(cfg, exe, std::cout);
+  }
+
+  net::MeshResult r = net::run_mesh(cfg);
+  obs::Registry& m = r.metrics;
+  const auto counter = [&m](const char* name) {
+    return m.counter_value(m.counter(name));
+  };
+  const std::uint64_t tx = counter("net.tx.frames");
+  const std::uint64_t rx = counter("net.rx.frames");
+  const double secs = r.elapsed_ms / 1000.0;
+  const double pps_per_router =
+      secs > 0.0 ? static_cast<double>(tx) / secs / cfg.routers : 0.0;
+  const obs::Histogram& lat = m.histogram_at(m.histogram(
+      "net.join.latency_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 16)));
+
+  std::cout << "[seed " << cfg.seed << "] live mesh: " << cfg.routers
+            << " router(s), " << cfg.hosts << " hosts, "
+            << (loopback ? "loopback" : "udp") << " backend, " << cfg.fingers
+            << " fingers\n";
+  Table t({"metric", "value"});
+  t.add_row({std::string("converged"),
+             std::string(r.converged ? "yes" : "NO (deadline)")});
+  t.add_row({std::string("joins completed"),
+             std::to_string(r.joins_completed) + "/" +
+                 std::to_string(cfg.hosts - 1)});
+  t.add_row({std::string(loopback ? "elapsed [virtual ms]"
+                                  : "elapsed [wall ms]"),
+             r.elapsed_ms});
+  t.add_row({std::string("frames tx / rx"),
+             std::to_string(tx) + " / " + std::to_string(rx)});
+  t.add_row({std::string("sustained pps/router"), pps_per_router});
+  t.add_row({std::string("join latency p50/p99 [ms]"),
+             std::to_string(lat.percentile(0.5)) + " / " +
+                 std::to_string(lat.percentile(0.99))});
+  t.add_row({std::string("retransmissions"),
+             static_cast<std::int64_t>(counter("net.retrans"))});
+  t.add_row({std::string("locate redirects"),
+             static_cast<std::int64_t>(counter("net.redirects"))});
+  t.add_row({std::string("frames dropped (impairment)"),
+             static_cast<std::int64_t>(counter("faults.dropped"))});
+  t.add_row({std::string("dedup / ring drops"),
+             std::to_string(counter("net.rx.dedup_dropped")) + " / " +
+                 std::to_string(counter("net.rx.ring_dropped"))});
+  t.add_row({std::string("audit"),
+             r.audit.ok() ? std::string("clean (") +
+                                std::to_string(r.audit.population) +
+                                " vnodes exact)"
+                          : std::to_string(r.audit.error_count) +
+                                " defect(s)"});
+  t.print(std::cout);
+  for (const std::string& e : r.audit.errors) std::cout << "  " << e << "\n";
+
+  // Section 6.3 byte-parity gate: on a lossless transport every 256-finger
+  // JoinRequest must cost exactly 1638 bytes on the wire -- the simulator's
+  // (and the paper's) figure, now measured on real frames.  Any deviation is
+  // an encoding or accounting bug, so it fails the run loudly.
+  bool parity_ok = true;
+  const bool lossless = cfg.conditions.loss == 0.0 &&
+                        cfg.conditions.duplicate == 0.0 &&
+                        cfg.conditions.corrupt == 0.0;
+  if (cfg.fingers == 256 && lossless) {
+    wire::msg::JoinRequest jr;
+    jr.fingers.resize(256);
+    const std::uint64_t expect = wire::msg::control_wire_size(jr);
+    const std::uint64_t msgs = counter("net.msgs.join_request");
+    const std::uint64_t bytes = counter("net.bytes.join_request");
+    parity_ok = msgs > 0 && bytes == msgs * expect;
+    std::cout << "byte parity (6.3): " << msgs << " JoinRequests, " << bytes
+              << " bytes, " << expect << "/msg -> "
+              << (parity_ok ? "exact" : "MISMATCH") << "\n";
+  }
+
+  if (a.flag("metrics")) {
+    std::cout << "\n-- merged metrics --\n";
+    m.print_table(std::cout);
+  }
+  const std::string metrics_path = a.str("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << m.to_json(0, /*with_buckets=*/true) << "\n";
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  const std::string timeline_path = a.str("timeline", "");
+  if (!timeline_path.empty() && r.timeline != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      summary.start)
+            .count();
+    if (!write_timeline_jsonl(timeline_path, r.timeline->to_jsonl(), wall)) {
+      return 1;
+    }
+  }
+  summary.print(rx);
+  return (r.converged && r.audit.ok() && parity_ok) ? 0 : 1;
+}
+
 int cmd_shard(const Args& a) {
   const RunSummary summary;
   inter::ScaleParams p;
   p.seed = a.num("seed", 1);
-  p.shards = static_cast<std::uint32_t>(a.num("shards", 1));
+  p.shards = static_cast<std::uint32_t>(positive_num_arg(a, "shards", 1));
   p.hosts = a.num("hosts", 100'000);
   p.duration_ms = a.dbl("duration", 2000.0);
   p.tick_ms = a.dbl("tick", 50.0);
-  p.op_rate_per_host_hz = a.dbl("rate", 1.0);
-  p.lookahead_ms = a.dbl("lookahead", 1.0);
+  p.op_rate_per_host_hz = nonneg_dbl_arg(a, "rate", 1.0);
+  p.lookahead_ms = nonneg_dbl_arg(a, "lookahead", 1.0);
   p.slots_per_as = static_cast<std::uint32_t>(a.num("slots", 64));
   // --ases scales the default AS mix proportionally (default 1518 total).
   const double scale = a.dbl("ases", 0.0) > 0.0
@@ -966,8 +1167,20 @@ void usage() {
       "                    [--tick MS] [--rate OPS_PER_HOST_HZ] [--slots N]\n"
       "                    [--lookahead MS] [--report] [--metrics] [--profile]\n"
       "                    [--metrics-json FILE]\n"
+      "  roflsim net       [--routers N] [--hosts N] [--fingers N]\n"
+      "                    [--backend udp|loopback] [--spawn] [--rate PPS]\n"
+      "                    [--loss P] [--dup P] [--corrupt P] [--jitter MS]\n"
+      "                    [--deadline-ms MS] [--base-port P]\n"
+      "                    [--outstanding N] [--metrics] [--metrics-json F]\n"
       "  roflsim timeline  --file FILE [--metric SUBSTR] [--width N]\n\n"
       "All commands accept --seed S (default 1); runs are reproducible.\n"
+      "`net` runs the control plane over actual sockets: a live mesh of\n"
+      "router event loops (threads, or processes with --spawn) exchanging\n"
+      "wire frames over localhost UDP, converging a join storm and auditing\n"
+      "the assembled ring for exactness.  --backend loopback runs the same\n"
+      "mesh single-threaded on a virtual clock (deterministic); with 256\n"
+      "fingers and no impairment the run enforces the section 6.3 parity\n"
+      "gate: every JoinRequest costs exactly 1638 bytes on the wire.\n"
       "`shard` runs the per-AS scale model on the sharded parallel simulator;\n"
       "its metrics, flight digest, audit digest, and --timeline file are\n"
       "bit-identical for every --shards value of the same seed (--profile\n"
@@ -1002,6 +1215,7 @@ int main(int argc, char** argv) {
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "faults") return cmd_faults(args);
   if (cmd == "audit") return cmd_audit(args);
+  if (cmd == "net") return cmd_net(args, argv[0]);
   if (cmd == "shard") return cmd_shard(args);
   if (cmd == "timeline") return cmd_timeline(args);
   usage();
