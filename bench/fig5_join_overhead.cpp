@@ -7,17 +7,30 @@
 //   5b: CDF of per-host join overhead (packets).
 //   5c: CDF of join latency (ms) -- "typically on the order of the network
 //       diameter", under 40 ms in the paper.
+//
+// Execution: the four ISPs run as four entities on sim::ShardedSimulator,
+// one intra::Network per entity, joins chunked across self-rescheduled
+// events.  Entities never exchange messages, so the workload is embarrassingly
+// parallel -- and exactly because of that it doubles as a determinism probe:
+// the bench runs the identical workload at 1 shard and at 4 and gates on the
+// merged per-ISP metrics being byte-identical (the engine's shard-count
+// invariance contract, DESIGN.md section 13).
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/cmu_ethernet.hpp"
 #include "bench_common.hpp"
 #include "rofl/network.hpp"
-#include "sim/simulator.hpp"
+#include "sim/sharded.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace rofl {
 namespace {
+
+constexpr std::size_t kJoinsPerEvent = 250;
 
 struct IspRun {
   std::string name;
@@ -31,49 +44,135 @@ struct IspRun {
   std::uint32_t diameter = 0;
 };
 
-IspRun run_isp(graph::RocketfuelAs which, std::size_t max_ids) {
-  Rng trng(bench::kSeed);
-  const graph::IspTopology topo = graph::make_rocketfuel_like(which, trng);
-  intra::Network net(&topo, intra::Config{}, bench::kSeed + 1);
-  baselines::CmuEthernet cmu(&topo);
+/// One ISP homed on one entity: its topology, network, baseline, and the
+/// accumulators the tables below print.  Only the owning shard's events touch
+/// it during run(); the driver reads it after the workers have joined.
+struct IspEntity {
+  explicit IspEntity(graph::RocketfuelAs which) {
+    Rng trng(bench::kSeed);
+    topo = graph::make_rocketfuel_like(which, trng);
+    net = std::make_unique<intra::Network>(&topo, intra::Config{},
+                                           bench::kSeed + 1);
+    cmu = std::make_unique<baselines::CmuEthernet>(&topo);
+    run.name = topo.name;
+    run.diameter = topo.graph.diameter_hops(64);
+  }
 
+  graph::IspTopology topo;
+  std::unique_ptr<intra::Network> net;
+  std::unique_ptr<baselines::CmuEthernet> cmu;
   IspRun run;
-  run.name = topo.name;
-  run.diameter = topo.graph.diameter_hops(64);
-
+  std::size_t joined = 0;
   std::uint64_t total = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t total_cmu = 0;
   std::size_t next_report = 1;
-  for (std::size_t n = 1; n <= max_ids; ++n) {
-    const auto gw =
-        static_cast<graph::NodeIndex>(net.rng().index(net.router_count()));
-    const Identity ident = Identity::generate(net.rng());
-    const std::uint64_t bytes_before =
-        net.simulator().counters().bytes(sim::MsgCategory::kJoin);
-    const intra::JoinStats js = net.join_host(ident, gw);
-    if (!js.ok) continue;
-    const std::uint64_t join_bytes =
-        net.simulator().counters().bytes(sim::MsgCategory::kJoin) -
-        bytes_before;
-    total += js.messages;
-    total_bytes += join_bytes;
-    run.per_join.add(static_cast<double>(js.messages));
-    run.per_join_bytes.add(static_cast<double>(join_bytes));
-    run.latency_ms.add(js.latency_ms);
-    const auto cj = cmu.join_host(Identity::generate(net.rng()).id(), gw);
-    total_cmu += cj.messages;
-    if (n == next_report || n == max_ids) {
-      run.cumulative.emplace_back(n, total);
-      run.cumulative_bytes.emplace_back(n, total_bytes);
-      run.cumulative_cmu.emplace_back(n, total_cmu);
-      next_report *= 10;
-    }
+};
+
+struct Fig5Result {
+  std::vector<IspRun> runs;
+  std::string metrics_json;
+};
+
+/// Runs all ISPs to `max_ids` joins each on `shards` shards.  Every number
+/// below is shard-count independent: the join streams draw only from each
+/// network's own RNG, and per-ISP metrics live under per-ISP names so each
+/// metric has exactly one writing entity.
+Fig5Result run_all(std::uint32_t shards, std::size_t max_ids) {
+  std::vector<std::unique_ptr<IspEntity>> isps;
+  for (const auto which : graph::all_rocketfuel_ases()) {
+    isps.push_back(std::make_unique<IspEntity>(which));
   }
-  run.cmu_ratio =
-      total > 0 ? static_cast<double>(total_cmu) / static_cast<double>(total)
-                : 0.0;
-  return run;
+  const auto n_isps = static_cast<sim::EntityId>(isps.size());
+
+  std::vector<std::string> prefix(n_isps);
+  for (sim::EntityId e = 0; e < n_isps; ++e) {
+    prefix[e] = "fig5." + isps[e]->run.name;
+  }
+
+  sim::ShardedSimulator::Config cfg;
+  cfg.shards = shards;
+  cfg.lookahead_ms = 1.0;
+  cfg.seed = bench::kSeed;
+  sim::ShardedSimulator engine(
+      sim::balanced_shard_map(
+          std::vector<std::uint64_t>(n_isps, max_ids), shards),
+      cfg);
+  engine.set_registry_init([&prefix](obs::Registry& reg) {
+    for (const std::string& p : prefix) {
+      (void)reg.counter(p + ".joins");
+      (void)reg.counter(p + ".messages");
+      (void)reg.counter(p + ".bytes");
+      (void)reg.counter(p + ".cmu_messages");
+      (void)reg.histogram(p + ".per_join_msgs",
+                          obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+      (void)reg.histogram(p + ".latency_ms",
+                          obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+    }
+  });
+
+  engine.set_handler([&](sim::ShardContext& ctx, const sim::ShardEvent&) {
+    IspEntity& st = *isps[ctx.self()];
+    obs::Registry& reg = ctx.metrics();
+    const std::string& p = prefix[ctx.self()];
+    intra::Network& net = *st.net;
+    for (std::size_t i = 0; i < kJoinsPerEvent && st.joined < max_ids; ++i) {
+      const std::size_t n = ++st.joined;
+      const auto gw = static_cast<graph::NodeIndex>(
+          net.rng().index(net.router_count()));
+      const Identity ident = Identity::generate(net.rng());
+      const std::uint64_t bytes_before =
+          net.simulator().counters().bytes(sim::MsgCategory::kJoin);
+      const intra::JoinStats js = net.join_host(ident, gw);
+      const auto cj = st.cmu->join_host(Identity::generate(net.rng()).id(), gw);
+      st.total_cmu += cj.messages;
+      reg.add(reg.counter(p + ".cmu_messages"), cj.messages);
+      if (js.ok) {
+        const std::uint64_t join_bytes =
+            net.simulator().counters().bytes(sim::MsgCategory::kJoin) -
+            bytes_before;
+        st.total += js.messages;
+        st.total_bytes += join_bytes;
+        st.run.per_join.add(static_cast<double>(js.messages));
+        st.run.per_join_bytes.add(static_cast<double>(join_bytes));
+        st.run.latency_ms.add(js.latency_ms);
+        reg.add(reg.counter(p + ".joins"));
+        reg.add(reg.counter(p + ".messages"), js.messages);
+        reg.add(reg.counter(p + ".bytes"), join_bytes);
+        reg.observe(reg.histogram(
+                        p + ".per_join_msgs",
+                        obs::Histogram::exponential_bounds(1.0, 2.0, 16)),
+                    static_cast<double>(js.messages));
+        reg.observe(reg.histogram(
+                        p + ".latency_ms",
+                        obs::Histogram::exponential_bounds(1.0, 2.0, 16)),
+                    js.latency_ms);
+      }
+      if (n == st.next_report || n == max_ids) {
+        st.run.cumulative.emplace_back(n, st.total);
+        st.run.cumulative_bytes.emplace_back(n, st.total_bytes);
+        st.run.cumulative_cmu.emplace_back(n, st.total_cmu);
+        st.next_report *= 10;
+      }
+    }
+    if (st.joined < max_ids) ctx.send(ctx.self(), 0.0, /*kind=*/0);
+  });
+
+  for (sim::EntityId e = 0; e < n_isps; ++e) {
+    engine.seed_event(0.0, e, /*kind=*/0);
+  }
+  (void)engine.run();
+
+  Fig5Result result;
+  result.metrics_json = engine.merged_metrics().to_json(0, /*buckets=*/true);
+  for (auto& st : isps) {
+    st->run.cmu_ratio =
+        st->total > 0
+            ? static_cast<double>(st->total_cmu) / static_cast<double>(st->total)
+            : 0.0;
+    result.runs.push_back(std::move(st->run));
+  }
+  return result;
 }
 
 }  // namespace
@@ -84,10 +183,12 @@ int main() {
   bench::print_scale_note(std::cout);
   const std::size_t max_ids = bench::full_scale() ? 30'000 : 5'000;
 
-  std::vector<IspRun> runs;
-  for (const auto which : graph::all_rocketfuel_ases()) {
-    runs.push_back(run_isp(which, max_ids));
-  }
+  // The determinism gate: the identical workload at 1 shard and at 4 must
+  // merge to byte-identical per-ISP metrics.
+  const Fig5Result single = run_all(/*shards=*/1, max_ids);
+  const Fig5Result sharded = run_all(/*shards=*/4, max_ids);
+  const bool deterministic = single.metrics_json == sharded.metrics_json;
+  const std::vector<IspRun>& runs = sharded.runs;
 
   print_banner(std::cout, "Figure 5a: cumulative join overhead vs IDs joined");
   {
@@ -153,5 +254,8 @@ int main() {
     std::cout << "Paper reference: joins typically complete in <40 ms, on "
                  "the order of the network diameter.\n";
   }
-  return 0;
+
+  std::cout << "\ndeterminism gate: shards=1 vs shards=4 merged metrics -> "
+            << (deterministic ? "identical" : "MISMATCH") << "\n";
+  return deterministic ? 0 : 1;
 }

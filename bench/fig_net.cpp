@@ -8,7 +8,9 @@
 //   loopback/256f   deterministic parity cell -- every JoinRequest must cost
 //                   exactly the section 6.3 figure (1638 bytes) on the wire;
 //   udp/clean       an 8-router mesh on real sockets, no impairment:
-//                   sustained pps per router and join latency percentiles;
+//                   sustained pps per router, join latency percentiles, and
+//                   200 data-plane lookups served over the converged mesh
+//                   (per-lookup latency percentiles; every probe must hit);
 //   udp/impaired    the same mesh under 2% loss + 1% duplication, showing
 //                   the retry/dedup machinery converging anyway;
 //   udp/storm       (ROFL_BENCH_FULL=1 only) the acceptance-scale cell: a
@@ -45,6 +47,10 @@ struct NetCell {
   double pps_per_router = 0.0;
   double lat_p50 = 0.0;
   double lat_p99 = 0.0;
+  std::uint64_t lookups = 0;
+  std::uint64_t lookup_hits = 0;
+  double lookup_p50 = 0.0;
+  double lookup_p99 = 0.0;
   double bytes_per_join = 0.0;
   std::uint64_t retrans = 0;
   std::uint64_t dropped = 0;   // impairment-layer drops
@@ -75,6 +81,15 @@ NetCell run_cell(std::string name, const net::MeshConfig& cfg) {
       "net.join.latency_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 16)));
   cell.lat_p50 = lat.percentile(0.5);
   cell.lat_p99 = lat.percentile(0.99);
+  if (cfg.lookups > 0) {
+    cell.lookups = r.lookups_completed;
+    cell.lookup_hits = r.lookups_hit;
+    const obs::Histogram& llat = m.histogram_at(
+        m.histogram("net.lookup.latency_ms",
+                    obs::Histogram::exponential_bounds(0.25, 2.0, 16)));
+    cell.lookup_p50 = llat.percentile(0.5);
+    cell.lookup_p99 = llat.percentile(0.99);
+  }
   cell.bytes_per_join =
       r.joins_completed > 0
           ? static_cast<double>(counter("net.tx.bytes")) /
@@ -132,6 +147,10 @@ void write_json(const std::vector<NetCell>& cells, double total_wall) {
         << ", \"join_latency_p50_ms\": " << c.lat_p50
         << ", \"join_latency_p99_ms\": " << c.lat_p99
         << ", \"bytes_per_join\": " << c.bytes_per_join
+        << ", \"lookups\": " << c.lookups
+        << ", \"lookup_hits\": " << c.lookup_hits
+        << ", \"lookup_latency_p50_ms\": " << c.lookup_p50
+        << ", \"lookup_latency_p99_ms\": " << c.lookup_p99
         << ", \"retransmissions\": " << c.retrans
         << ", \"impairment_drops\": " << c.dropped
         << ", \"peak_rss_kb\": " << c.rss_kb;
@@ -173,6 +192,7 @@ int main() {
     cfg.fingers = 8;
     cfg.seed = bench::kSeed;
     cfg.deadline_ms = 120'000.0;
+    cfg.lookups = 200;  // data-plane probes served over the converged mesh
     cells.push_back(run_cell("udp/clean", cfg));
   }
   {
@@ -195,23 +215,28 @@ int main() {
     cfg.fingers = 8;
     cfg.seed = bench::kSeed;
     cfg.deadline_ms = 300'000.0;
+    cfg.lookups = 1'000;
     cells.push_back(run_cell("udp/storm", cfg));
   }
 
   Table t({"cell", "routers", "hosts", "conv", "audit", "elapsed ms",
-           "pps/router", "p50 ms", "p99 ms", "bytes/join"});
+           "pps/router", "p50 ms", "p99 ms", "bytes/join", "lkup p99 ms"});
   for (const auto& c : cells) {
     t.add_row({c.name, static_cast<std::int64_t>(c.cfg.routers),
                static_cast<std::int64_t>(c.cfg.hosts),
                std::string(c.converged ? "yes" : "NO"),
                std::string(c.clean ? "clean" : "DEFECTS"), c.elapsed_ms,
-               c.pps_per_router, c.lat_p50, c.lat_p99, c.bytes_per_join});
+               c.pps_per_router, c.lat_p50, c.lat_p99, c.bytes_per_join,
+               c.lookup_p99});
   }
   t.print(std::cout);
 
   bool ok = true;
   for (const auto& c : cells) {
     ok = ok && c.converged && c.clean;
+    if (c.cfg.lookups > 0) {
+      ok = ok && c.lookups == c.cfg.lookups && c.lookup_hits == c.lookups;
+    }
     if (c.parity_applies) {
       std::cout << "byte parity (6.3) on " << c.name << ": "
                 << (c.parity_exact ? "exact" : "MISMATCH") << "\n";

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: release build + tests, ASan+UBSan build + tests, and a
-# bench smoke run that emits BENCH_datapath.json.  Set ROFL_CHECK_FULL=1 to
-# also run every figure bench at full length (slow).
+# Full verification: release build + tests, ASan+UBSan build + tests, a TSan
+# pass over the threaded suites, and a bench smoke run that emits
+# BENCH_datapath.json.  Set ROFL_CHECK_FULL=1 to also run every figure bench
+# at full length (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -144,6 +145,35 @@ grep -q 'byte parity (6.3).*exact' build/net_loopback.txt
 timeout 120 build/tools/roflsim net --spawn --routers 6 --hosts 240 \
   --fingers 8 --seed 11 --base-port 47500 > build/net_spawn.txt
 grep -q 'audit=clean' build/net_spawn.txt
+
+# Lookup + leave smoke: data-plane lookups over the converged live mesh (all
+# probes must hit) followed by a clean departure whose post-leave ring audit
+# stays exact (roflsim exits nonzero on either failing); the deterministic
+# loopback run must reproduce byte-identical metrics across two same-seed
+# runs with both phases on.
+timeout 120 build/tools/roflsim net --routers 4 --hosts 200 --fingers 8 \
+  --seed 11 --lookups 50 --leave 2 > build/net_lookup_leave.txt
+grep -q 'lookups hit/served  *50/50' build/net_lookup_leave.txt
+grep -q 'departure  *clean' build/net_lookup_leave.txt
+timeout 120 build/tools/roflsim net --backend loopback --routers 4 \
+  --hosts 200 --fingers 8 --seed 11 --lookups 50 --leave 2 \
+  --metrics-json build/net_ll_run1.json > /dev/null
+timeout 120 build/tools/roflsim net --backend loopback --routers 4 \
+  --hosts 200 --fingers 8 --seed 11 --lookups 50 --leave 2 \
+  --metrics-json build/net_ll_run2.json > /dev/null
+cmp build/net_ll_run1.json build/net_ll_run2.json
+grep -q '"net.lookups.hit"' build/net_ll_run1.json
+grep -q '"net.leave.relinks"' build/net_ll_run1.json
+
+# TSan leg: the suites that actually spin threads -- the UDP transport pump
+# and meshes (test_net) and the sharded engine's workers (test_sharded) --
+# must run clean under ThreadSanitizer.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build build-tsan --target rofl_tests -j
+TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/rofl_tests \
+  --gtest_filter='PumpHeader.*:DedupWindow.*:Loopback.*:Udp.*:Mesh.*:SpscQueue.*:BalancedShardMap.*:ShardedSimulator.*:ShardScaleModel.*'
 
 if [ "${ROFL_CHECK_FULL:-0}" = "1" ]; then
   for b in build/bench/*; do

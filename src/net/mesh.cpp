@@ -82,9 +82,46 @@ std::vector<std::pair<NodeId, RouterId>> expected_owners(
   std::vector<std::pair<NodeId, RouterId>> expected;
   expected.reserve(ids.size());
   for (std::uint32_t h = 0; h < ids.size(); ++h) {
-    expected.emplace_back(ids[h].id(), h % cfg.routers);
+    const RouterId gw = h % cfg.routers;
+    // A departed router took its resident ids with it; the audit checks the
+    // ring the survivors stitched together.
+    if (cfg.leave_router >= 0 &&
+        gw == static_cast<RouterId>(cfg.leave_router)) {
+      continue;
+    }
+    expected.emplace_back(ids[h].id(), gw);
   }
   return expected;
+}
+
+/// Lookup targets: draws over the joined identity set, deterministic in the
+/// mesh seed but independent of the identity stream itself.  Every target is
+/// a joined id, so a correct mesh resolves all of them as hits.
+std::vector<NodeId> make_lookup_targets(const MeshConfig& cfg,
+                                        const std::vector<Identity>& ids) {
+  Rng rng(cfg.seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<NodeId> targets;
+  targets.reserve(cfg.lookups);
+  for (std::uint32_t i = 0; i < cfg.lookups; ++i) {
+    targets.push_back(ids[rng.below(ids.size())].id());
+  }
+  return targets;
+}
+
+/// Distributes the lookup probes round-robin across the gateways.
+void assign_lookups(const MeshConfig& cfg, const std::vector<NodeId>& targets,
+                    const std::vector<LiveRouter*>& routers) {
+  for (std::uint32_t i = 0; i < targets.size(); ++i) {
+    LiveRouter* r = routers[i % cfg.routers];
+    if (r != nullptr) r->enqueue_lookup(targets[i]);
+  }
+}
+
+/// True when `cfg` requests a departure; validated by the CLI (never the
+/// bootstrap, in range).
+bool wants_leave(const MeshConfig& cfg) {
+  return cfg.leave_router >= 1 &&
+         static_cast<std::uint32_t>(cfg.leave_router) < cfg.routers;
 }
 
 MeshResult run_mesh_loopback(const MeshConfig& cfg) {
@@ -106,23 +143,48 @@ MeshResult run_mesh_loopback(const MeshConfig& cfg) {
   // tick.  Deterministic end to end -- same seed, same byte counts.
   constexpr double kTickMs = 0.25;
   double now = 0.0;
-  bool converged = false;
-  while (now < cfg.deadline_ms) {
-    for (auto& r : routers) r->step(now);
-    converged = std::all_of(routers.begin(), routers.end(),
-                            [](const auto& r) { return r->quiescent(); });
-    if (converged) break;
-    now += kTickMs;
+  const auto run_phase = [&](double deadline) {
+    while (now < deadline) {
+      for (auto& r : routers) r->step(now);
+      const bool quiet =
+          std::all_of(routers.begin(), routers.end(),
+                      [](const auto& r) { return r->quiescent(); });
+      if (quiet) return true;
+      now += kTickMs;
+    }
+    return false;
+  };
+
+  // Phase 1: the join storm.
+  bool converged = run_phase(cfg.deadline_ms);
+  // Phase 2: data-plane lookups over the converged ring.
+  if (converged && cfg.lookups > 0) {
+    assign_lookups(cfg, make_lookup_targets(cfg, ids), raw);
+    converged = run_phase(now + cfg.deadline_ms);
+  }
+  // Phase 3: one router departs cleanly.
+  bool leave_completed = true;
+  if (wants_leave(cfg)) {
+    leave_completed = false;
+    if (converged) {
+      routers[static_cast<RouterId>(cfg.leave_router)]->begin_leave(now);
+      converged = run_phase(now + cfg.deadline_ms);
+      leave_completed =
+          routers[static_cast<RouterId>(cfg.leave_router)]->departed();
+    }
   }
 
   MeshResult result = make_result(cfg);
   result.converged = converged;
+  result.leave_completed = leave_completed;
   result.elapsed_ms = now;
   maybe_debug_dump(converged, raw);
   std::vector<std::pair<RouterId, Vnode>> collected;
   for (RouterId r = 0; r < cfg.routers; ++r) {
     routers[r]->finish(now);
     merge_router(result, *routers[r]);
+    result.lookups_completed += routers[r]->lookups_completed();
+    result.lookups_hit += routers[r]->lookups_hit();
     for (const auto& [id, v] : routers[r]->vnodes()) {
       collected.emplace_back(r, v);
     }
@@ -150,43 +212,70 @@ MeshResult run_mesh_udp(const MeshConfig& cfg) {
   const std::vector<Identity> ids = make_identities(cfg.seed, cfg.hosts);
   assign_hosts(cfg, ids, raw);
 
-  // One event-loop thread per router.  The driver only reads the per-router
-  // atomics; router internals stay single-threaded.
-  std::atomic<bool> stop{false};
-  std::vector<std::unique_ptr<std::atomic<bool>>> quiet;
-  for (RouterId r = 0; r < cfg.routers; ++r) {
-    quiet.push_back(std::make_unique<std::atomic<bool>>(false));
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.routers);
-  for (RouterId r = 0; r < cfg.routers; ++r) {
-    threads.emplace_back([&, r] {
-      LiveRouter& router = *raw[r];
-      while (!stop.load(std::memory_order_acquire)) {
-        router.step(UdpTransport::wall_ms());
-        quiet[r]->store(router.quiescent(), std::memory_order_release);
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            router.quiescent() ? 500 : 50));
-      }
-    });
-  }
+  // One event-loop thread per router, started fresh for each phase: between
+  // phases no router thread runs, so the driver can enqueue lookups or start
+  // the departure without racing router internals (which stay
+  // single-threaded).  The driver only reads the per-router atomics while
+  // threads are live.
+  const auto run_phase = [&](double deadline_ms) {
+    std::atomic<bool> stop{false};
+    std::vector<std::unique_ptr<std::atomic<bool>>> quiet;
+    for (RouterId r = 0; r < cfg.routers; ++r) {
+      quiet.push_back(std::make_unique<std::atomic<bool>>(false));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.routers);
+    for (RouterId r = 0; r < cfg.routers; ++r) {
+      threads.emplace_back([&, r] {
+        LiveRouter& router = *raw[r];
+        while (!stop.load(std::memory_order_acquire)) {
+          router.step(UdpTransport::wall_ms());
+          quiet[r]->store(router.quiescent(), std::memory_order_release);
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              router.quiescent() ? 500 : 50));
+        }
+      });
+    }
+    const double start = UdpTransport::wall_ms();
+    bool phase_converged = false;
+    while (UdpTransport::wall_ms() - start < deadline_ms) {
+      phase_converged =
+          std::all_of(quiet.begin(), quiet.end(), [](const auto& q) {
+            return q->load(std::memory_order_acquire);
+          });
+      if (phase_converged) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    return phase_converged;
+  };
 
   const double start = UdpTransport::wall_ms();
-  bool converged = false;
-  while (UdpTransport::wall_ms() - start < cfg.deadline_ms) {
-    converged = std::all_of(quiet.begin(), quiet.end(), [](const auto& q) {
-      return q->load(std::memory_order_acquire);
-    });
-    if (converged) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Phase 1: the join storm.
+  bool converged = run_phase(cfg.deadline_ms);
+  // Phase 2: data-plane lookups over the converged ring.
+  if (converged && cfg.lookups > 0) {
+    assign_lookups(cfg, make_lookup_targets(cfg, ids), raw);
+    converged = run_phase(cfg.deadline_ms);
+  }
+  // Phase 3: one router departs cleanly.
+  bool leave_completed = true;
+  if (wants_leave(cfg)) {
+    leave_completed = false;
+    if (converged) {
+      LiveRouter& leaver = *raw[static_cast<RouterId>(cfg.leave_router)];
+      leaver.begin_leave(UdpTransport::wall_ms());
+      converged = run_phase(cfg.deadline_ms);
+      leave_completed = leaver.departed();
+    }
   }
   const double elapsed = UdpTransport::wall_ms() - start;
-  stop.store(true, std::memory_order_release);
-  for (auto& t : threads) t.join();
   for (auto& t : transports) t->stop();
 
   MeshResult result = make_result(cfg);
   result.converged = converged;
+  result.leave_completed = leave_completed;
   result.elapsed_ms = elapsed;
   maybe_debug_dump(converged, raw);
   std::vector<std::pair<RouterId, Vnode>> collected;
@@ -194,6 +283,8 @@ MeshResult run_mesh_udp(const MeshConfig& cfg) {
   for (RouterId r = 0; r < cfg.routers; ++r) {
     routers[r]->finish(end_ms);
     merge_router(result, *routers[r]);
+    result.lookups_completed += routers[r]->lookups_completed();
+    result.lookups_hit += routers[r]->lookups_hit();
     for (const auto& [id, v] : routers[r]->vnodes()) {
       collected.emplace_back(r, v);
     }

@@ -52,6 +52,13 @@ struct MeshConfig {
   double timeline_window_ms = 0.0;  ///< 0 disables per-router timelines
   std::uint32_t max_outstanding = 8;
   std::uint16_t base_port = 47100;  ///< spawn mode: worker k binds base+k
+  /// Data-plane lookups served over the converged mesh: after the join storm
+  /// settles, each gateway (round-robin) probes ids drawn from the joined
+  /// set with purpose-2 Locates.  0 disables the phase.
+  std::uint32_t lookups = 0;
+  /// Router to depart cleanly after convergence (and after the lookup
+  /// phase); -1 disables.  Must not be the bootstrap router 0.
+  std::int32_t leave_router = -1;
 };
 
 struct MeshAuditReport {
@@ -69,6 +76,11 @@ struct MeshResult {
   bool converged = false;
   MeshAuditReport audit;
   std::uint64_t joins_completed = 0;
+  std::uint64_t lookups_completed = 0;
+  std::uint64_t lookups_hit = 0;
+  /// True when no departure was requested, or the departing router drained
+  /// every relink ack and dropped its vnodes.
+  bool leave_completed = true;
   double elapsed_ms = 0.0;  ///< virtual (loopback) or wall (udp)
   obs::Registry metrics;    ///< all routers merged
   std::unique_ptr<obs::Timeline> timeline;  ///< merged; null when disabled

@@ -1,70 +1,30 @@
 #include "net/router.hpp"
 
-#include <algorithm>
-#include <cassert>
-
 namespace rofl::net {
-
-namespace {
-
-using wire::Packet;
-using wire::PacketType;
-namespace msg = wire::msg;
-
-/// The requester's router id rides in the packet source label.
-NodeId router_label(RouterId r) { return NodeId::from_u64(r); }
-RouterId label_router(const NodeId& id) {
-  return static_cast<RouterId>(id.lo());
-}
-
-/// Synthetic compact-finger payload: the byte accounting only depends on the
-/// entry count (6 bytes each), not the values, so fill deterministically.
-std::vector<msg::CompactFinger> make_fingers(std::uint32_t n,
-                                             const NodeId& target) {
-  std::vector<msg::CompactFinger> out(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    out[i].target_prefix = static_cast<std::uint32_t>(target.lo()) + i;
-    out[i].home_as = static_cast<std::uint16_t>(i);
-  }
-  return out;
-}
-
-}  // namespace
 
 LiveRouter::LiveRouter(LiveRouterConfig cfg, Transport* transport)
     : cfg_(cfg), transport_(transport) {
   // Registration order is the merge contract: every router registers the
   // same names in the same order, so dense MetricIds line up across
   // registries and timelines (obs::Registry::merge_from discipline).
+  // Transport counters first, then the core's protocol counters, then the
+  // fault injector's faults.* block.
   tx_frames_ = registry_.counter("net.tx.frames");
   tx_bytes_ = registry_.counter("net.tx.bytes");
   rx_frames_ = registry_.counter("net.rx.frames");
   rx_bytes_ = registry_.counter("net.rx.bytes");
   dedup_dropped_ = registry_.counter("net.rx.dedup_dropped");
   ring_dropped_ = registry_.counter("net.rx.ring_dropped");
-  decode_failed_ = registry_.counter("net.rx.decode_failed");
   malformed_ = registry_.counter("net.rx.malformed");
   throttle_waits_ = registry_.counter("net.tx.throttle_waits");
-  retrans_ = registry_.counter("net.retrans");
-  acks_ = registry_.counter("net.acks");
-  redirects_ = registry_.counter("net.redirects");
-  locate_steps_ = registry_.counter("net.locate.steps");
-  joins_done_id_ = registry_.counter("net.joins.completed");
-  joins_rejected_ = registry_.counter("net.joins.rejected");
-  const auto per_type = [this](PacketType t, const char* name) {
-    PerType p;
-    p.msgs = registry_.counter(std::string("net.msgs.") + name);
-    p.bytes = registry_.counter(std::string("net.bytes.") + name);
-    per_type_[static_cast<std::uint8_t>(t)] = p;
-  };
-  per_type(PacketType::kLocate, "locate");
-  per_type(PacketType::kJoinRequest, "join_request");
-  per_type(PacketType::kJoinReply, "join_reply");
-  per_type(PacketType::kPointerInstall, "pointer_install");
-  per_type(PacketType::kKeepalive, "keepalive");
-  join_latency_ = registry_.histogram(
-      "net.join.latency_ms",
-      obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+
+  proto::CoreConfig cc;
+  cc.self = cfg_.self;
+  cc.bootstrap = cfg_.bootstrap;
+  cc.fingers = cfg_.fingers;
+  cc.max_outstanding = cfg_.max_outstanding;
+  cc.retry = cfg_.retry;
+  core_.emplace(cc, static_cast<proto::Env&>(*this));
 
   // Always constructed (registration order again); a no-fault plan makes
   // message_faults_enabled() false and the transport takes its fast path.
@@ -81,21 +41,6 @@ LiveRouter::LiveRouter(LiveRouterConfig cfg, Transport* transport)
   }
 }
 
-void LiveRouter::seed(const Identity& first) {
-  Vnode v;
-  v.id = first.id();
-  v.succ = v.id;
-  v.succ_owner = cfg_.self;
-  v.pred = v.id;
-  v.pred_owner = cfg_.self;
-  vnodes_[v.id] = v;
-}
-
-void LiveRouter::enqueue_join(Identity ident) {
-  queued_.push_back(std::move(ident));
-  ++joins_queued_total_;
-}
-
 bool LiveRouter::poll_harness(RxFrame& out) {
   if (harness_rx_.empty()) return false;
   out = std::move(harness_rx_.front());
@@ -103,367 +48,7 @@ bool LiveRouter::poll_harness(RxFrame& out) {
   return true;
 }
 
-void LiveRouter::send_control(RouterId dst, const msg::ControlMessage& m,
-                              const NodeId& src, const NodeId& dst_id,
-                              std::uint64_t trace_id, double now_ms) {
-  std::vector<std::uint8_t> frame =
-      msg::encode_control(m, src, dst_id, trace_id);
-  if (frame.empty()) return;  // over a u16 wire limit; never transmit
-  const auto it = per_type_.find(static_cast<std::uint8_t>(msg::type_of(m)));
-  if (it != per_type_.end()) {
-    registry_.add(it->second.msgs);
-    registry_.add(it->second.bytes, frame.size());
-  }
-  transport_->send(dst, PumpOp::kData, 0, frame, now_ms);
-}
-
-void LiveRouter::start_locate(JoinTask& t, RouterId at, double now_ms) {
-  t.st = JoinTask::St::kLocating;
-  t.locate_at = at;
-  t.timeout_ms = cfg_.retry.timeout_ms;
-  t.deadline_ms = now_ms + t.timeout_ms;
-  msg::Locate loc;
-  loc.target = t.target;
-  loc.purpose = 0;
-  send_control(at, loc, router_label(cfg_.self), t.target, t.nonce, now_ms);
-}
-
-void LiveRouter::send_join_request(JoinTask& t, double now_ms) {
-  msg::JoinRequest jr;
-  jr.nonce = t.nonce;
-  jr.gateway = cfg_.self;
-  jr.public_key = t.ident.public_key();
-  jr.fingers = make_fingers(cfg_.fingers, t.target);
-  send_control(t.join_to, jr, router_label(cfg_.self), t.target, t.nonce,
-               now_ms);
-}
-
-LiveRouter::JoinTask* LiveRouter::task_by_nonce(std::uint64_t nonce) {
-  for (JoinTask& t : active_) {
-    if (t.nonce == nonce) return &t;
-  }
-  return nullptr;
-}
-
-Vnode* LiveRouter::best_predecessor(const NodeId& target) {
-  Vnode* best = nullptr;
-  NodeId best_d;
-  for (auto& [id, v] : vnodes_) {
-    if (id == target) continue;  // the id itself is never its own predecessor
-    const NodeId d = NodeId::distance_cw(id, target);
-    if (best == nullptr || d < best_d) {
-      best = &v;
-      best_d = d;
-    }
-  }
-  return best;
-}
-
-void LiveRouter::apply_set_predecessor(const NodeId& subject,
-                                       const NodeId& neighbor,
-                                       RouterId neighbor_owner) {
-  const auto it = vnodes_.find(subject);
-  if (it == vnodes_.end()) return;
-  Vnode& v = it->second;
-  // Chord notify rule: only a strictly closer predecessor may replace the
-  // current one, so stale (reordered/delayed) installs cannot regress the
-  // pointer.  A self-looped pred (fresh seed) accepts anything.
-  if (v.pred == v.id || NodeId::in_interval_oo(v.pred, neighbor, v.id)) {
-    v.pred = neighbor;
-    v.pred_owner = neighbor_owner;
-  }
-}
-
-void LiveRouter::schedule_install(RouterId dst, const NodeId& subject,
-                                  const NodeId& neighbor,
-                                  RouterId neighbor_owner, double now_ms) {
-  // Deliberately no self-delivery shortcut: even when dst == self the
-  // subject vnode may not be resident yet (its JoinReply is still in this
-  // router's own transport queue), so the install must go through the same
-  // retry-until-acked path as the remote case.
-  const std::uint64_t nonce =
-      (static_cast<std::uint64_t>(cfg_.self) << 40) | ++nonce_counter_;
-  PendingInstall pi;
-  pi.dst = dst;
-  pi.msg.subject = subject;
-  pi.msg.neighbor = neighbor;
-  pi.msg.neighbor_host = neighbor_owner;
-  pi.msg.op = 1;  // set-predecessor
-  pi.timeout_ms = cfg_.retry.timeout_ms;
-  pi.deadline_ms = now_ms + pi.timeout_ms;
-  send_control(dst, pi.msg, router_label(cfg_.self), subject, nonce, now_ms);
-  installs_.emplace(nonce, std::move(pi));
-}
-
-void LiveRouter::on_locate(const Packet& pkt, const msg::Locate& m,
-                           double now_ms) {
-  const RouterId requester = label_router(pkt.source);
-  if (vnodes_.empty()) {
-    // Nothing to answer with yet; punt the walk at the bootstrap router
-    // (it always holds the seed).  Self-forwarding would loop.
-    if (cfg_.self != cfg_.bootstrap) {
-      send_control(cfg_.bootstrap, m, pkt.source, pkt.destination,
-                   pkt.trace_id, now_ms);
-    }
-    return;
-  }
-  Vnode* p = best_predecessor(m.target);
-  if (p == nullptr) {
-    // The target is the only id here (single-vnode router owning the target
-    // itself): its predecessor is recorded on the vnode.
-    const auto it = vnodes_.find(m.target);
-    if (it == vnodes_.end()) return;
-    msg::PointerInstall reply;
-    reply.subject = m.target;
-    reply.neighbor = it->second.pred;
-    reply.neighbor_host = it->second.pred_owner;
-    reply.op = 2;  // refill == locate answer
-    send_control(requester, reply, router_label(cfg_.self), m.target,
-                 pkt.trace_id, now_ms);
-    return;
-  }
-  if (NodeId::in_interval_oc(p->id, m.target, p->succ)) {
-    msg::PointerInstall reply;
-    reply.subject = m.target;
-    reply.neighbor = p->id;
-    reply.neighbor_host = cfg_.self;
-    reply.op = 2;
-    send_control(requester, reply, router_label(cfg_.self), m.target,
-                 pkt.trace_id, now_ms);
-    return;
-  }
-  // Forward the walk greedily; the source label (requester) is preserved so
-  // the eventual answer goes straight back.
-  registry_.add(locate_steps_);
-  send_control(p->succ_owner, m, pkt.source, pkt.destination, pkt.trace_id,
-               now_ms);
-}
-
-void LiveRouter::on_join_request(const Packet& pkt, const msg::JoinRequest& m,
-                                 double now_ms) {
-  const RouterId requester = m.gateway;
-  const NodeId target = pkt.destination;
-  // Self-certification (section 2.1): the label must be the hash of the
-  // carried public key.
-  if (derive_id(m.public_key) != target) {
-    registry_.add(joins_rejected_);
-    return;
-  }
-  // Idempotent re-reply: a retransmitted JoinRequest for an id we already
-  // spliced gets the cached JoinReply verbatim.
-  const auto cached = join_cache_.find(target);
-  if (cached != join_cache_.end()) {
-    const auto it = per_type_.find(
-        static_cast<std::uint8_t>(PacketType::kJoinReply));
-    registry_.add(it->second.msgs);
-    registry_.add(it->second.bytes, cached->second.size());
-    transport_->send(requester, PumpOp::kData, 0, cached->second, now_ms);
-    return;
-  }
-  Vnode* p = best_predecessor(target);
-  if (p == nullptr || !NodeId::in_interval_oc(p->id, target, p->succ)) {
-    // The ring moved under the walk: redirect the gateway to keep walking
-    // from the closest point we do know.
-    msg::JoinReply redirect;
-    if (p != nullptr) {
-      redirect.predecessor = p->succ;
-      redirect.predecessor_host = p->succ_owner;
-    } else {
-      redirect.predecessor_host = cfg_.bootstrap;
-    }
-    send_control(requester, redirect, router_label(cfg_.self), target,
-                 pkt.trace_id, now_ms);
-    return;
-  }
-  // Splice target between p and p.succ.
-  const NodeId old_succ = p->succ;
-  const RouterId old_owner = p->succ_owner;
-  p->succ = target;
-  p->succ_owner = requester;
-
-  msg::JoinReply reply;
-  reply.predecessor = p->id;
-  reply.predecessor_host = cfg_.self;
-  reply.successors.push_back(wire::FingerField{old_succ, old_owner});
-  std::vector<std::uint8_t> frame = msg::encode_control(
-      reply, router_label(cfg_.self), target, pkt.trace_id);
-  const auto it =
-      per_type_.find(static_cast<std::uint8_t>(PacketType::kJoinReply));
-  registry_.add(it->second.msgs);
-  registry_.add(it->second.bytes, frame.size());
-  transport_->send(requester, PumpOp::kData, 0, frame, now_ms);
-  join_cache_[target] = std::move(frame);
-
-  // Tell the old successor its predecessor changed (reliable, acked).
-  schedule_install(old_owner, old_succ, target, requester, now_ms);
-}
-
-void LiveRouter::on_pointer_install(const Packet& pkt,
-                                    const msg::PointerInstall& m,
-                                    double now_ms) {
-  if (m.op == 2) {  // locate answer
-    JoinTask* t = task_by_nonce(pkt.trace_id);
-    if (t == nullptr || t->st != JoinTask::St::kLocating) return;  // stale
-    t->st = JoinTask::St::kJoining;
-    t->join_to = m.neighbor_host;
-    t->attempt = 0;
-    t->timeout_ms = cfg_.retry.timeout_ms;
-    t->deadline_ms = now_ms + t->timeout_ms;
-    send_join_request(*t, now_ms);
-    return;
-  }
-  if (m.op == 1) {  // set-predecessor from a splicer
-    // Not resident yet: the subject's own JoinReply may still be in flight
-    // to this gateway.  Stay silent -- the splicer's retry loop redelivers
-    // until the vnode exists and the install can actually apply.
-    if (vnodes_.find(m.subject) == vnodes_.end()) return;
-    apply_set_predecessor(m.subject, m.neighbor, m.neighbor_host);
-    // Ack regardless of whether the notify rule applied it -- the sender
-    // only needs to know the install arrived (a stale install is *complete*,
-    // not lost).
-    msg::Keepalive ack;
-    ack.seq = pkt.trace_id;
-    send_control(label_router(pkt.source), ack, router_label(cfg_.self),
-                 m.subject, pkt.trace_id, now_ms);
-  }
-}
-
-void LiveRouter::on_join_reply(const Packet& pkt, const msg::JoinReply& m,
-                               double now_ms) {
-  JoinTask* t = task_by_nonce(pkt.trace_id);
-  if (t == nullptr || t->st != JoinTask::St::kJoining) return;  // stale
-  if (m.successors.empty()) {
-    // Redirect: re-locate from the router the splicer pointed us at.
-    registry_.add(redirects_);
-    t->attempt = 0;
-    start_locate(*t, static_cast<RouterId>(m.predecessor_host), now_ms);
-    return;
-  }
-  Vnode v;
-  v.id = t->target;
-  v.succ = m.successors.front().target;
-  v.succ_owner = static_cast<RouterId>(m.successors.front().home_as);
-  v.pred = m.predecessor;
-  v.pred_owner = static_cast<RouterId>(m.predecessor_host);
-  vnodes_[v.id] = v;
-  ++joins_completed_;
-  registry_.add(joins_done_id_);
-  registry_.observe(join_latency_, now_ms - t->started_ms);
-  active_.erase(active_.begin() + (t - active_.data()));
-}
-
-void LiveRouter::on_keepalive(const Packet& /*pkt*/, const msg::Keepalive& m) {
-  if (installs_.erase(m.seq) != 0) registry_.add(acks_);
-}
-
-void LiveRouter::handle_frame(const RxFrame& rx, double now_ms) {
-  const auto pkt = Packet::decode(rx.frame);
-  const auto m = msg::decode_control(rx.frame);
-  if (!pkt.has_value() || !m.has_value()) {
-    // CRC-rejected (impairment corruption) or otherwise undecodable: to the
-    // protocol this is loss; retries recover.
-    registry_.add(decode_failed_);
-    return;
-  }
-  std::visit(
-      [&](const auto& mm) {
-        using T = std::decay_t<decltype(mm)>;
-        if constexpr (std::is_same_v<T, msg::Locate>) {
-          on_locate(*pkt, mm, now_ms);
-        } else if constexpr (std::is_same_v<T, msg::JoinRequest>) {
-          on_join_request(*pkt, mm, now_ms);
-        } else if constexpr (std::is_same_v<T, msg::JoinReply>) {
-          on_join_reply(*pkt, mm, now_ms);
-        } else if constexpr (std::is_same_v<T, msg::PointerInstall>) {
-          on_pointer_install(*pkt, mm, now_ms);
-        } else if constexpr (std::is_same_v<T, msg::Keepalive>) {
-          on_keepalive(*pkt, mm);
-        }
-        // Other control types never appear in the live join protocol.
-      },
-      *m);
-}
-
-void LiveRouter::step(double now_ms) {
-  if (timeline_ != nullptr) timeline_->advance_to(now_ms);
-  transport_->pump(now_ms);
-
-  RxFrame rx;
-  while (transport_->poll(rx)) {
-    if (rx.op != PumpOp::kData) {
-      harness_rx_.push_back(std::move(rx));
-      continue;
-    }
-    handle_frame(rx, now_ms);
-  }
-
-  // Start queued joins up to the outstanding cap.
-  while (active_.size() < cfg_.max_outstanding && !queued_.empty()) {
-    JoinTask t(std::move(queued_.front()));
-    queued_.pop_front();
-    t.target = t.ident.id();
-    t.nonce = (static_cast<std::uint64_t>(cfg_.self) << 40) | ++nonce_counter_;
-    t.started_ms = now_ms;
-    active_.push_back(std::move(t));
-    start_locate(active_.back(), cfg_.bootstrap, now_ms);
-  }
-
-  // Retry timers.
-  for (JoinTask& t : active_) {
-    if (now_ms < t.deadline_ms) continue;
-    ++t.attempt;
-    if (t.attempt >= cfg_.retry.max_attempts) {
-      // Give up on this walk entirely and restart from the bootstrap.
-      injector_->note_retry_exhausted();
-      t.attempt = 0;
-      start_locate(t, cfg_.bootstrap, now_ms);
-      continue;
-    }
-    registry_.add(retrans_);
-    injector_->note_retry();
-    t.timeout_ms = cfg_.retry.next_timeout(t.timeout_ms);
-    t.deadline_ms = now_ms + t.timeout_ms;
-    if (t.st == JoinTask::St::kLocating) {
-      msg::Locate loc;
-      loc.target = t.target;
-      send_control(t.locate_at, loc, router_label(cfg_.self), t.target,
-                   t.nonce, now_ms);
-    } else {
-      send_join_request(t, now_ms);
-    }
-  }
-  for (auto& [nonce, pi] : installs_) {
-    if (now_ms < pi.deadline_ms) continue;
-    ++pi.attempt;
-    registry_.add(retrans_);
-    injector_->note_retry();
-    pi.timeout_ms = cfg_.retry.next_timeout(pi.timeout_ms);
-    pi.deadline_ms = now_ms + pi.timeout_ms;
-    send_control(pi.dst, pi.msg, router_label(cfg_.self), pi.msg.subject,
-                 nonce, now_ms);
-  }
-}
-
-void LiveRouter::debug_dump(std::ostream& os) const {
-  os << "router " << cfg_.self << ": vnodes=" << vnodes_.size()
-     << " queued=" << queued_.size() << " active=" << active_.size()
-     << " installs=" << installs_.size() << "\n";
-  for (const JoinTask& t : active_) {
-    os << "  task nonce=" << std::hex << t.nonce << std::dec << " target="
-       << t.target.to_string().substr(0, 8)
-       << (t.st == JoinTask::St::kLocating ? " LOCATING at=" : " JOINING to=")
-       << (t.st == JoinTask::St::kLocating ? t.locate_at : t.join_to)
-       << " attempt=" << t.attempt << " timeout=" << t.timeout_ms << "\n";
-  }
-  for (const auto& [nonce, pi] : installs_) {
-    os << "  install nonce=" << std::hex << nonce << std::dec << " dst="
-       << pi.dst << " subject=" << pi.msg.subject.to_string().substr(0, 8)
-       << " neighbor=" << pi.msg.neighbor.to_string().substr(0, 8)
-       << " attempt=" << pi.attempt << "\n";
-  }
-}
-
-void LiveRouter::finish(double now_ms) {
+void LiveRouter::sample_transport_stats() {
   const TransportStats& s = transport_->stats();
   registry_.set_counter(tx_frames_, s.tx_frames);
   registry_.set_counter(tx_bytes_, s.tx_bytes);
@@ -473,6 +58,29 @@ void LiveRouter::finish(double now_ms) {
   registry_.set_counter(ring_dropped_, transport_->ring_dropped());
   registry_.set_counter(malformed_, s.malformed);
   registry_.set_counter(throttle_waits_, s.throttle_waits);
+}
+
+void LiveRouter::step(double now_ms) {
+  // Sample before the timeline advances so each window sees the pump
+  // counters as of its own close, not the end of the run.
+  sample_transport_stats();
+  if (timeline_ != nullptr) timeline_->advance_to(now_ms);
+  transport_->pump(now_ms);
+
+  RxFrame rx;
+  while (transport_->poll(rx)) {
+    if (rx.op != PumpOp::kData) {
+      harness_rx_.push_back(std::move(rx));
+      continue;
+    }
+    core_->on_frame(rx.frame, now_ms);
+  }
+
+  core_->tick(now_ms);
+}
+
+void LiveRouter::finish(double now_ms) {
+  sample_transport_stats();
   if (timeline_ != nullptr) timeline_->flush(now_ms);
 }
 

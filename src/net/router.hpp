@@ -1,71 +1,49 @@
-// router.hpp -- the control plane run over a real Transport.
+// router.hpp -- the live driver over the sans-I/O protocol core.
 //
-// LiveRouter is the distributed counterpart of the simulator's intradomain
-// engine: each process-or-thread-resident router owns the virtual nodes homed
-// on it and runs ROFL's join protocol purely by exchanging wire::Packet
-// frames through a Transport -- no shared state, no global event queue, no
-// oracle.  The message set is exactly the simulator's (the 11 ControlMessage
-// types); no new wire types were added for live operation:
+// LiveRouter no longer contains protocol logic.  The greedy locate walk,
+// join/splice with idempotent re-reply, retried pointer installs, data-plane
+// lookups, and clean departure all live in proto::Core (src/proto/core.hpp),
+// the same state machine every substrate drives.  What remains here is the
+// driver's half of the proto::Env contract:
 //
-//   Locate            the greedy predecessor-locate walk, forwarded router to
-//                     router; the requester's router id rides in the packet
-//                     source label (NodeId::from_u64(router)).
-//   PointerInstall    op=2 (refill) doubles as the locate answer sent back to
-//                     the requester; op=1 (set-predecessor) tells the old
-//                     successor's owner about the splice, retried until acked.
-//   JoinRequest       sent by the joiner's gateway to the located predecessor
-//                     owner, carrying the self-certifying public key and the
-//                     compact finger payload whose size section 6.3 prices
-//                     (256 fingers -> 1638 bytes).
-//   JoinReply         the splice answer: predecessor + adopted successor set.
-//                     An *empty* successor set is a redirect -- the ring moved
-//                     under the walk and the gateway must re-locate.
-//   Keepalive         seq echoes the install nonce: the ack that retires a
-//                     pending set-predecessor retransmission.
+//   * own a Transport and a sim::FaultInjector, pump delayed sends, drain
+//     received datagrams, and feed kData frames to Core::on_frame (harness
+//     frames -- the multi-process mesh's lifecycle signaling -- are split
+//     off for the mesh driver to consume);
+//   * pass the clock in: the loopback mesh steps on virtual milliseconds,
+//     the UDP mesh on wall milliseconds, and the core cannot tell the
+//     difference;
+//   * surface the transport pump's internals (dedup drops, RX-ring
+//     overflow, token-bucket stalls...) as net.* counters in the registry,
+//     sampled every step so live timelines and metrics dumps see them while
+//     the run is still in flight, not only at finish();
+//   * forward the core's retry telemetry to the fault injector so fault
+//     accounting matches the simulator's.
 //
-// Reliability: the transport is best-effort by design (impairment layer,
-// kernel drops, RX-ring overflow), so every exchange the router originates
-// sits behind sim::RetryPolicy timers -- resend with exponential backoff, and
-// on exhaustion restart the locate from the bootstrap router.  Receivers are
-// idempotent instead of careful: the splicer caches its JoinReply per joined
-// id and re-replies verbatim, set-predecessor applies the Chord notify rule
-// (accept only a strictly closer predecessor) so stale or reordered installs
-// cannot regress a pointer, and duplicate transmissions never arrive at all
-// (transport dedup).
-//
-// Threading: a LiveRouter is single-threaded -- all calls from one driver
-// thread, with step(now_ms) doing one pump/drain/retry pass.  The UDP mesh
-// gives each router its own thread and wall-clock time; the loopback mesh
-// round-robins all routers on one thread with a virtual clock, which is what
-// makes the byte-parity runs deterministic.
+// Threading is unchanged: a LiveRouter is single-threaded -- all calls from
+// one driver thread, with step(now_ms) doing one pump/drain/tick pass.
+// DESIGN.md section 17 documents the layering.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
-#include <unordered_map>
-#include <vector>
 
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "proto/core.hpp"
 #include "sim/faults.hpp"
 #include "util/identity.hpp"
 #include "util/node_id.hpp"
-#include "wire/messages.hpp"
 
 namespace rofl::net {
 
-/// One ring-resident virtual node homed on this router.
-struct Vnode {
-  NodeId id;
-  NodeId succ;
-  RouterId succ_owner = 0;
-  NodeId pred;
-  RouterId pred_owner = 0;
-};
+/// One ring-resident virtual node homed on this router (the core's own).
+using Vnode = proto::Vnode;
 
 struct LiveRouterConfig {
   RouterId self = 0;
@@ -81,7 +59,7 @@ struct LiveRouterConfig {
   double timeline_window_ms = 0.0;
 };
 
-class LiveRouter {
+class LiveRouter final : private proto::Env {
  public:
   /// `transport` must outlive the router; the router installs its own
   /// FaultInjector (built from cfg.conditions) on it.
@@ -89,127 +67,89 @@ class LiveRouter {
 
   /// Installs the bootstrap identity with self-looped pointers -- the one-node
   /// ring every walk can terminate against.  Call on exactly one router.
-  void seed(const Identity& first);
+  void seed(const Identity& first) { core_->seed(first); }
 
   /// Queues one host identity this gateway will join into the ring.
-  void enqueue_join(Identity ident);
+  void enqueue_join(Identity ident) { core_->enqueue_join(std::move(ident)); }
 
-  /// One event-loop pass: flush delayed sends, drain received frames, start
-  /// queued joins, fire retry timers, advance the timeline.
+  /// Queues one data-plane lookup: a Locate probe walked over the live ring.
+  void enqueue_lookup(const NodeId& target) { core_->enqueue_lookup(target); }
+
+  /// Starts a clean departure (see proto::Core::begin_leave).  Call only
+  /// after the mesh has converged.
+  void begin_leave(double now_ms) { core_->begin_leave(now_ms); }
+
+  /// One event-loop pass: flush delayed sends, drain received frames, feed
+  /// the core's tick (queued work + retry timers), sample transport stats.
   void step(double now_ms);
 
-  /// True when every queued join completed and no install awaits an ack.
-  [[nodiscard]] bool quiescent() const {
-    return queued_.empty() && active_.empty() && installs_.empty();
-  }
+  /// True when no queued or in-flight protocol work remains.
+  [[nodiscard]] bool quiescent() const { return core_->quiescent(); }
+
+  /// True once begin_leave() finished: every relink acked, vnodes dropped.
+  [[nodiscard]] bool departed() const { return core_->departed(); }
 
   [[nodiscard]] std::uint64_t joins_completed() const {
-    return joins_completed_;
+    return core_->joins_completed();
   }
   [[nodiscard]] std::uint64_t joins_queued_total() const {
-    return joins_queued_total_;
+    return core_->joins_queued_total();
+  }
+  [[nodiscard]] std::uint64_t lookups_completed() const {
+    return core_->lookups_completed();
+  }
+  [[nodiscard]] std::uint64_t lookups_hit() const {
+    return core_->lookups_hit();
   }
 
   /// Harness (non-kData) frames received, for the mesh driver to consume.
   bool poll_harness(RxFrame& out);
 
   [[nodiscard]] const std::map<NodeId, Vnode>& vnodes() const {
-    return vnodes_;
+    return core_->vnodes();
   }
   [[nodiscard]] obs::Registry& registry() { return registry_; }
   [[nodiscard]] obs::Timeline* timeline() { return timeline_.get(); }
   [[nodiscard]] Transport& transport() { return *transport_; }
 
-  /// End-of-run: fold the transport's pump counters into the registry and
-  /// flush the timeline.  Call once, after traffic has stopped.
+  /// End-of-run: final transport-stats fold and timeline flush.  Call once,
+  /// after traffic has stopped.
   void finish(double now_ms);
 
-  /// Diagnostic snapshot of everything that keeps quiescent() false: active
-  /// join tasks, unacked installs, and queue depth.  The mesh drivers print
-  /// this when a run misses its deadline and ROFL_NET_DEBUG=1 is set.
-  void debug_dump(std::ostream& os) const;
+  /// Diagnostic snapshot of everything that keeps quiescent() false.  The
+  /// mesh drivers print this when a run misses its deadline and
+  /// ROFL_NET_DEBUG=1 is set.
+  void debug_dump(std::ostream& os) const { core_->debug_dump(os); }
 
  private:
-  struct JoinTask {
-    explicit JoinTask(Identity i) : ident(std::move(i)) {}
-    Identity ident;
-    NodeId target;
-    std::uint64_t nonce = 0;
-    enum class St : std::uint8_t { kLocating, kJoining } st = St::kLocating;
-    RouterId locate_at = 0;  ///< router the current locate was sent to
-    RouterId join_to = 0;    ///< predecessor owner the JoinRequest went to
-    unsigned attempt = 0;
-    double timeout_ms = 0.0;
-    double deadline_ms = 0.0;
-    double started_ms = 0.0;
-  };
+  // proto::Env -- the driver's half of the sans-I/O seam.
+  void send(RouterId dst, std::vector<std::uint8_t> frame,
+            double now_ms) override {
+    transport_->send(dst, PumpOp::kData, 0, frame, now_ms);
+  }
+  obs::Registry& metrics() override { return registry_; }
+  void note_retry() override { injector_->note_retry(); }
+  void note_retry_exhausted() override { injector_->note_retry_exhausted(); }
 
-  /// A set-predecessor install awaiting its Keepalive ack.
-  struct PendingInstall {
-    RouterId dst = 0;
-    wire::msg::PointerInstall msg;
-    unsigned attempt = 0;
-    double timeout_ms = 0.0;
-    double deadline_ms = 0.0;
-  };
-
-  void send_control(RouterId dst, const wire::msg::ControlMessage& m,
-                    const NodeId& src, const NodeId& dst_id,
-                    std::uint64_t trace_id, double now_ms);
-  void start_locate(JoinTask& t, RouterId at, double now_ms);
-  void send_join_request(JoinTask& t, double now_ms);
-  void handle_frame(const RxFrame& rx, double now_ms);
-  void on_locate(const wire::Packet& pkt, const wire::msg::Locate& m,
-                 double now_ms);
-  void on_pointer_install(const wire::Packet& pkt,
-                          const wire::msg::PointerInstall& m, double now_ms);
-  void on_join_request(const wire::Packet& pkt,
-                       const wire::msg::JoinRequest& m, double now_ms);
-  void on_join_reply(const wire::Packet& pkt, const wire::msg::JoinReply& m,
-                     double now_ms);
-  void on_keepalive(const wire::Packet& pkt, const wire::msg::Keepalive& m);
-  void apply_set_predecessor(const NodeId& subject, const NodeId& neighbor,
-                             RouterId neighbor_owner);
-  void schedule_install(RouterId dst, const NodeId& subject,
-                        const NodeId& neighbor, RouterId neighbor_owner,
-                        double now_ms);
-  /// Local vnode with the smallest nonzero clockwise distance to `target`
-  /// (the best predecessor candidate this router knows); nullptr when none.
-  Vnode* best_predecessor(const NodeId& target);
-  JoinTask* task_by_nonce(std::uint64_t nonce);
+  /// Copies the transport pump's counters into the registry (live view).
+  void sample_transport_stats();
 
   LiveRouterConfig cfg_;
   Transport* transport_;
   obs::Registry registry_;
+  /// The protocol state machine; optional only because the transport
+  /// counters must register before the core registers its own (registration
+  /// order is the cross-router merge contract).
+  std::optional<proto::Core> core_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<obs::Timeline> timeline_;
 
-  std::map<NodeId, Vnode> vnodes_;
-  std::deque<Identity> queued_;
-  std::vector<JoinTask> active_;
-  std::unordered_map<std::uint64_t, PendingInstall> installs_;
-  /// Encoded JoinReply per spliced id: the idempotent re-reply for
-  /// retransmitted JoinRequests.
-  std::unordered_map<NodeId, std::vector<std::uint8_t>> join_cache_;
   std::deque<RxFrame> harness_rx_;
 
-  std::uint64_t nonce_counter_ = 0;
-  std::uint64_t joins_completed_ = 0;
-  std::uint64_t joins_queued_total_ = 0;
-
-  // MetricIds, registered in constructor order (identical across routers so
-  // registries and timelines merge by dense id).
+  // Transport counters, registered ahead of the core's protocol counters.
   obs::MetricId tx_frames_ = 0, tx_bytes_ = 0, rx_frames_ = 0, rx_bytes_ = 0;
-  obs::MetricId dedup_dropped_ = 0, ring_dropped_ = 0, decode_failed_ = 0;
+  obs::MetricId dedup_dropped_ = 0, ring_dropped_ = 0;
   obs::MetricId malformed_ = 0, throttle_waits_ = 0;
-  obs::MetricId retrans_ = 0, acks_ = 0, redirects_ = 0, locate_steps_ = 0;
-  obs::MetricId joins_done_id_ = 0, joins_rejected_ = 0;
-  struct PerType {
-    obs::MetricId msgs = 0;
-    obs::MetricId bytes = 0;
-  };
-  std::unordered_map<std::uint8_t, PerType> per_type_;  // by PacketType
-  obs::MetricId join_latency_ = 0;  // histogram
 };
 
 }  // namespace rofl::net

@@ -1,0 +1,612 @@
+#include "proto/core.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rofl::proto {
+
+namespace {
+
+using wire::Packet;
+using wire::PacketType;
+namespace msg = wire::msg;
+
+/// The requester's router id rides in the packet source label.
+NodeId router_label(RouterId r) { return NodeId::from_u64(r); }
+RouterId label_router(const NodeId& id) {
+  return static_cast<RouterId>(id.lo());
+}
+
+/// Synthetic compact-finger payload: the byte accounting only depends on the
+/// entry count (6 bytes each), not the values, so fill deterministically.
+std::vector<msg::CompactFinger> make_fingers(std::uint32_t n,
+                                             const NodeId& target) {
+  std::vector<msg::CompactFinger> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i].target_prefix = static_cast<std::uint32_t>(target.lo()) + i;
+    out[i].home_as = static_cast<std::uint16_t>(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Core::Core(CoreConfig cfg, Env& env) : cfg_(cfg), env_(env) {
+  obs::Registry& reg = env_.metrics();
+  decode_failed_ = reg.counter("net.rx.decode_failed");
+  retrans_ = reg.counter("net.retrans");
+  acks_ = reg.counter("net.acks");
+  redirects_ = reg.counter("net.redirects");
+  locate_steps_ = reg.counter("net.locate.steps");
+  joins_done_id_ = reg.counter("net.joins.completed");
+  joins_rejected_ = reg.counter("net.joins.rejected");
+  const auto per_type = [this, &reg](PacketType t, const char* name) {
+    PerType p;
+    p.msgs = reg.counter(std::string("net.msgs.") + name);
+    p.bytes = reg.counter(std::string("net.bytes.") + name);
+    per_type_[static_cast<std::uint8_t>(t)] = p;
+  };
+  per_type(PacketType::kLocate, "locate");
+  per_type(PacketType::kJoinRequest, "join_request");
+  per_type(PacketType::kJoinReply, "join_reply");
+  per_type(PacketType::kPointerInstall, "pointer_install");
+  per_type(PacketType::kKeepalive, "keepalive");
+  per_type(PacketType::kRepair, "repair");
+  lookups_done_id_ = reg.counter("net.lookups.completed");
+  lookups_hit_id_ = reg.counter("net.lookups.hit");
+  leave_relinks_ = reg.counter("net.leave.relinks");
+  join_latency_ = reg.histogram(
+      "net.join.latency_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+  lookup_latency_ = reg.histogram(
+      "net.lookup.latency_ms",
+      obs::Histogram::exponential_bounds(0.25, 2.0, 16));
+}
+
+void Core::seed(const Identity& first) {
+  Vnode v;
+  v.id = first.id();
+  v.succ = v.id;
+  v.succ_owner = cfg_.self;
+  v.pred = v.id;
+  v.pred_owner = cfg_.self;
+  vnodes_[v.id] = v;
+}
+
+void Core::enqueue_join(Identity ident) {
+  queued_.push_back(std::move(ident));
+  ++joins_queued_total_;
+}
+
+void Core::enqueue_lookup(const NodeId& target) {
+  queued_lookups_.push_back(target);
+}
+
+void Core::send_control(RouterId dst, const msg::ControlMessage& m,
+                        const NodeId& src, const NodeId& dst_id,
+                        std::uint64_t trace_id, double now_ms) {
+  std::vector<std::uint8_t> frame =
+      msg::encode_control(m, src, dst_id, trace_id);
+  if (frame.empty()) return;  // over a u16 wire limit; never transmit
+  const auto it = per_type_.find(static_cast<std::uint8_t>(msg::type_of(m)));
+  if (it != per_type_.end()) {
+    obs::Registry& reg = env_.metrics();
+    reg.add(it->second.msgs);
+    reg.add(it->second.bytes, frame.size());
+  }
+  env_.send(dst, std::move(frame), now_ms);
+}
+
+void Core::start_locate(JoinTask& t, RouterId at, double now_ms) {
+  t.st = JoinTask::St::kLocating;
+  t.locate_at = at;
+  t.timeout_ms = cfg_.retry.timeout_ms;
+  t.deadline_ms = now_ms + t.timeout_ms;
+  arm(t.deadline_ms);
+  msg::Locate loc;
+  loc.target = t.target;
+  loc.purpose = 0;
+  send_control(at, loc, router_label(cfg_.self), t.target, t.nonce, now_ms);
+}
+
+void Core::send_join_request(JoinTask& t, double now_ms) {
+  msg::JoinRequest jr;
+  jr.nonce = t.nonce;
+  jr.gateway = cfg_.self;
+  jr.public_key = t.ident.public_key();
+  jr.fingers = make_fingers(cfg_.fingers, t.target);
+  send_control(t.join_to, jr, router_label(cfg_.self), t.target, t.nonce,
+               now_ms);
+}
+
+void Core::start_lookup(LookupTask& t, RouterId at, double now_ms) {
+  t.at = at;
+  t.timeout_ms = cfg_.retry.timeout_ms;
+  t.deadline_ms = now_ms + t.timeout_ms;
+  arm(t.deadline_ms);
+  msg::Locate loc;
+  loc.target = t.target;
+  loc.purpose = 2;  // data-plane probe
+  send_control(at, loc, router_label(cfg_.self), t.target, t.nonce, now_ms);
+}
+
+Core::JoinTask* Core::join_by_nonce(std::uint64_t nonce) {
+  for (JoinTask& t : active_) {
+    if (t.nonce == nonce) return &t;
+  }
+  return nullptr;
+}
+
+Core::LookupTask* Core::lookup_by_nonce(std::uint64_t nonce) {
+  for (LookupTask& t : lookups_) {
+    if (t.nonce == nonce) return &t;
+  }
+  return nullptr;
+}
+
+Vnode* Core::best_predecessor(const NodeId& target) {
+  const auto it = closest_predecessor(
+      vnodes_.begin(), vnodes_.end(), target,
+      [](const auto& kv) -> const NodeId& { return kv.first; });
+  return it == vnodes_.end() ? nullptr : &it->second;
+}
+
+void Core::schedule_install(RouterId dst, const NodeId& subject,
+                            const NodeId& neighbor, RouterId neighbor_owner,
+                            double now_ms) {
+  // Deliberately no self-delivery shortcut: even when dst == self the
+  // subject vnode may not be resident yet (its JoinReply is still in this
+  // router's own transport queue), so the install must go through the same
+  // retry-until-acked path as the remote case.
+  const std::uint64_t nonce = next_nonce();
+  PendingInstall pi;
+  pi.dst = dst;
+  pi.msg.subject = subject;
+  pi.msg.neighbor = neighbor;
+  pi.msg.neighbor_host = neighbor_owner;
+  pi.msg.op = 1;  // set-predecessor
+  pi.timeout_ms = cfg_.retry.timeout_ms;
+  pi.deadline_ms = now_ms + pi.timeout_ms;
+  arm(pi.deadline_ms);
+  send_control(dst, pi.msg, router_label(cfg_.self), subject, nonce, now_ms);
+  installs_.emplace(nonce, std::move(pi));
+}
+
+void Core::answer_locate(RouterId requester, const NodeId& target,
+                         const NodeId& neighbor, RouterId neighbor_owner,
+                         std::uint64_t trace_id, double now_ms) {
+  msg::PointerInstall reply;
+  reply.subject = target;
+  reply.neighbor = neighbor;
+  reply.neighbor_host = neighbor_owner;
+  reply.op = 2;  // refill == locate answer
+  send_control(requester, reply, router_label(cfg_.self), target, trace_id,
+               now_ms);
+}
+
+void Core::on_locate(const Packet& pkt, const msg::Locate& m, double now_ms) {
+  const RouterId requester = label_router(pkt.source);
+  if (vnodes_.empty()) {
+    // Nothing to answer with yet; punt the walk at the bootstrap router
+    // (it always holds the seed).  Self-forwarding would loop.
+    if (cfg_.self != cfg_.bootstrap) {
+      send_control(cfg_.bootstrap, m, pkt.source, pkt.destination,
+                   pkt.trace_id, now_ms);
+    }
+    return;
+  }
+  if (m.purpose == 2 && vnodes_.contains(m.target)) {
+    // Lookup probe for an id resident right here: answer with the target
+    // itself -- the requester reads `neighbor == target` as a hit and
+    // `neighbor_host` as the owning router.
+    answer_locate(requester, m.target, m.target, cfg_.self, pkt.trace_id,
+                  now_ms);
+    return;
+  }
+  Vnode* p = best_predecessor(m.target);
+  if (p == nullptr) {
+    // The target is the only id here (single-vnode router owning the target
+    // itself): its predecessor is recorded on the vnode.
+    const auto it = vnodes_.find(m.target);
+    if (it == vnodes_.end()) return;
+    answer_locate(requester, m.target, it->second.pred,
+                  it->second.pred_owner, pkt.trace_id, now_ms);
+    return;
+  }
+  if (is_predecessor_of(p->id, m.target, p->succ)) {
+    if (m.purpose == 2) {
+      // Lookup termination at the predecessor: its successor pointer is the
+      // resolution.  succ == target resolves the owner (hit); anything else
+      // proves the id is not in the ring (miss).
+      answer_locate(requester, m.target, p->succ, p->succ_owner, pkt.trace_id,
+                    now_ms);
+    } else {
+      answer_locate(requester, m.target, p->id, cfg_.self, pkt.trace_id,
+                    now_ms);
+    }
+    return;
+  }
+  // Forward the walk greedily; the source label (requester) is preserved so
+  // the eventual answer goes straight back.
+  env_.metrics().add(locate_steps_);
+  send_control(p->succ_owner, m, pkt.source, pkt.destination, pkt.trace_id,
+               now_ms);
+}
+
+void Core::on_join_request(const Packet& pkt, const msg::JoinRequest& m,
+                           double now_ms) {
+  const RouterId requester = m.gateway;
+  const NodeId target = pkt.destination;
+  obs::Registry& reg = env_.metrics();
+  // Self-certification (section 2.1): the label must be the hash of the
+  // carried public key.
+  if (derive_id(m.public_key) != target) {
+    reg.add(joins_rejected_);
+    return;
+  }
+  // Idempotent re-reply: a retransmitted JoinRequest for an id we already
+  // spliced gets the cached JoinReply verbatim.
+  const auto cached = join_cache_.find(target);
+  if (cached != join_cache_.end()) {
+    const auto it =
+        per_type_.find(static_cast<std::uint8_t>(PacketType::kJoinReply));
+    reg.add(it->second.msgs);
+    reg.add(it->second.bytes, cached->second.size());
+    env_.send(requester, cached->second, now_ms);
+    return;
+  }
+  Vnode* p = best_predecessor(target);
+  if (p == nullptr || !is_predecessor_of(p->id, target, p->succ)) {
+    // The ring moved under the walk: redirect the gateway to keep walking
+    // from the closest point we do know.
+    msg::JoinReply redirect;
+    if (p != nullptr) {
+      redirect.predecessor = p->succ;
+      redirect.predecessor_host = p->succ_owner;
+    } else {
+      redirect.predecessor_host = cfg_.bootstrap;
+    }
+    send_control(requester, redirect, router_label(cfg_.self), target,
+                 pkt.trace_id, now_ms);
+    return;
+  }
+  // Splice target between p and p.succ; the reply carries p's (singleton)
+  // successor view through the same constructor the simulator's splice uses.
+  const RingPtr old_succ{p->succ, p->succ_owner};
+  p->succ = target;
+  p->succ_owner = requester;
+
+  const msg::JoinReply reply =
+      make_join_reply(p->id, cfg_.self, std::span(&old_succ, 1), target);
+  std::vector<std::uint8_t> frame = msg::encode_control(
+      reply, router_label(cfg_.self), target, pkt.trace_id);
+  const auto it =
+      per_type_.find(static_cast<std::uint8_t>(PacketType::kJoinReply));
+  reg.add(it->second.msgs);
+  reg.add(it->second.bytes, frame.size());
+  env_.send(requester, frame, now_ms);
+  join_cache_[target] = std::move(frame);
+
+  // Tell the old successor its predecessor changed (reliable, acked).
+  schedule_install(old_succ.owner, old_succ.id, target, requester, now_ms);
+}
+
+void Core::on_join_reply(const Packet& pkt, const msg::JoinReply& m,
+                         double now_ms) {
+  JoinTask* t = join_by_nonce(pkt.trace_id);
+  if (t == nullptr || t->st != JoinTask::St::kJoining) return;  // stale
+  if (m.successors.empty()) {
+    // Redirect: re-locate from the router the splicer pointed us at.
+    env_.metrics().add(redirects_);
+    t->attempt = 0;
+    start_locate(*t, static_cast<RouterId>(m.predecessor_host), now_ms);
+    return;
+  }
+  Vnode v;
+  v.id = t->target;
+  v.succ = m.successors.front().target;
+  v.succ_owner = static_cast<RouterId>(m.successors.front().home_as);
+  v.pred = m.predecessor;
+  v.pred_owner = static_cast<RouterId>(m.predecessor_host);
+  vnodes_[v.id] = v;
+  ++joins_completed_;
+  env_.metrics().add(joins_done_id_);
+  env_.metrics().observe(join_latency_, now_ms - t->started_ms);
+  active_.erase(active_.begin() + (t - active_.data()));
+}
+
+void Core::on_pointer_install(const Packet& pkt, const msg::PointerInstall& m,
+                              double now_ms) {
+  if (m.op == 2) {  // locate answer (join walk or lookup probe)
+    if (JoinTask* t = join_by_nonce(pkt.trace_id)) {
+      if (t->st != JoinTask::St::kLocating) return;  // stale
+      t->st = JoinTask::St::kJoining;
+      t->join_to = m.neighbor_host;
+      t->attempt = 0;
+      t->timeout_ms = cfg_.retry.timeout_ms;
+      t->deadline_ms = now_ms + t->timeout_ms;
+      arm(t->deadline_ms);
+      send_join_request(*t, now_ms);
+      return;
+    }
+    LookupTask* l = lookup_by_nonce(pkt.trace_id);
+    if (l == nullptr) return;  // stale
+    ++lookups_completed_;
+    obs::Registry& reg = env_.metrics();
+    reg.add(lookups_done_id_);
+    if (m.neighbor == l->target) {
+      ++lookups_hit_;
+      reg.add(lookups_hit_id_);
+    }
+    reg.observe(lookup_latency_, now_ms - l->started_ms);
+    lookups_.erase(lookups_.begin() + (l - lookups_.data()));
+    return;
+  }
+  if (m.op == 1) {  // set-predecessor from a splicer
+    // Not resident yet: the subject's own JoinReply may still be in flight
+    // to this gateway.  Stay silent -- the splicer's retry loop redelivers
+    // until the vnode exists and the install can actually apply.
+    const auto it = vnodes_.find(m.subject);
+    if (it == vnodes_.end()) return;
+    Vnode& v = it->second;
+    // The Chord notify rule (proto::accept_notify): only a strictly closer
+    // predecessor may replace the current one, so stale (reordered/delayed)
+    // installs cannot regress the pointer.
+    if (accept_notify(v.id, v.pred, m.neighbor)) {
+      v.pred = m.neighbor;
+      v.pred_owner = m.neighbor_host;
+    }
+    // Ack regardless of whether the notify rule applied it -- the sender
+    // only needs to know the install arrived (a stale install is *complete*,
+    // not lost).
+    msg::Keepalive ack;
+    ack.seq = pkt.trace_id;
+    send_control(label_router(pkt.source), ack, router_label(cfg_.self),
+                 m.subject, pkt.trace_id, now_ms);
+  }
+}
+
+void Core::on_repair(const Packet& pkt, const msg::Repair& m, double now_ms) {
+  // A departing neighbor's relink: re-point this survivor's successor
+  // (op 0) or predecessor (op 1) across the departing run.  Departure is
+  // serialized after convergence, so the apply is unconditional; duplicate
+  // retransmissions re-apply the same value (idempotent).
+  const auto it = vnodes_.find(m.subject);
+  if (it == vnodes_.end()) return;  // not resident; the sender retries
+  Vnode& v = it->second;
+  if (m.op == 0) {
+    v.succ = m.neighbor;
+    v.succ_owner = m.neighbor_host;
+  } else if (m.op == 1) {
+    v.pred = m.neighbor;
+    v.pred_owner = m.neighbor_host;
+  } else {
+    return;  // unknown relink op: ignore (no ack, sender gives up loudly)
+  }
+  msg::Keepalive ack;
+  ack.seq = pkt.trace_id;
+  send_control(label_router(pkt.source), ack, router_label(cfg_.self),
+               m.subject, pkt.trace_id, now_ms);
+}
+
+void Core::on_keepalive(const Packet& /*pkt*/, const msg::Keepalive& m) {
+  if (installs_.erase(m.seq) != 0) {
+    env_.metrics().add(acks_);
+    return;
+  }
+  if (relinks_.erase(m.seq) != 0) {
+    env_.metrics().add(acks_);
+    if (leaving_ && relinks_.empty()) {
+      // Every surviving boundary is repointed; this router's ids are no
+      // longer part of the ring anyone routes by.
+      vnodes_.clear();
+      departed_ = true;
+    }
+  }
+}
+
+void Core::begin_leave(double now_ms) {
+  if (leaving_) return;
+  leaving_ = true;
+  const std::vector<LeaveRelink> boundary = compute_leave_relinks(vnodes_);
+  for (const LeaveRelink& r : boundary) {
+    env_.metrics().add(leave_relinks_, 2);
+    // Surviving successor's predecessor jumps back over the departing run...
+    {
+      const std::uint64_t nonce = next_nonce();
+      PendingRelink pr;
+      pr.dst = r.succ.owner;
+      pr.msg.subject = r.succ.id;
+      pr.msg.neighbor = r.pred.id;
+      pr.msg.neighbor_host = r.pred.owner;
+      pr.msg.op = 1;  // predecessor-set
+      pr.timeout_ms = cfg_.retry.timeout_ms;
+      pr.deadline_ms = now_ms + pr.timeout_ms;
+      arm(pr.deadline_ms);
+      send_control(pr.dst, pr.msg, router_label(cfg_.self), r.succ.id, nonce,
+                   now_ms);
+      relinks_.emplace(nonce, std::move(pr));
+    }
+    // ...and the surviving predecessor's successor jumps forward over it.
+    {
+      const std::uint64_t nonce = next_nonce();
+      PendingRelink pr;
+      pr.dst = r.pred.owner;
+      pr.msg.subject = r.pred.id;
+      pr.msg.neighbor = r.succ.id;
+      pr.msg.neighbor_host = r.succ.owner;
+      pr.msg.op = 0;  // successor-set
+      pr.timeout_ms = cfg_.retry.timeout_ms;
+      pr.deadline_ms = now_ms + pr.timeout_ms;
+      arm(pr.deadline_ms);
+      send_control(pr.dst, pr.msg, router_label(cfg_.self), r.pred.id, nonce,
+                   now_ms);
+      relinks_.emplace(nonce, std::move(pr));
+    }
+  }
+  if (relinks_.empty()) {
+    // No survivor to notify (the whole ring was resident here, or nothing
+    // was): the departure is complete immediately.
+    vnodes_.clear();
+    departed_ = true;
+  }
+}
+
+void Core::on_frame(std::span<const std::uint8_t> frame, double now_ms) {
+  const auto pkt = Packet::decode(frame);
+  const auto m = msg::decode_control(frame);
+  if (!pkt.has_value() || !m.has_value()) {
+    // CRC-rejected (impairment corruption) or otherwise undecodable: to the
+    // protocol this is loss; retries recover.
+    env_.metrics().add(decode_failed_);
+    return;
+  }
+  std::visit(
+      [&](const auto& mm) {
+        using T = std::decay_t<decltype(mm)>;
+        if constexpr (std::is_same_v<T, msg::Locate>) {
+          on_locate(*pkt, mm, now_ms);
+        } else if constexpr (std::is_same_v<T, msg::JoinRequest>) {
+          on_join_request(*pkt, mm, now_ms);
+        } else if constexpr (std::is_same_v<T, msg::JoinReply>) {
+          on_join_reply(*pkt, mm, now_ms);
+        } else if constexpr (std::is_same_v<T, msg::PointerInstall>) {
+          on_pointer_install(*pkt, mm, now_ms);
+        } else if constexpr (std::is_same_v<T, msg::Repair>) {
+          on_repair(*pkt, mm, now_ms);
+        } else if constexpr (std::is_same_v<T, msg::Keepalive>) {
+          on_keepalive(*pkt, mm);
+        }
+        // Other control types never appear in the live protocol.
+      },
+      *m);
+}
+
+void Core::tick(double now_ms) {
+  obs::Registry& reg = env_.metrics();
+
+  // Start queued joins up to the outstanding cap.
+  while (active_.size() < cfg_.max_outstanding && !queued_.empty()) {
+    JoinTask t(std::move(queued_.front()));
+    queued_.pop_front();
+    t.target = t.ident.id();
+    t.nonce = next_nonce();
+    t.started_ms = now_ms;
+    active_.push_back(std::move(t));
+    start_locate(active_.back(), cfg_.bootstrap, now_ms);
+  }
+  // And queued lookups; probes start at this router -- the natural
+  // data-plane entry point -- and walk greedily from local ring state.
+  while (lookups_.size() < cfg_.max_outstanding && !queued_lookups_.empty()) {
+    LookupTask t;
+    t.target = queued_lookups_.front();
+    queued_lookups_.pop_front();
+    t.nonce = next_nonce();
+    t.started_ms = now_ms;
+    lookups_.push_back(t);
+    start_lookup(lookups_.back(), cfg_.self, now_ms);
+  }
+
+  // Retry timers.
+  for (JoinTask& t : active_) {
+    if (now_ms < t.deadline_ms) continue;
+    ++t.attempt;
+    if (t.attempt >= cfg_.retry.max_attempts) {
+      // Give up on this walk entirely and restart from the bootstrap.
+      env_.note_retry_exhausted();
+      t.attempt = 0;
+      start_locate(t, cfg_.bootstrap, now_ms);
+      continue;
+    }
+    reg.add(retrans_);
+    env_.note_retry();
+    t.timeout_ms = cfg_.retry.next_timeout(t.timeout_ms);
+    t.deadline_ms = now_ms + t.timeout_ms;
+    arm(t.deadline_ms);
+    if (t.st == JoinTask::St::kLocating) {
+      msg::Locate loc;
+      loc.target = t.target;
+      send_control(t.locate_at, loc, router_label(cfg_.self), t.target,
+                   t.nonce, now_ms);
+    } else {
+      send_join_request(t, now_ms);
+    }
+  }
+  for (LookupTask& t : lookups_) {
+    if (now_ms < t.deadline_ms) continue;
+    ++t.attempt;
+    if (t.attempt >= cfg_.retry.max_attempts) {
+      // Restart the probe from the bootstrap -- the walk itself may have
+      // died on a router this gateway cannot see.
+      env_.note_retry_exhausted();
+      t.attempt = 0;
+      start_lookup(t, cfg_.bootstrap, now_ms);
+      continue;
+    }
+    reg.add(retrans_);
+    env_.note_retry();
+    t.timeout_ms = cfg_.retry.next_timeout(t.timeout_ms);
+    t.deadline_ms = now_ms + t.timeout_ms;
+    arm(t.deadline_ms);
+    msg::Locate loc;
+    loc.target = t.target;
+    loc.purpose = 2;
+    send_control(t.at, loc, router_label(cfg_.self), t.target, t.nonce,
+                 now_ms);
+  }
+  for (auto& [nonce, pi] : installs_) {
+    if (now_ms < pi.deadline_ms) continue;
+    ++pi.attempt;
+    reg.add(retrans_);
+    env_.note_retry();
+    pi.timeout_ms = cfg_.retry.next_timeout(pi.timeout_ms);
+    pi.deadline_ms = now_ms + pi.timeout_ms;
+    arm(pi.deadline_ms);
+    send_control(pi.dst, pi.msg, router_label(cfg_.self), pi.msg.subject,
+                 nonce, now_ms);
+  }
+  for (auto& [nonce, pr] : relinks_) {
+    if (now_ms < pr.deadline_ms) continue;
+    ++pr.attempt;
+    reg.add(retrans_);
+    env_.note_retry();
+    pr.timeout_ms = cfg_.retry.next_timeout(pr.timeout_ms);
+    pr.deadline_ms = now_ms + pr.timeout_ms;
+    arm(pr.deadline_ms);
+    send_control(pr.dst, pr.msg, router_label(cfg_.self), pr.msg.subject,
+                 nonce, now_ms);
+  }
+}
+
+void Core::debug_dump(std::ostream& os) const {
+  os << "router " << cfg_.self << ": vnodes=" << vnodes_.size()
+     << " queued=" << queued_.size() << " active=" << active_.size()
+     << " installs=" << installs_.size() << " lookups=" << lookups_.size()
+     << " relinks=" << relinks_.size()
+     << (leaving_ ? (departed_ ? " departed" : " leaving") : "") << "\n";
+  for (const JoinTask& t : active_) {
+    os << "  task nonce=" << std::hex << t.nonce << std::dec << " target="
+       << t.target.to_string().substr(0, 8)
+       << (t.st == JoinTask::St::kLocating ? " LOCATING at=" : " JOINING to=")
+       << (t.st == JoinTask::St::kLocating ? t.locate_at : t.join_to)
+       << " attempt=" << t.attempt << " timeout=" << t.timeout_ms << "\n";
+  }
+  for (const LookupTask& t : lookups_) {
+    os << "  lookup nonce=" << std::hex << t.nonce << std::dec << " target="
+       << t.target.to_string().substr(0, 8) << " at=" << t.at
+       << " attempt=" << t.attempt << "\n";
+  }
+  for (const auto& [nonce, pi] : installs_) {
+    os << "  install nonce=" << std::hex << nonce << std::dec << " dst="
+       << pi.dst << " subject=" << pi.msg.subject.to_string().substr(0, 8)
+       << " neighbor=" << pi.msg.neighbor.to_string().substr(0, 8)
+       << " attempt=" << pi.attempt << "\n";
+  }
+  for (const auto& [nonce, pr] : relinks_) {
+    os << "  relink nonce=" << std::hex << nonce << std::dec << " dst="
+       << pr.dst << " subject=" << pr.msg.subject.to_string().substr(0, 8)
+       << " neighbor=" << pr.msg.neighbor.to_string().substr(0, 8)
+       << " op=" << int(pr.msg.op) << " attempt=" << pr.attempt << "\n";
+  }
+}
+
+}  // namespace rofl::proto

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "proto/ring.hpp"
+
 namespace rofl::intra {
 
 Network::Network(const graph::IspTopology* topo, Config cfg, std::uint64_t seed)
@@ -78,11 +80,17 @@ void Network::bootstrap_router_ring() {
     vn.id = order[i].first;
     vn.pub = routers_[order[i].second]->identity().public_key();
     vn.is_default = true;
-    for (std::size_t s = 1; s <= cfg_.successor_group && s < n; ++s) {
-      const auto& [sid, shost] = order[(i + s) % n];
-      vn.successors.push_back(NeighborPtr{sid, shost});
-    }
-    if (n > 1) {
+    if (n == 1) {
+      // Degenerate one-router ring: the lone default vnode is its own
+      // successor and predecessor, same as proto::Core::seed() on the live
+      // side -- the ring rules then make it everything's predecessor.
+      vn.successors.push_back(NeighborPtr{vn.id, order[i].second});
+      vn.predecessor = NeighborPtr{vn.id, order[i].second};
+    } else {
+      for (std::size_t s = 1; s <= cfg_.successor_group && s < n; ++s) {
+        const auto& [sid, shost] = order[(i + s) % n];
+        vn.successors.push_back(NeighborPtr{sid, shost});
+      }
       const auto& [pid, phost] = order[(i + n - 1) % n];
       vn.predecessor = NeighborPtr{pid, phost};
     }
@@ -414,19 +422,17 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   // The join reply carries the predecessor's successor view as a typed wire
   // message: everything in pred's group is still a successor of vn (vn sits
   // between pred and pred's old succ0).  vn adopts what the gateway decodes
-  // off the wire below, not what this scope can see directly.
-  wire::msg::JoinReply reply_msg;
-  reply_msg.predecessor = pred->id;
-  reply_msg.predecessor_host = pred_router;
+  // off the wire below, not what this scope can see directly.  The reply is
+  // built by the shared ring layer -- the same constructor proto::Core's
+  // join-request handler uses on the live mesh -- so a gateway adopts the
+  // identical neighborhood on either substrate.
+  std::vector<proto::RingPtr> pred_group;
+  pred_group.reserve(pred->successors.size());
   for (const NeighborPtr& s : pred->successors) {
-    if (s.id != vn.id) {
-      reply_msg.successors.push_back(wire::FingerField{s.id, s.host});
-    }
+    pred_group.push_back(proto::RingPtr{s.id, s.host});
   }
-  if (reply_msg.successors.empty()) {
-    // Singleton ring: predecessor is also the successor.
-    reply_msg.successors.push_back(wire::FingerField{pred->id, pred_router});
-  }
+  wire::msg::JoinReply reply_msg =
+      proto::make_join_reply(pred->id, pred_router, pred_group, vn.id);
 
   const NeighborPtr self{vn.id, vn.home};
   const NodeId succ0_id = reply_msg.successors.front().target;
@@ -444,7 +450,7 @@ Network::Transfer Network::splice_in(VirtualNode& vn, NodeIndex pred_router,
   // Ephemeral backpointers that now fall past vn migrate from pred to vn
   // (piggybacked on the join reply, no extra messages).
   for (const auto& [eid, gw] : pred_r.ephemeral_backpointers()) {
-    if (NodeId::in_interval_oc(vn.id, eid, succ0_id)) {
+    if (proto::is_predecessor_of(vn.id, eid, succ0_id)) {
       reply_msg.migrated_ephemerals.push_back(eid);
     }
   }

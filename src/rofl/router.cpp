@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "proto/ring.hpp"
+
 namespace rofl::intra {
 
 Router::Router(NodeIndex index, Identity identity, std::size_t cache_capacity)
@@ -118,7 +120,7 @@ VirtualNode* Router::predecessor_vnode_of(const NodeId& id) {
     if (vn.host_class == HostClass::kEphemeral) continue;
     const NeighborPtr* succ = vn.first_successor();
     if (succ == nullptr) continue;
-    if (NodeId::in_interval_oc(vid, id, succ->id)) return &vn;
+    if (proto::is_predecessor_of(vid, id, succ->id)) return &vn;
   }
   return nullptr;
 }

@@ -259,6 +259,92 @@ TEST(Mesh, UdpMeshConvergesUnderHeavyImpairment) {
   EXPECT_GT(m.counter_value(m.counter("net.retrans")), 0u);
 }
 
+TEST(Mesh, LoopbackLookupsAllHit) {
+  MeshConfig cfg;
+  cfg.backend = MeshBackend::kLoopback;
+  cfg.routers = 3;
+  cfg.hosts = 60;
+  cfg.fingers = 8;
+  cfg.seed = 29;
+  cfg.lookups = 24;
+  MeshResult r = run_mesh(cfg);
+  ASSERT_TRUE(r.converged);
+  ASSERT_TRUE(r.audit.ok());
+  // Every probe targets a joined id over an exact ring: all must resolve,
+  // and resolve correctly.
+  EXPECT_EQ(r.lookups_completed, cfg.lookups);
+  EXPECT_EQ(r.lookups_hit, r.lookups_completed);
+  obs::Registry& m = r.metrics;
+  EXPECT_EQ(m.counter_value(m.counter("net.lookups.completed")), cfg.lookups);
+  EXPECT_EQ(m.counter_value(m.counter("net.lookups.hit")), cfg.lookups);
+  // Lookup phase determinism rides the same virtual clock as the storm.
+  MeshResult again = run_mesh(cfg);
+  EXPECT_EQ(r.metrics.to_json(2), again.metrics.to_json(2));
+}
+
+TEST(Mesh, LoopbackCleanLeavePassesAudit) {
+  MeshConfig cfg;
+  cfg.backend = MeshBackend::kLoopback;
+  cfg.routers = 4;
+  cfg.hosts = 80;
+  cfg.fingers = 8;
+  cfg.seed = 31;
+  cfg.leave_router = 2;
+  MeshResult r = run_mesh(cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.leave_completed);
+  // The audit expects only survivors -- exact ring over the remaining ids,
+  // with the departed router's vnodes gone and the boundaries repaired.
+  EXPECT_TRUE(r.audit.ok()) << (r.audit.errors.empty()
+                                    ? "population mismatch"
+                                    : r.audit.errors.front());
+  obs::Registry& m = r.metrics;
+  EXPECT_GT(m.counter_value(m.counter("net.leave.relinks")), 0u);
+}
+
+TEST(Mesh, UdpLookupsAndLeaveUnderImpairment) {
+  MeshConfig cfg;
+  cfg.backend = MeshBackend::kUdp;
+  cfg.routers = 2;
+  cfg.hosts = 30;
+  cfg.fingers = 8;
+  cfg.seed = 37;
+  cfg.lookups = 8;
+  cfg.leave_router = 1;
+  cfg.conditions.loss = 0.10;
+  cfg.conditions.duplicate = 0.05;
+  cfg.deadline_ms = 60'000.0;
+  MeshResult r = run_mesh(cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.lookups_completed, cfg.lookups);
+  EXPECT_EQ(r.lookups_hit, cfg.lookups);
+  EXPECT_TRUE(r.leave_completed);
+  EXPECT_TRUE(r.audit.ok()) << (r.audit.errors.empty()
+                                    ? "population mismatch"
+                                    : r.audit.errors.front());
+}
+
+TEST(Mesh, TransportCountersSurfaceInMergedRegistry) {
+  // Satellite contract: dedup drops, ring overflows, and throttle waits are
+  // first-class net.* counters, sampled live every step -- a duplicated
+  // impaired run must show dedup activity in the merged registry.
+  MeshConfig cfg;
+  cfg.backend = MeshBackend::kUdp;
+  cfg.routers = 2;
+  cfg.hosts = 30;
+  cfg.fingers = 8;
+  cfg.seed = 41;
+  cfg.conditions.duplicate = 0.30;
+  cfg.deadline_ms = 60'000.0;
+  MeshResult r = run_mesh(cfg);
+  ASSERT_TRUE(r.converged);
+  obs::Registry& m = r.metrics;
+  EXPECT_GT(m.counter_value(m.counter("net.rx.dedup_dropped")), 0u);
+  EXPECT_GT(m.counter_value(m.counter("net.tx.frames")), 0u);
+  EXPECT_GT(m.counter_value(m.counter("net.rx.frames")), 0u);
+  EXPECT_EQ(m.counter_value(m.counter("net.rx.ring_dropped")), 0u);
+}
+
 TEST(Mesh, AuditDetectsDefects) {
   // Hand-build a broken ring: two nodes whose successor pointers are fine
   // but one predecessor is wrong, plus a population shortfall.

@@ -1,0 +1,313 @@
+// test_proto.cpp -- the sans-I/O protocol layer in isolation.
+//
+// Two levels.  First the pure ring decisions in proto/ring.hpp -- interval
+// predicates, predecessor selection, join-reply construction, departure
+// relinks -- exercised as plain functions, including the wraparound and
+// degenerate-ring corners that are hard to hit reliably through a full mesh.
+// Second, proto::Core driven by a test Env over an in-memory frame bus: two
+// cores exchanging encoded frames on a virtual clock, with no transport, no
+// threads, and no LiveRouter -- the proof that the state machine alone
+// carries joins, lookups, and clean departure.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <algorithm>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "proto/core.hpp"
+#include "proto/env.hpp"
+#include "proto/ring.hpp"
+#include "util/identity.hpp"
+#include "util/rng.hpp"
+
+namespace rofl::proto {
+namespace {
+
+NodeId id64(std::uint64_t v) { return NodeId::from_u64(v); }
+
+// ---------------------------------------------------------------- ring.hpp
+
+TEST(Ring, IsPredecessorOf) {
+  // target in (pred, succ], clockwise.
+  EXPECT_TRUE(is_predecessor_of(id64(10), id64(15), id64(20)));
+  EXPECT_TRUE(is_predecessor_of(id64(10), id64(20), id64(20)));  // closed top
+  EXPECT_FALSE(is_predecessor_of(id64(10), id64(10), id64(20)));  // open bottom
+  EXPECT_FALSE(is_predecessor_of(id64(10), id64(25), id64(20)));
+  // Wraparound arc.
+  EXPECT_TRUE(is_predecessor_of(id64(900), id64(5), id64(10)));
+  EXPECT_FALSE(is_predecessor_of(id64(900), id64(500), id64(10)));
+  // Self-loop (a, a]: the one-node ring owns the whole circle.
+  EXPECT_TRUE(is_predecessor_of(id64(7), id64(123), id64(7)));
+}
+
+TEST(Ring, AcceptNotify) {
+  // Fresh seed self-loop accepts any candidate.
+  EXPECT_TRUE(accept_notify(id64(50), id64(50), id64(10)));
+  // Strictly closer in (cur_pred, self) wins...
+  EXPECT_TRUE(accept_notify(id64(50), id64(10), id64(40)));
+  // ...equal or farther does not: stale installs can never regress.
+  EXPECT_FALSE(accept_notify(id64(50), id64(40), id64(40)));
+  EXPECT_FALSE(accept_notify(id64(50), id64(40), id64(10)));
+  // The candidate may not be self.
+  EXPECT_FALSE(accept_notify(id64(50), id64(40), id64(50)));
+}
+
+TEST(Ring, ClosestPredecessor) {
+  const std::vector<NodeId> ids = {id64(10), id64(30), id64(70)};
+  const auto proj = [](const NodeId& id) -> const NodeId& { return id; };
+  // Largest id at-or-below the target wins (smallest nonzero cw distance).
+  auto it = closest_predecessor(ids.begin(), ids.end(), id64(50), proj);
+  ASSERT_NE(it, ids.end());
+  EXPECT_EQ(*it, id64(30));
+  // A resident target is never its own predecessor.
+  it = closest_predecessor(ids.begin(), ids.end(), id64(30), proj);
+  ASSERT_NE(it, ids.end());
+  EXPECT_EQ(*it, id64(10));
+  // Wraparound: below the smallest id, the largest is the predecessor.
+  it = closest_predecessor(ids.begin(), ids.end(), id64(5), proj);
+  ASSERT_NE(it, ids.end());
+  EXPECT_EQ(*it, id64(70));
+  // Empty range and only-the-target both return last.
+  const std::vector<NodeId> none;
+  EXPECT_EQ(closest_predecessor(none.begin(), none.end(), id64(1), proj),
+            none.end());
+  const std::vector<NodeId> self_only = {id64(5)};
+  EXPECT_EQ(closest_predecessor(self_only.begin(), self_only.end(), id64(5),
+                                proj),
+            self_only.end());
+}
+
+TEST(Ring, MakeJoinReplyFiltersJoinerWithSingletonFallback) {
+  const std::vector<RingPtr> group = {{id64(20), 2}, {id64(30), 3}};
+  wire::msg::JoinReply r =
+      make_join_reply(id64(10), 1, std::span(group.data(), group.size()),
+                      id64(20));
+  EXPECT_EQ(r.predecessor, id64(10));
+  EXPECT_EQ(r.predecessor_host, 1u);
+  ASSERT_EQ(r.successors.size(), 1u);
+  EXPECT_EQ(r.successors[0].target, id64(30));
+  EXPECT_EQ(r.successors[0].home_as, 3u);
+
+  // Whole group filtered away -> the predecessor doubles as successor.
+  const std::vector<RingPtr> only_joiner = {{id64(20), 2}};
+  r = make_join_reply(id64(10), 1,
+                      std::span(only_joiner.data(), only_joiner.size()),
+                      id64(20));
+  ASSERT_EQ(r.successors.size(), 1u);
+  EXPECT_EQ(r.successors[0].target, id64(10));
+  EXPECT_EQ(r.successors[0].home_as, 1u);
+}
+
+std::map<NodeId, Vnode> make_vnodes(
+    std::initializer_list<std::tuple<std::uint64_t, std::uint64_t,
+                                     std::uint32_t, std::uint64_t,
+                                     std::uint32_t>>
+        rows) {
+  // (id, succ, succ_owner, pred, pred_owner)
+  std::map<NodeId, Vnode> m;
+  for (const auto& [id, s, so, p, po] : rows) {
+    Vnode v;
+    v.id = id64(id);
+    v.succ = id64(s);
+    v.succ_owner = so;
+    v.pred = id64(p);
+    v.pred_owner = po;
+    m[v.id] = v;
+  }
+  return m;
+}
+
+TEST(Ring, LeaveRelinksCollapseResidentRuns) {
+  // Ring 10 20 30 40 50; departing router owns the run {20, 30} and the
+  // singleton {50}; ids 10 and 40 survive on router 1.
+  const auto vnodes = make_vnodes({{20, 30, 9, 10, 1},
+                                   {30, 40, 1, 20, 9},
+                                   {50, 10, 1, 40, 1}});
+  const std::vector<LeaveRelink> relinks = compute_leave_relinks(vnodes);
+  ASSERT_EQ(relinks.size(), 2u);
+  // One relink per run: {20,30} bridges 10 -> 40, {50} bridges 40 -> 10.
+  // Map order puts the run ending at 30 first.
+  EXPECT_EQ(relinks[0].succ.id, id64(40));
+  EXPECT_EQ(relinks[0].succ.owner, 1u);
+  EXPECT_EQ(relinks[0].pred.id, id64(10));
+  EXPECT_EQ(relinks[0].pred.owner, 1u);
+  EXPECT_EQ(relinks[1].succ.id, id64(10));
+  EXPECT_EQ(relinks[1].pred.id, id64(40));
+}
+
+TEST(Ring, LeaveRelinksEmptyWhenWholeRingResident) {
+  const auto vnodes = make_vnodes({{10, 20, 9, 20, 9}, {20, 10, 9, 10, 9}});
+  EXPECT_TRUE(compute_leave_relinks(vnodes).empty());
+  EXPECT_TRUE(compute_leave_relinks(std::map<NodeId, Vnode>{}).empty());
+}
+
+// --------------------------------------------------------- proto::Core bus
+
+struct BusFrame {
+  RouterId dst;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// The narrowest possible driver: frames go onto a shared vector, retries
+/// are tallied, metrics live in a per-core registry.  No clock, no sockets.
+class TestEnv final : public Env {
+ public:
+  explicit TestEnv(std::vector<BusFrame>* bus) : bus_(bus) {}
+  void send(RouterId dst, std::vector<std::uint8_t> frame,
+            double /*now_ms*/) override {
+    bus_->push_back(BusFrame{dst, std::move(frame)});
+  }
+  obs::Registry& metrics() override { return reg_; }
+  void note_retry() override { ++retries; }
+  void note_retry_exhausted() override { ++exhausted; }
+
+  obs::Registry reg_;
+  std::uint64_t retries = 0;
+  std::uint64_t exhausted = 0;
+
+ private:
+  std::vector<BusFrame>* bus_;
+};
+
+struct MiniMesh {
+  explicit MiniMesh(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      envs.push_back(std::make_unique<TestEnv>(&bus));
+      CoreConfig cc;
+      cc.self = i;
+      cc.bootstrap = 0;
+      cc.fingers = 0;
+      cores.push_back(std::make_unique<Core>(cc, *envs[i]));
+    }
+  }
+
+  [[nodiscard]] bool all_quiescent() const {
+    for (const auto& c : cores) {
+      if (!c->quiescent()) return false;
+    }
+    return true;
+  }
+
+  /// Lossless instant delivery on a 0.25 ms virtual clock; returns true on
+  /// quiescence before `limit_ms`.
+  bool run(double limit_ms = 10'000.0) {
+    while (now < limit_ms) {
+      std::vector<BusFrame> pending;
+      pending.swap(bus);
+      for (BusFrame& f : pending) {
+        cores[f.dst]->on_frame(f.bytes, now);
+      }
+      for (auto& c : cores) c->tick(now);
+      if (bus.empty() && all_quiescent()) return true;
+      now += 0.25;
+    }
+    return false;
+  }
+
+  /// Exact-ring audit over every resident vnode: sorted ids must chain
+  /// succ/pred pointers and owners perfectly.
+  void expect_exact_ring() const {
+    std::vector<std::pair<NodeId, RouterId>> all;
+    for (RouterId r = 0; r < cores.size(); ++r) {
+      for (const auto& [id, v] : cores[r]->vnodes()) all.emplace_back(id, r);
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_FALSE(all.empty());
+    const std::size_t n = all.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [id, owner] = all[i];
+      const Vnode& v = cores[owner]->vnodes().at(id);
+      const auto& [sid, sowner] = all[(i + 1) % n];
+      const auto& [pid, powner] = all[(i + n - 1) % n];
+      EXPECT_EQ(v.succ, sid) << "succ of " << id.to_string();
+      EXPECT_EQ(v.succ_owner, sowner) << "succ owner of " << id.to_string();
+      EXPECT_EQ(v.pred, pid) << "pred of " << id.to_string();
+      EXPECT_EQ(v.pred_owner, powner) << "pred owner of " << id.to_string();
+    }
+  }
+
+  std::vector<BusFrame> bus;
+  std::vector<std::unique_ptr<TestEnv>> envs;
+  std::vector<std::unique_ptr<Core>> cores;
+  double now = 0.0;
+};
+
+TEST(ProtoCore, JoinStormOverFrameBus) {
+  MiniMesh mesh(2);
+  Rng rng(17);
+  mesh.cores[0]->seed(Identity::generate(rng));
+  std::vector<NodeId> joined;
+  for (int i = 0; i < 12; ++i) {
+    Identity ident = Identity::generate(rng);
+    joined.push_back(ident.id());
+    mesh.cores[i % 2]->enqueue_join(std::move(ident));
+  }
+  ASSERT_TRUE(mesh.run());
+  EXPECT_EQ(mesh.cores[0]->joins_completed() +
+                mesh.cores[1]->joins_completed(),
+            12u);
+  mesh.expect_exact_ring();
+  // Lossless bus: no retries, no exhaustion.
+  EXPECT_EQ(mesh.envs[0]->retries + mesh.envs[1]->retries, 0u);
+  EXPECT_EQ(mesh.envs[0]->exhausted + mesh.envs[1]->exhausted, 0u);
+}
+
+TEST(ProtoCore, LookupsResolveEveryJoinedId) {
+  MiniMesh mesh(2);
+  Rng rng(18);
+  const Identity seed_ident = Identity::generate(rng);
+  std::vector<NodeId> all_ids = {seed_ident.id()};
+  mesh.cores[0]->seed(seed_ident);
+  for (int i = 0; i < 8; ++i) {
+    Identity ident = Identity::generate(rng);
+    all_ids.push_back(ident.id());
+    mesh.cores[i % 2]->enqueue_join(std::move(ident));
+  }
+  ASSERT_TRUE(mesh.run());
+  for (std::size_t i = 0; i < all_ids.size(); ++i) {
+    mesh.cores[i % 2]->enqueue_lookup(all_ids[i]);
+  }
+  ASSERT_TRUE(mesh.run(mesh.now + 10'000.0));
+  const std::uint64_t completed = mesh.cores[0]->lookups_completed() +
+                                  mesh.cores[1]->lookups_completed();
+  const std::uint64_t hit =
+      mesh.cores[0]->lookups_hit() + mesh.cores[1]->lookups_hit();
+  EXPECT_EQ(completed, all_ids.size());
+  EXPECT_EQ(hit, completed);
+}
+
+TEST(ProtoCore, CleanLeaveRepairsSurvivingRing) {
+  MiniMesh mesh(3);
+  Rng rng(19);
+  mesh.cores[0]->seed(Identity::generate(rng));
+  for (int i = 0; i < 12; ++i) {
+    mesh.cores[i % 3]->enqueue_join(Identity::generate(rng));
+  }
+  ASSERT_TRUE(mesh.run());
+  const std::size_t departing = mesh.cores[2]->vnodes().size();
+  ASSERT_GT(departing, 0u);
+
+  mesh.cores[2]->begin_leave(mesh.now);
+  ASSERT_TRUE(mesh.run(mesh.now + 10'000.0));
+  EXPECT_TRUE(mesh.cores[2]->departed());
+  EXPECT_TRUE(mesh.cores[2]->vnodes().empty());
+  // Survivors re-chain into an exact smaller ring.
+  mesh.expect_exact_ring();
+}
+
+TEST(ProtoCore, LeaveWithNoResidentsDepartsImmediately) {
+  MiniMesh mesh(1);
+  mesh.cores[0]->begin_leave(0.0);
+  EXPECT_TRUE(mesh.cores[0]->departed());
+  EXPECT_TRUE(mesh.cores[0]->quiescent());
+}
+
+}  // namespace
+}  // namespace rofl::proto

@@ -811,6 +811,15 @@ net::MeshConfig mesh_config_from_args(const Args& a) {
     std::cerr << "unknown --backend '" << backend << "' (udp|loopback)\n";
     std::exit(2);
   }
+  cfg.lookups = static_cast<std::uint32_t>(a.num("lookups", 0));
+  cfg.leave_router = static_cast<std::int32_t>(a.num("leave", -1));
+  if (cfg.leave_router >= 0 &&
+      (cfg.leave_router == 0 ||
+       static_cast<std::uint32_t>(cfg.leave_router) >= cfg.routers)) {
+    std::cerr << "--leave must name a non-bootstrap router in [1, "
+              << cfg.routers - 1 << "]\n";
+    std::exit(2);
+  }
   return cfg;
 }
 
@@ -818,6 +827,14 @@ int cmd_net(const Args& a, const char* argv0) {
   const RunSummary summary;
   const net::MeshConfig cfg = mesh_config_from_args(a);
   const bool loopback = cfg.backend == net::MeshBackend::kLoopback;
+
+  // The lookup and leave phases are driven in-process (the driver must touch
+  // router state between phases); spawn mode runs the join storm only.
+  if ((a.flag("spawn") || a.kv.contains("worker")) &&
+      (cfg.lookups > 0 || cfg.leave_router >= 0)) {
+    std::cerr << "--lookups/--leave are not supported with --spawn\n";
+    return 2;
+  }
 
   // Spawn-mode worker: the driver re-invoked this binary.  Run the storm and
   // exit; all reporting happens driver-side.
@@ -867,6 +884,22 @@ int cmd_net(const Args& a, const char* argv0) {
   t.add_row({std::string("join latency p50/p99 [ms]"),
              std::to_string(lat.percentile(0.5)) + " / " +
                  std::to_string(lat.percentile(0.99))});
+  if (cfg.lookups > 0) {
+    const obs::Histogram& llat = m.histogram_at(
+        m.histogram("net.lookup.latency_ms",
+                    obs::Histogram::exponential_bounds(0.25, 2.0, 16)));
+    t.add_row({std::string("lookups hit/served"),
+               std::to_string(r.lookups_hit) + "/" +
+                   std::to_string(r.lookups_completed)});
+    t.add_row({std::string("lookup latency p50/p99 [ms]"),
+               std::to_string(llat.percentile(0.5)) + " / " +
+                   std::to_string(llat.percentile(0.99))});
+  }
+  if (cfg.leave_router >= 0) {
+    t.add_row({std::string("router " + std::to_string(cfg.leave_router) +
+                           " departure"),
+               std::string(r.leave_completed ? "clean" : "INCOMPLETE")});
+  }
   t.add_row({std::string("retransmissions"),
              static_cast<std::int64_t>(counter("net.retrans"))});
   t.add_row({std::string("locate redirects"),
@@ -929,8 +962,16 @@ int cmd_net(const Args& a, const char* argv0) {
       return 1;
     }
   }
+  // Every lookup targets a joined id, so a correct mesh serves them all as
+  // hits; the departure must have drained every relink ack.
+  const bool lookups_ok =
+      cfg.lookups == 0 || (r.lookups_completed == cfg.lookups &&
+                           r.lookups_hit == r.lookups_completed);
   summary.print(rx);
-  return (r.converged && r.audit.ok() && parity_ok) ? 0 : 1;
+  return (r.converged && r.audit.ok() && parity_ok && lookups_ok &&
+          r.leave_completed)
+             ? 0
+             : 1;
 }
 
 int cmd_shard(const Args& a) {
